@@ -1,0 +1,168 @@
+// Package warden's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation (§7) as testing.B benchmarks — one per
+// artifact. Each reports the headline numbers via b.ReportMetric so that
+//
+//	go test -bench=. -benchmem
+//
+// prints the whole evaluation. The benchmarks use the Small input class so
+// the suite completes in minutes; `wardenbench -size medium` regenerates
+// the recorded EXPERIMENTS.md numbers.
+package warden_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"warden/internal/bench"
+	"warden/internal/pbbs"
+	"warden/internal/topology"
+)
+
+// BenchmarkTable1 runs the Fig. 6 true-sharing microbenchmark in the three
+// Table 1 placements and reports cycles/iteration for each.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		smt := topology.XeonGold6126(1)
+		smt.ThreadsPerCore = 2
+		same, err := pbbs.PingPong(smt, 0, 1, 2000, "same core")
+		if err != nil {
+			b.Fatal(err)
+		}
+		sock, err := pbbs.PingPong(topology.XeonGold6126(1), 0, 1, 2000, "same socket")
+		if err != nil {
+			b.Fatal(err)
+		}
+		cross, err := pbbs.PingPong(topology.XeonGold6126(2), 0, 12, 2000, "cross socket")
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(same.CyclesPerIter, "sameCore-cyc/iter")
+		b.ReportMetric(sock.CyclesPerIter, "sameSocket-cyc/iter")
+		b.ReportMetric(cross.CyclesPerIter, "crossSocket-cyc/iter")
+	}
+}
+
+// reportFigure runs the full suite comparison on cfg and reports the mean
+// speedup and energy savings (the MEAN bars of the figure).
+func reportFigure(b *testing.B, cfg topology.Config, subset []string) {
+	b.Helper()
+	r := bench.NewRunner(bench.Small)
+	for i := 0; i < b.N; i++ {
+		comps, err := r.CompareAll(cfg, subset)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prod, n := 1.0, 0
+		var ic, tot float64
+		for _, c := range comps {
+			prod *= c.Speedup()
+			ic += c.InterconnectSavings()
+			tot += c.TotalEnergySavings()
+			n++
+		}
+		b.ReportMetric(math.Pow(prod, 1/float64(n)), "meanSpeedup-x")
+		b.ReportMetric(ic/float64(n), "interconnectSavings-%")
+		b.ReportMetric(tot/float64(n), "totalSavings-%")
+	}
+}
+
+// BenchmarkFigure7 regenerates the single-socket speedup/energy study.
+func BenchmarkFigure7(b *testing.B) {
+	reportFigure(b, topology.XeonGold6126(1), nil)
+}
+
+// BenchmarkFigure8 regenerates the dual-socket speedup/energy study.
+func BenchmarkFigure8(b *testing.B) {
+	reportFigure(b, topology.XeonGold6126(2), nil)
+}
+
+// BenchmarkFigure9 reports the Fig. 9 correlation inputs: mean avoided
+// invalidations+downgrades per kilo-instruction alongside mean speedup.
+func BenchmarkFigure9(b *testing.B) {
+	r := bench.NewRunner(bench.Small)
+	for i := 0; i < b.N; i++ {
+		comps, err := r.CompareAll(topology.XeonGold6126(2), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var perKilo float64
+		for _, c := range comps {
+			perKilo += c.InvDgReducedPerKilo()
+		}
+		b.ReportMetric(perKilo/float64(len(comps)), "meanInvDgReduced/kiloInstr")
+	}
+}
+
+// BenchmarkFigure10 reports the mean downgrade share of the avoided
+// coherence events (Fig. 10).
+func BenchmarkFigure10(b *testing.B) {
+	r := bench.NewRunner(bench.Small)
+	for i := 0; i < b.N; i++ {
+		comps, err := r.CompareAll(topology.XeonGold6126(2), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var down float64
+		n := 0
+		for _, c := range comps {
+			d, _ := c.ReductionShares()
+			down += d
+			n++
+		}
+		b.ReportMetric(down/float64(n), "meanDowngradeShare-%")
+	}
+}
+
+// BenchmarkFigure11 reports the mean percent IPC improvement (Fig. 11).
+func BenchmarkFigure11(b *testing.B) {
+	r := bench.NewRunner(bench.Small)
+	for i := 0; i < b.N; i++ {
+		comps, err := r.CompareAll(topology.XeonGold6126(2), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ipc float64
+		for _, c := range comps {
+			ipc += c.IPCImprovement()
+		}
+		b.ReportMetric(ipc/float64(len(comps)), "meanIPCImprovement-%")
+	}
+}
+
+// BenchmarkFigure12 regenerates the disaggregated-machine study on the
+// most-promising subset.
+func BenchmarkFigure12(b *testing.B) {
+	reportFigure(b, topology.Disaggregated(), bench.DisaggregatedSubset)
+}
+
+// BenchmarkSuite runs every PBBS benchmark under both protocols on the
+// dual-socket machine and reports per-benchmark speedups; this is the
+// per-bar view of Fig. 8a.
+func BenchmarkSuite(b *testing.B) {
+	for _, e := range pbbs.Suite {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
+			r := bench.NewRunner(bench.Small)
+			for i := 0; i < b.N; i++ {
+				c, err := r.Compare(topology.XeonGold6126(2), e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(c.Speedup(), "speedup-x")
+				b.ReportMetric(c.InvDgReducedPerKilo(), "invDgReduced/kilo")
+			}
+		})
+	}
+}
+
+// BenchmarkAblations runs the design-choice studies (region sources, table
+// capacity, sector granularity) end to end.
+func BenchmarkAblations(b *testing.B) {
+	r := bench.NewRunner(bench.Small)
+	for i := 0; i < b.N; i++ {
+		if err := bench.Ablations(io.Discard, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command wardenbench regenerates the paper's evaluation artifacts (Table 1
+// and Figures 7–12) on the simulator, plus the ablation studies described
+// in DESIGN.md.
+//
+// Usage:
+//
+//	wardenbench -experiment all              # everything, medium inputs
+//	wardenbench -experiment fig8 -size small # one figure, quick inputs
+//	wardenbench -experiment ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"warden/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, or all")
+	size := flag.String("size", "medium", "input size class: small or medium")
+	quiet := flag.Bool("q", false, "suppress progress messages")
+	flag.Parse()
+
+	var sizes bench.SizeClass
+	switch *size {
+	case "small":
+		sizes = bench.Small
+	case "medium":
+		sizes = bench.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "wardenbench: unknown size class %q\n", *size)
+		os.Exit(2)
+	}
+	r := bench.NewRunner(sizes)
+	if !*quiet {
+		r.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "... %s\n", msg) }
+	}
+
+	out := os.Stdout
+	run := func(name string, fn func() error) {
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+	}
+
+	iters := 20000
+	if sizes == bench.Small {
+		iters = 2000
+	}
+
+	steps := map[string]func() error{
+		"table1":      func() error { return bench.Table1(out, iters) },
+		"table2":      func() error { bench.Table2(out); return nil },
+		"fig7":        func() error { return bench.Figure7(out, r) },
+		"fig8":        func() error { return bench.Figure8(out, r) },
+		"fig9":        func() error { return bench.Figure9(out, r) },
+		"fig10":       func() error { return bench.Figure10(out, r) },
+		"fig11":       func() error { return bench.Figure11(out, r) },
+		"fig12":       func() error { return bench.Figure12(out, r) },
+		"ablations":   func() error { return bench.Ablations(out, r) },
+		"manysockets": func() error { return bench.ManySockets(out, r) },
+	}
+	if *experiment == "all" {
+		for _, name := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets"} {
+			run(name, steps[name])
+		}
+		return
+	}
+	fn, ok := steps[*experiment]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "wardenbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+	run(*experiment, fn)
+}

@@ -1,0 +1,156 @@
+// Command wardensim runs one benchmark on one simulated machine and prints
+// detailed architectural statistics — the tool for exploring a single
+// configuration rather than regenerating the paper's figures.
+//
+// Usage:
+//
+//	wardensim -bench msort -protocol warden -sockets 2 -size 24000
+//	wardensim -bench primes -protocol both -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"warden/internal/bench"
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/pbbs"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+func main() {
+	name := flag.String("bench", "primes", "benchmark name (see -list)")
+	protocol := flag.String("protocol", "both", "mesi, warden, or both")
+	sockets := flag.Int("sockets", 2, "socket count")
+	cores := flag.Int("cores", 0, "cores per socket (0 = Table 2 default of 12)")
+	size := flag.Int("size", 0, "input size (0 = medium preset)")
+	disagg := flag.Bool("disaggregated", false, "use the disaggregated 2-node topology")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	verbose := flag.Bool("v", false, "print message-type breakdown")
+	flag.Parse()
+
+	if *list {
+		for _, e := range pbbs.Suite {
+			fmt.Printf("%-14s small=%-8d medium=%d\n", e.Name, e.Small, e.Medium)
+		}
+		return
+	}
+	entry, err := pbbs.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wardensim:", err)
+		os.Exit(2)
+	}
+	if *size == 0 {
+		*size = entry.Medium
+	}
+	cfg := topology.XeonGold6126(*sockets)
+	if *disagg {
+		cfg = topology.Disaggregated()
+	}
+	if *cores > 0 {
+		cfg.CoresPerSocket = *cores
+	}
+
+	var protos []core.Protocol
+	switch *protocol {
+	case "mesi":
+		protos = []core.Protocol{core.MESI}
+	case "warden":
+		protos = []core.Protocol{core.WARDen}
+	case "both":
+		protos = []core.Protocol{core.MESI, core.WARDen}
+	default:
+		fmt.Fprintf(os.Stderr, "wardensim: unknown protocol %q\n", *protocol)
+		os.Exit(2)
+	}
+
+	results := make([]bench.Result, 0, 2)
+	for _, p := range protos {
+		fmt.Fprintf(os.Stderr, "... simulating %s/%v on %s (size %d)\n", entry.Name, p, cfg.Name, *size)
+		res, err := bench.RunOne(cfg, p, entry, *size, hlpl.DefaultOptions())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wardensim:", err)
+			os.Exit(1)
+		}
+		results = append(results, res)
+	}
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "metric")
+	for _, r := range results {
+		fmt.Fprintf(tw, "\t%v", r.Protocol)
+	}
+	fmt.Fprintln(tw)
+	row := func(label string, f func(bench.Result) string) {
+		fmt.Fprintf(tw, "%s", label)
+		for _, r := range results {
+			fmt.Fprintf(tw, "\t%s", f(r))
+		}
+		fmt.Fprintln(tw)
+	}
+	row("cycles", func(r bench.Result) string { return fmt.Sprintf("%d", r.Cycles) })
+	row("instructions", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.Instructions) })
+	row("IPC", func(r bench.Result) string { return fmt.Sprintf("%.3f", r.IPC()) })
+	row("loads", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.Loads) })
+	row("stores", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.Stores) })
+	row("atomics", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.Atomics) })
+	row("L1 hit rate", func(r bench.Result) string {
+		if r.Counters.L1Accesses == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2f%%", 100*float64(r.Counters.L1Hits)/float64(r.Counters.L1Accesses))
+	})
+	row("dir accesses", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.DirAccesses) })
+	row("DRAM accesses", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.DRAMAccesses) })
+	row("invalidations", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.Invalidations) })
+	row("downgrades", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.Downgrades) })
+	row("inv+dg per kilo-instr", func(r bench.Result) string { return fmt.Sprintf("%.2f", r.Counters.InvDowngradesPerKiloInstr()) })
+	row("total messages", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.TotalMsgs()) })
+	row("intersocket flits", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.IntersocketFlits) })
+	row("WARD accesses", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.WardAccesses) })
+	row("WARD access share", func(r bench.Result) string {
+		memOps := r.Counters.Loads + r.Counters.Stores
+		if memOps == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.1f%%", 100*float64(r.Counters.WardAccesses)/float64(memOps))
+	})
+	row("region adds/removes", func(r bench.Result) string {
+		return fmt.Sprintf("%d/%d", r.Counters.RegionAdds, r.Counters.RegionRemoves)
+	})
+	row("reconciled blocks", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.ReconciledBlocks) })
+	row("false/true share merges", func(r bench.Result) string {
+		return fmt.Sprintf("%d/%d", r.Counters.FalseShareMerges, r.Counters.TrueShareMerges)
+	})
+	row("store-buffer stalls", func(r bench.Result) string { return fmt.Sprintf("%d", r.Counters.StoreBufferStalls) })
+	row("energy total (mJ)", func(r bench.Result) string { return fmt.Sprintf("%.3f", r.Energy.Total*1e3) })
+	row("energy interconnect (mJ)", func(r bench.Result) string { return fmt.Sprintf("%.3f", r.Energy.Interconnect*1e3) })
+	tw.Flush()
+
+	if len(results) == 2 {
+		c := bench.Comparison{Name: entry.Name, MESI: results[0], WARDen: results[1]}
+		fmt.Printf("\nspeedup %.3fx, interconnect savings %.1f%%, total energy savings %.1f%%, IPC %+.1f%%\n",
+			c.Speedup(), c.InterconnectSavings(), c.TotalEnergySavings(), c.IPCImprovement())
+	}
+	if *verbose {
+		fmt.Println("\nmessages by type:")
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(tw, "type")
+		for _, r := range results {
+			fmt.Fprintf(tw, "\t%v\t(x-socket)", r.Protocol)
+		}
+		fmt.Fprintln(tw)
+		for t := 0; t < stats.NumMsgTypes; t++ {
+			fmt.Fprintf(tw, "%v", stats.MsgType(t))
+			for _, r := range results {
+				fmt.Fprintf(tw, "\t%d\t%d", r.Counters.Msgs[t], r.Counters.IntersocketMsgs[t])
+			}
+			fmt.Fprintln(tw)
+		}
+		tw.Flush()
+	}
+}

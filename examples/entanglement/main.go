@@ -1,0 +1,101 @@
+// Entanglement demonstrates why WARD regions demand disentangled programs,
+// and how the simulator's dynamic detector catches violations (in the
+// spirit of the paper's reference [89], "Entanglement detection with
+// near-zero cost").
+//
+// Two versions of a pipeline run inside one WARD region:
+//
+//   - the disentangled version writes results into the region and reads
+//     them only after the region is reconciled — correct, zero violations;
+//
+//   - the entangled version has a consumer task read a producer task's
+//     in-region writes — under WARDen's W state the read returns stale
+//     data, and the detector flags the exact access.
+//
+// Usage:
+//
+//	go run ./examples/entanglement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+	"warden/internal/mem"
+	"warden/internal/topology"
+)
+
+const n = 512 // words in the shared buffer
+
+// run executes producer/consumer bodies and reports the consumer's checksum
+// plus detected violations.
+func run(entangled bool) (sum uint64, violations uint64, sample string) {
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 2
+	m := machine.New(cfg, core.WARDen)
+	m.System().SetEntanglementDetection(true)
+	buf := m.Mem().Alloc(n*8, mem.PageSize)
+	flag := m.Mem().Alloc(8, 64) // consumer-ready signal (outside the region)
+
+	producer := func(ctx *machine.Ctx) {
+		id, _ := ctx.AddRegion(buf, buf+n*8)
+		for i := 0; i < n; i++ {
+			ctx.Store(buf+mem.Addr(i*8), 8, uint64(i)*3+1)
+		}
+		ctx.Fence()
+		if !entangled {
+			// Disentangled: reconcile before publishing.
+			ctx.RemoveRegion(id)
+		}
+		ctx.Store(flag, 8, 1) // publish
+		if entangled {
+			// Too late: the consumer reads inside the live region.
+			ctx.Compute(200_000)
+			ctx.RemoveRegion(id)
+		}
+	}
+	var got uint64
+	consumer := func(ctx *machine.Ctx) {
+		for ctx.Load(flag, 8) == 0 {
+		}
+		var s uint64
+		for i := 0; i < n; i++ {
+			s += ctx.Load(buf+mem.Addr(i*8), 8)
+		}
+		got = s
+	}
+
+	bodies := []func(*machine.Ctx){producer, consumer}
+	if _, err := m.Run(bodies); err != nil {
+		log.Fatal(err)
+	}
+	vs := m.System().Violations()
+	if len(vs) > 0 {
+		sample = vs[0].String()
+	}
+	return got, m.Counters().EntanglementViolations, sample
+}
+
+func main() {
+	var want uint64
+	for i := 0; i < n; i++ {
+		want += uint64(i)*3 + 1
+	}
+
+	sum, v, _ := run(false)
+	fmt.Printf("disentangled: checksum %d (want %d) — %d violations\n", sum, want, v)
+
+	sum, v, sample := run(true)
+	fmt.Printf("entangled:    checksum %d (want %d) — %d violations\n", sum, want, v)
+	fmt.Printf("              first flagged access: %s\n", sample)
+	fmt.Println()
+	if sum == want {
+		fmt.Println("(the entangled run happened to see fresh data — rerun; the detector still flagged it)")
+	} else {
+		fmt.Println("The entangled consumer read stale W-state data: this is why the runtime")
+		fmt.Println("only marks memory it can prove no concurrent task reads (§4), and why the")
+		fmt.Println("scheduler reconciles heaps at forks and joins before hand-offs.")
+	}
+}

@@ -1,0 +1,80 @@
+// Falsesharing demonstrates WARDen's false-sharing immunity (§5.3) at the
+// machine level, without the language runtime: hardware threads write
+// interleaved counters that share cache blocks. Under MESI every store
+// fights for block ownership; inside a WARD region the block ping-pong
+// disappears and reconciliation merges the per-core sectors losslessly.
+//
+//	go run ./examples/falsesharing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+	"warden/internal/mem"
+	"warden/internal/topology"
+)
+
+const (
+	counters   = 64 // one 8-byte counter per thread-slot, 8 per cache block
+	iterations = 2000
+)
+
+func run(proto core.Protocol, useRegion bool) (cycles uint64, inv, dg uint64) {
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 8
+	m := machine.New(cfg, proto)
+	base := m.Mem().Alloc(counters*8, mem.PageSize)
+
+	bodies := make([]func(*machine.Ctx), cfg.Threads())
+	for tid := 0; tid < cfg.Threads(); tid++ {
+		tid := tid
+		bodies[tid] = func(ctx *machine.Ctx) {
+			var region core.RegionID
+			if useRegion && tid == 0 {
+				region, _ = ctx.AddRegion(base, base+counters*8)
+			}
+			ctx.Compute(32) // let the region registration land first
+			// Thread t bumps counters t, t+8, t+16, ...: every block is
+			// written by all eight threads (pure false sharing).
+			for it := 0; it < iterations; it++ {
+				for slot := tid; slot < counters; slot += cfg.Threads() {
+					a := base + mem.Addr(slot*8)
+					v := ctx.Load(a, 8)
+					ctx.Store(a, 8, v+1)
+				}
+			}
+			ctx.Fence()
+			if useRegion && tid == 0 {
+				ctx.Compute(1_000_000) // outlast the other writers
+				ctx.RemoveRegion(region)
+			}
+		}
+	}
+	total, err := m.Run(bodies)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Verify no update was lost.
+	for slot := 0; slot < counters; slot++ {
+		if got := m.Mem().ReadUint(base+mem.Addr(slot*8), 8); got != iterations {
+			log.Fatalf("%v: counter %d = %d, want %d", proto, slot, got, iterations)
+		}
+	}
+	c := m.Counters()
+	return total, c.Invalidations, c.Downgrades
+}
+
+func main() {
+	fmt.Printf("8 threads x %d iterations over %d interleaved counters (8 per block)\n\n",
+		iterations, counters)
+	mesiCyc, mesiInv, mesiDg := run(core.MESI, false)
+	fmt.Printf("MESI:   %10d cycles   %8d invalidations   %6d downgrades\n", mesiCyc, mesiInv, mesiDg)
+	wardCyc, wardInv, wardDg := run(core.WARDen, true)
+	fmt.Printf("WARDen: %10d cycles   %8d invalidations   %6d downgrades\n", wardCyc, wardInv, wardDg)
+	fmt.Printf("\nspeedup %.2fx; all counters verified exact under both protocols —\n",
+		float64(mesiCyc)/float64(wardCyc))
+	fmt.Println("byte-sectored reconciliation (§6.1) merges the disjoint writes losslessly.")
+}

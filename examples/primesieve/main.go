@@ -1,0 +1,53 @@
+// Primesieve reproduces the paper's running example (Fig. 4): a parallel
+// prime sieve whose flags array hosts benign write-after-write races. Run
+// under MESI and WARDen, it shows WARDen eliminating the invalidation storm
+// the races cause.
+//
+//	go run ./examples/primesieve [-n 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"warden/internal/bench"
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/pbbs"
+	"warden/internal/topology"
+)
+
+func main() {
+	n := flag.Int("n", 100_000, "sieve bound")
+	flag.Parse()
+
+	cfg := topology.XeonGold6126(2)
+	fmt.Printf("prime_sieve_upto(%d) on %s, MESI vs WARDen\n\n", *n, cfg.Name)
+
+	var results []bench.Result
+	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		entry, err := pbbs.ByName("primes")
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bench.RunOne(cfg, proto, entry, *n, hlpl.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		results = append(results, res)
+		c := res.Counters
+		fmt.Printf("%-7v cycles=%-10d invalidations=%-8d downgrades=%-7d inv+dg/kilo-instr=%.2f\n",
+			proto, res.Cycles, c.Invalidations, c.Downgrades, c.InvDowngradesPerKiloInstr())
+	}
+
+	cmp := bench.Comparison{Name: "primes", MESI: results[0], WARDen: results[1]}
+	fmt.Printf("\nWARDen speedup:              %.2fx\n", cmp.Speedup())
+	fmt.Printf("coherence events avoided:    %d (%.2f per kilo-instruction)\n",
+		cmp.InvDgReduced(), cmp.InvDgReducedPerKilo())
+	fmt.Printf("interconnect energy savings: %.1f%%\n", cmp.InterconnectSavings())
+	fmt.Printf("total energy savings:        %.1f%%\n", cmp.TotalEnergySavings())
+	fmt.Println("\nEvery writer stores the same value (false), so the WAW races are")
+	fmt.Println("apathetic: the flags array satisfies the WARD property (§3.3) and the")
+	fmt.Println("sieve's marking phase runs with coherence disabled.")
+}

@@ -1,0 +1,3 @@
+module warden
+
+go 1.22

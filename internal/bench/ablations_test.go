@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAblationsRender runs every ablation at Small scale and checks report
+// structure and the expected qualitative outcomes.
+func TestAblationsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(Small)
+	if err := Ablations(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"WARD region sources",
+		"region table capacity",
+		"sector granularity",
+		"protocol baselines",
+		"full WARDen", "heap pages only", "library scopes only",
+		"MOESI", "WARDen",
+		"DATA LOSS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("ablation output missing %q:\n%s", want, out)
+		}
+	}
+	// Byte sectoring must be reported correct exactly once (the 1 B row).
+	if strings.Count(out, "\tcorrect") == 0 && !strings.Contains(out, "correct") {
+		t.Fatal("no lossless sectoring row")
+	}
+}
+
+func TestManySocketsRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	r := NewRunner(Small)
+	if err := ManySockets(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Sockets", "Mean speedup", "1\t", "8\t"} {
+		if !strings.Contains(out, strings.ReplaceAll(want, "\t", " ")) && !strings.Contains(out, want) {
+			t.Fatalf("many-socket output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "960 cycles") {
+		t.Fatalf("8-socket latency row missing:\n%s", out)
+	}
+}

@@ -1,0 +1,250 @@
+// Package bench is the experiment harness: it runs (benchmark × protocol ×
+// topology) matrices on the simulator and regenerates every table and
+// figure of the paper's evaluation (§7) as text reports. The per-experiment
+// index in DESIGN.md maps each paper artifact to the functions here.
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"warden/internal/core"
+	"warden/internal/energy"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/pbbs"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// Result is one benchmark run on one machine.
+type Result struct {
+	Benchmark string
+	Protocol  core.Protocol
+	Config    topology.Config
+	Size      int
+	Cycles    uint64
+	Counters  stats.Counters
+	Energy    energy.Breakdown
+}
+
+// IPC returns the run's instructions per cycle.
+func (r Result) IPC() float64 { return r.Counters.IPC(r.Cycles) }
+
+// RunOne executes one benchmark at the given size on a fresh machine and
+// returns its measurements. Results are verified; a verification failure is
+// an error (a coherence bug, not a measurement).
+func RunOne(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
+	m := machine.New(cfg, proto)
+	w := entry.New(size)
+	if w.Prepare != nil {
+		w.Prepare(m)
+	}
+	rt := hlpl.New(m, opts)
+	cycles, err := rt.Run(w.Root)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s on %s/%v: %w", entry.Name, cfg.Name, proto, err)
+	}
+	if err := w.Verify(m); err != nil {
+		return Result{}, fmt.Errorf("bench: %s on %s/%v: verification failed: %w", entry.Name, cfg.Name, proto, err)
+	}
+	model := energy.Default(cfg)
+	ctr := *m.Counters()
+	return Result{
+		Benchmark: entry.Name,
+		Protocol:  proto,
+		Config:    cfg,
+		Size:      size,
+		Cycles:    cycles,
+		Counters:  ctr,
+		Energy:    model.Evaluate(&ctr, cycles, cfg),
+	}, nil
+}
+
+// Comparison is one benchmark's MESI-vs-WARDen measurement pair with the
+// derived metrics the figures chart.
+type Comparison struct {
+	Name   string
+	MESI   Result
+	WARDen Result
+}
+
+// Speedup is MESI cycles over WARDen cycles (Figs. 7a, 8a, 12a).
+func (c Comparison) Speedup() float64 {
+	if c.WARDen.Cycles == 0 {
+		return 0
+	}
+	return float64(c.MESI.Cycles) / float64(c.WARDen.Cycles)
+}
+
+// TotalEnergySavings is the percent reduction in total processor energy.
+func (c Comparison) TotalEnergySavings() float64 {
+	return energy.Savings(c.MESI.Energy.Total, c.WARDen.Energy.Total)
+}
+
+// InterconnectSavings is the percent reduction in interconnect energy.
+func (c Comparison) InterconnectSavings() float64 {
+	return energy.Savings(c.MESI.Energy.Interconnect, c.WARDen.Energy.Interconnect)
+}
+
+// InProcessorSavings is the percent reduction in in-processor energy
+// (Fig. 12b's third series).
+func (c Comparison) InProcessorSavings() float64 {
+	return energy.Savings(c.MESI.Energy.InProcessor(), c.WARDen.Energy.InProcessor())
+}
+
+// InvDgReduced is the number of invalidations+downgrades WARDen avoided.
+func (c Comparison) InvDgReduced() int64 {
+	m := int64(c.MESI.Counters.Invalidations + c.MESI.Counters.Downgrades)
+	w := int64(c.WARDen.Counters.Invalidations + c.WARDen.Counters.Downgrades)
+	return m - w
+}
+
+// InvDgReducedPerKilo is avoided invalidations+downgrades per 1000
+// executed instructions (Fig. 9's left axis).
+func (c Comparison) InvDgReducedPerKilo() float64 {
+	if c.MESI.Counters.Instructions == 0 {
+		return 0
+	}
+	return float64(c.InvDgReduced()) * 1000 / float64(c.MESI.Counters.Instructions)
+}
+
+// ReductionShares splits the avoided coherence events into downgrade and
+// invalidation percentages (Fig. 10). Shares are of the total reduction;
+// if nothing was reduced both are zero.
+func (c Comparison) ReductionShares() (downPct, invPct float64) {
+	dInv := int64(c.MESI.Counters.Invalidations) - int64(c.WARDen.Counters.Invalidations)
+	dDg := int64(c.MESI.Counters.Downgrades) - int64(c.WARDen.Counters.Downgrades)
+	tot := dInv + dDg
+	if tot == 0 {
+		return 0, 0
+	}
+	return 100 * float64(dDg) / float64(tot), 100 * float64(dInv) / float64(tot)
+}
+
+// IPCImprovement is the percent IPC change from MESI to WARDen (Fig. 11).
+// It can be negative even for sped-up benchmarks (the paper's ray): fewer
+// busy-wait instructions lower IPC while improving time.
+func (c Comparison) IPCImprovement() float64 {
+	m := c.MESI.IPC()
+	if m == 0 {
+		return 0
+	}
+	return 100 * (c.WARDen.IPC() - m) / m
+}
+
+// SizeClass selects the preset input sizes.
+type SizeClass int
+
+const (
+	// Small runs in well under a second per benchmark — unit-test scale.
+	Small SizeClass = iota
+	// Medium is the evaluation scale (the paper tunes inputs the same way,
+	// §7.1).
+	Medium
+)
+
+func (s SizeClass) pick(e pbbs.Entry) int {
+	if s == Small {
+		return e.Small
+	}
+	return e.Medium
+}
+
+// Runner executes and caches benchmark runs so the figures that share a
+// run matrix (Figs. 8–11 all use the dual-socket runs) simulate each
+// configuration once per process.
+type Runner struct {
+	Sizes SizeClass
+	Opts  hlpl.Options
+	cache map[string]Result
+	// Progress, if set, is called before each uncached simulation.
+	Progress func(msg string)
+}
+
+// NewRunner returns a runner at the given size class with paper-faithful
+// runtime options.
+func NewRunner(sizes SizeClass) *Runner {
+	return &Runner{Sizes: sizes, Opts: hlpl.DefaultOptions(), cache: make(map[string]Result)}
+}
+
+func (r *Runner) run(cfg topology.Config, proto core.Protocol, e pbbs.Entry) (Result, error) {
+	size := r.Sizes.pick(e)
+	key := fmt.Sprintf("%s|%v|%s|%d|%+v", cfg.Name, proto, e.Name, size, r.Opts)
+	if res, ok := r.cache[key]; ok {
+		return res, nil
+	}
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("simulating %-13s %-7v on %s (size %d)", e.Name, proto, cfg.Name, size))
+	}
+	res, err := RunOne(cfg, proto, e, size, r.Opts)
+	if err != nil {
+		return Result{}, err
+	}
+	r.cache[key] = res
+	return res, nil
+}
+
+// Compare runs one benchmark under both protocols on cfg.
+func (r *Runner) Compare(cfg topology.Config, e pbbs.Entry) (Comparison, error) {
+	m, err := r.run(cfg, core.MESI, e)
+	if err != nil {
+		return Comparison{}, err
+	}
+	w, err := r.run(cfg, core.WARDen, e)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Name: e.Name, MESI: m, WARDen: w}, nil
+}
+
+// CompareAll runs the whole suite (or the named subset) on cfg.
+func (r *Runner) CompareAll(cfg topology.Config, names []string) ([]Comparison, error) {
+	entries := pbbs.Suite
+	if names != nil {
+		entries = nil
+		for _, n := range names {
+			e, err := pbbs.ByName(n)
+			if err != nil {
+				return nil, err
+			}
+			entries = append(entries, e)
+		}
+	}
+	out := make([]Comparison, 0, len(entries))
+	for _, e := range entries {
+		c, err := r.Compare(cfg, e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+// geomean returns the geometric mean of vals (the MEAN bar of the figures).
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1.0/float64(len(vals)))
+}
+
+// mean returns the arithmetic mean of vals (used for percentage series).
+func mean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}

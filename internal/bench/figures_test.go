@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"warden/internal/topology"
+)
+
+// TestFiguresRender runs the whole figure pipeline at Small scale and
+// checks each report's structure: every suite benchmark appears, the MEAN
+// row is present where the paper charts one, and derived values stay in
+// sane ranges. This is the end-to-end test of the harness itself.
+func TestFiguresRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := NewRunner(Small)
+
+	var fig7, fig8 bytes.Buffer
+	if err := Figure7(&fig7, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure8(&fig8, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, out := range []string{fig7.String(), fig8.String()} {
+		for _, name := range []string{"dedup", "fib", "msort", "primes", "tokens", "MEAN"} {
+			if !strings.Contains(out, name) {
+				t.Fatalf("figure output missing %q:\n%s", name, out)
+			}
+		}
+	}
+
+	// Figs. 9-11 reuse the dual-socket matrix from the runner cache; they
+	// must not re-simulate (Progress counts fresh runs).
+	fresh := 0
+	r.Progress = func(string) { fresh++ }
+	var b bytes.Buffer
+	if err := Figure9(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure10(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := Figure11(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Fatalf("figures 9-11 re-simulated %d runs despite the cache", fresh)
+	}
+
+	var fig12 bytes.Buffer
+	if err := Figure12(&fig12, r); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range DisaggregatedSubset {
+		if !strings.Contains(fig12.String(), name) {
+			t.Fatalf("figure 12 missing %q", name)
+		}
+	}
+
+	// Sanity on the comparisons behind the reports.
+	comps, err := r.CompareAll(topology.XeonGold6126(2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comps) != 14 {
+		t.Fatalf("%d comparisons, want 14", len(comps))
+	}
+	for _, c := range comps {
+		if s := c.Speedup(); s < 0.5 || s > 5 {
+			t.Errorf("%s: implausible speedup %.2f", c.Name, s)
+		}
+		d, i := c.ReductionShares()
+		if sum := d + i; c.InvDgReduced() != 0 && (sum < 99.9 || sum > 100.1) {
+			t.Errorf("%s: reduction shares sum to %.1f", c.Name, sum)
+		}
+	}
+}

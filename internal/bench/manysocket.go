@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"warden/internal/topology"
+)
+
+// ManySocketSubset is the communication-heavy subset used for the socket
+// scaling study.
+var ManySocketSubset = []string{"msort", "suffix-array", "tokens", "grep"}
+
+// ManySockets is the §7.3 "Many Sockets" study: the paper argues (without a
+// figure) that as socket counts grow and interconnect latencies continue to
+// rise, WARDen's advantage becomes more prevalent. This experiment makes
+// that quantitative: mean speedup and interconnect-energy savings across
+// 1, 2, 4, and 8 sockets, holding the total core count's growth and the
+// per-socket configuration to Table 2 while the cross-socket latency
+// scales with machine size (topology.ManySocket).
+func ManySockets(w io.Writer, r *Runner) error {
+	fmt.Fprintln(w, "Many sockets (§7.3): WARDen's benefit vs machine scale")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Sockets\tCores\tIntersocket latency\tMean speedup\tMean interconnect savings\tMean total savings")
+	for _, sockets := range []int{1, 2, 4, 8} {
+		var cfg topology.Config
+		if sockets <= 2 {
+			cfg = topology.XeonGold6126(sockets)
+		} else {
+			cfg = topology.ManySocket(sockets)
+			// The directory's sharer mask tracks up to 64 cores; trim the
+			// per-socket core count on the largest machines.
+			if cfg.Cores() > 64 {
+				cfg.CoresPerSocket = 64 / sockets
+				cfg.Name = fmt.Sprintf("%s-%dc", cfg.Name, cfg.CoresPerSocket)
+			}
+		}
+		comps, err := r.CompareAll(cfg, ManySocketSubset)
+		if err != nil {
+			return err
+		}
+		var sp, ic, tot []float64
+		for _, c := range comps {
+			sp = append(sp, c.Speedup())
+			ic = append(ic, c.InterconnectSavings())
+			tot = append(tot, c.TotalEnergySavings())
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d cycles\t%.2fx\t%.1f%%\t%.1f%%\n",
+			sockets, cfg.Cores(), cfg.InterSocketLatency, geomean(sp), mean(ic), mean(tot))
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,266 @@
+// Package cache models set-associative cache tag arrays with LRU
+// replacement, per-block coherence state, and byte-sectored write masks.
+//
+// The package is mechanism only: it answers "is this block here, in what
+// state, and what gets evicted if I insert" while the coherence protocol
+// (internal/coherence, internal/core) decides what those events mean. Block
+// *data* is not stored here — canonical data lives in internal/mem, and
+// WARD-state private copies live in the protocol layer — so the tag arrays
+// stay cheap even for large simulated footprints.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"warden/internal/mem"
+)
+
+// State is a coherence state as tracked by a cache line or directory entry.
+// It covers the classic MESI states (Nagarajan et al.) plus the WARD state W
+// introduced by the WARDen protocol (§5.1 of the paper).
+type State uint8
+
+const (
+	// Invalid: the block is not present (or present but unusable).
+	Invalid State = iota
+	// Shared: read-only copy; other caches may also hold copies.
+	Shared
+	// Owned: dirty but shared — this cache sources the data for readers
+	// instead of writing it back (the MOESI baseline's O state).
+	Owned
+	// Exclusive: the only copy, clean.
+	Exclusive
+	// Modified: the only copy, dirty.
+	Modified
+	// Ward: coherence is disabled for this block; the holder may read and
+	// write a private copy without notifying anyone until reconciliation.
+	Ward
+)
+
+// String returns the conventional one-letter name of the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Owned:
+		return "O"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	case Ward:
+		return "W"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+// SectorMask records which sectors of a block have been written while the
+// block was in the WARD state. With byte sectoring on 64-byte blocks (§6.1)
+// each bit covers one byte.
+type SectorMask uint64
+
+// Set marks sectors [lo, lo+n) as written.
+func (m SectorMask) Set(lo, n uint) SectorMask {
+	if n >= 64 {
+		return ^SectorMask(0)
+	}
+	return m | SectorMask((uint64(1)<<n)-1)<<lo
+}
+
+// Has reports whether sector i is marked written.
+func (m SectorMask) Has(i uint) bool { return m&(1<<i) != 0 }
+
+// Count returns the number of written sectors.
+func (m SectorMask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Overlaps reports whether two masks mark any common sector.
+func (m SectorMask) Overlaps(o SectorMask) bool { return m&o != 0 }
+
+// Line is one cache line's metadata. (W-state write masks live with the
+// private block copies in internal/core, not in the tag array.)
+type Line struct {
+	Addr  mem.Addr // block-aligned address; meaningful only when State != Invalid
+	State State
+	lru   uint64
+}
+
+// Eviction describes a block displaced by an insertion.
+type Eviction struct {
+	Addr  mem.Addr
+	State State
+}
+
+// Cache is a set-associative tag array. Create with New.
+type Cache struct {
+	name      string
+	blockSize uint64
+	numSets   uint64
+	assoc     int
+	sets      []Line // numSets * assoc, row-major
+	tick      uint64 // global LRU clock
+
+	// Counters maintained for the evaluation (Figs. 9 and 10 count
+	// invalidations and downgrades per cache).
+	Invalidations uint64
+	Downgrades    uint64
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+}
+
+// New returns a cache with the given total size, associativity and block
+// size. size must be divisible by assoc*blockSize and the resulting set
+// count must be a power of two.
+func New(name string, size uint64, assoc int, blockSize uint64) *Cache {
+	if assoc <= 0 || blockSize == 0 || blockSize&(blockSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: bad geometry assoc=%d block=%d", name, assoc, blockSize))
+	}
+	if size%(uint64(assoc)*blockSize) != 0 {
+		panic(fmt.Sprintf("cache %s: size %d not divisible by assoc*block", name, size))
+	}
+	numSets := size / (uint64(assoc) * blockSize)
+	if numSets&(numSets-1) != 0 {
+		// Round down to a power of two; exotic set counts (e.g. 20-way LLC
+		// slices) still work, just with a power-of-two index.
+		numSets = uint64(1) << (bits.Len64(numSets) - 1)
+	}
+	return &Cache{
+		name:      name,
+		blockSize: blockSize,
+		numSets:   numSets,
+		assoc:     assoc,
+		sets:      make([]Line, numSets*uint64(assoc)),
+	}
+}
+
+// Name returns the cache's diagnostic name (e.g. "L1-3").
+func (c *Cache) Name() string { return c.name }
+
+// BlockSize returns the cache's block size in bytes.
+func (c *Cache) BlockSize() uint64 { return c.blockSize }
+
+func (c *Cache) setOf(addr mem.Addr) []Line {
+	idx := (uint64(addr) / c.blockSize) & (c.numSets - 1)
+	return c.sets[idx*uint64(c.assoc) : (idx+1)*uint64(c.assoc)]
+}
+
+// Lookup finds the line holding addr's block. It returns nil if the block is
+// not present in a valid state. The LRU clock is touched on hit.
+func (c *Cache) Lookup(addr mem.Addr) *Line {
+	block := addr.Block(c.blockSize)
+	set := c.setOf(block)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == block {
+			c.tick++
+			set[i].lru = c.tick
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Peek is Lookup without touching LRU state or counters; for assertions and
+// protocol bookkeeping.
+func (c *Cache) Peek(addr mem.Addr) *Line {
+	block := addr.Block(c.blockSize)
+	set := c.setOf(block)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == block {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert places addr's block in the cache with the given state, evicting the
+// LRU valid line of the set if it is full. It returns the eviction (if any)
+// so the protocol can write back or reconcile the victim. Inserting a block
+// that is already present just updates its state.
+func (c *Cache) Insert(addr mem.Addr, st State) (Eviction, bool) {
+	block := addr.Block(c.blockSize)
+	if ln := c.Lookup(block); ln != nil {
+		ln.State = st
+		return Eviction{}, false
+	}
+	set := c.setOf(block)
+	victim := -1
+	for i := range set {
+		if set[i].State == Invalid {
+			victim = i
+			break
+		}
+	}
+	var ev Eviction
+	evicted := false
+	if victim < 0 {
+		victim = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[victim].lru {
+				victim = i
+			}
+		}
+		ev = Eviction{Addr: set[victim].Addr, State: set[victim].State}
+		evicted = true
+		c.Evictions++
+	}
+	c.tick++
+	set[victim] = Line{Addr: block, State: st, lru: c.tick}
+	return ev, evicted
+}
+
+// Invalidate removes addr's block, returning its prior state. The caller
+// decides whether this counts as a coherence invalidation (counted via
+// CountInvalidation) or a silent drop.
+func (c *Cache) Invalidate(addr mem.Addr) State {
+	block := addr.Block(c.blockSize)
+	set := c.setOf(block)
+	for i := range set {
+		if set[i].State != Invalid && set[i].Addr == block {
+			st := set[i].State
+			set[i] = Line{}
+			return st
+		}
+	}
+	return Invalid
+}
+
+// CountInvalidation records a coherence-driven invalidation at this cache.
+func (c *Cache) CountInvalidation() { c.Invalidations++ }
+
+// CountDowngrade records a coherence-driven downgrade (M/E -> S) at this
+// cache.
+func (c *Cache) CountDowngrade() { c.Downgrades++ }
+
+// ForEach calls fn for every valid line. Iteration order is deterministic
+// (set-major). fn must not insert or invalidate lines.
+func (c *Cache) ForEach(fn func(*Line)) {
+	for i := range c.sets {
+		if c.sets[i].State != Invalid {
+			fn(&c.sets[i])
+		}
+	}
+}
+
+// ValidLines reports the number of valid lines, for occupancy assertions.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.sets {
+		if c.sets[i].State != Invalid {
+			n++
+		}
+	}
+	return n
+}
+
+// Reset invalidates every line and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.sets {
+		c.sets[i] = Line{}
+	}
+	c.tick = 0
+	c.Invalidations, c.Downgrades, c.Hits, c.Misses, c.Evictions = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,206 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warden/internal/mem"
+)
+
+func small() *Cache { return New("t", 1024, 2, 64) } // 8 sets, 2-way
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		Invalid: "I", Shared: "S", Exclusive: "E", Modified: "M", Ward: "W",
+	} {
+		if st.String() != want {
+			t.Errorf("%d.String() = %q, want %q", st, st.String(), want)
+		}
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := small()
+	if _, ev := c.Insert(0x1000, Exclusive); ev {
+		t.Fatal("insert into empty cache evicted")
+	}
+	ln := c.Lookup(0x1000)
+	if ln == nil || ln.State != Exclusive || ln.Addr != 0x1000 {
+		t.Fatalf("lookup after insert: %+v", ln)
+	}
+	if c.Lookup(0x1040) != nil {
+		t.Fatal("lookup of absent block succeeded")
+	}
+	// Sub-block addresses resolve to the containing block.
+	if c.Lookup(0x103f) == nil {
+		t.Fatal("lookup within the block failed")
+	}
+}
+
+func TestInsertExistingUpdatesState(t *testing.T) {
+	c := small()
+	c.Insert(0x1000, Shared)
+	c.Insert(0x1000, Modified)
+	if c.ValidLines() != 1 {
+		t.Fatalf("duplicate insert created %d lines", c.ValidLines())
+	}
+	if st := c.Peek(0x1000).State; st != Modified {
+		t.Fatalf("state = %v, want M", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := small()
+	// Three blocks mapping to the same set (set index = bits above block
+	// offset, 8 sets): addresses 64*setCount apart collide.
+	const stride = 64 * 8
+	a, b, d := mem.Addr(0), mem.Addr(stride), mem.Addr(2*stride)
+	c.Insert(a, Shared)
+	c.Insert(b, Shared)
+	c.Lookup(a) // make b the LRU
+	ev, evicted := c.Insert(d, Shared)
+	if !evicted {
+		t.Fatal("third insert into 2-way set did not evict")
+	}
+	if ev.Addr != b {
+		t.Fatalf("evicted %#x, want %#x (LRU)", uint64(ev.Addr), uint64(b))
+	}
+	if c.Peek(a) == nil || c.Peek(d) == nil || c.Peek(b) != nil {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Modified)
+	st := c.Invalidate(0x40)
+	if st != Modified {
+		t.Fatalf("invalidate returned %v, want M", st)
+	}
+	if c.Peek(0x40) != nil {
+		t.Fatal("block still present after invalidate")
+	}
+	if st := c.Invalidate(0x40); st != Invalid {
+		t.Fatal("double invalidate found a block")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := small()
+	c.CountInvalidation()
+	c.CountDowngrade()
+	c.CountDowngrade()
+	if c.Invalidations != 1 || c.Downgrades != 2 {
+		t.Fatalf("counters: inv=%d dg=%d", c.Invalidations, c.Downgrades)
+	}
+	c.Reset()
+	if c.Invalidations != 0 || c.ValidLines() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestSectorMask(t *testing.T) {
+	var m SectorMask
+	m = m.Set(3, 2)
+	if !m.Has(3) || !m.Has(4) || m.Has(2) || m.Has(5) {
+		t.Fatalf("mask after Set(3,2): %b", m)
+	}
+	if m.Count() != 2 {
+		t.Fatalf("count = %d, want 2", m.Count())
+	}
+	if m.Overlaps(SectorMask(0).Set(5, 1)) {
+		t.Fatal("disjoint masks reported overlapping")
+	}
+	if !m.Overlaps(SectorMask(0).Set(4, 3)) {
+		t.Fatal("overlapping masks reported disjoint")
+	}
+	if full := SectorMask(0).Set(0, 64); full != ^SectorMask(0) {
+		t.Fatalf("full mask = %b", full)
+	}
+	if full := SectorMask(0).Set(0, 100); full != ^SectorMask(0) {
+		t.Fatal("oversized Set must saturate")
+	}
+}
+
+func TestQuickSectorMaskSetHas(t *testing.T) {
+	f := func(lo8, n8 uint8) bool {
+		lo, n := uint(lo8%64), uint(n8%16)
+		m := SectorMask(0).Set(lo, n)
+		for i := uint(0); i < 64; i++ {
+			want := i >= lo && i < lo+n
+			if m.Has(i) != want {
+				return false
+			}
+		}
+		return m.Count() == int(minu(n, 64-lo))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func minu(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestQuickCacheNeverExceedsCapacity inserts random blocks and checks the
+// structural invariants: per-set occupancy never exceeds associativity, and
+// a just-inserted block is always present.
+func TestQuickCacheNeverExceedsCapacity(t *testing.T) {
+	c := New("q", 4096, 4, 64) // 16 sets, 4-way
+	f := func(addrs []uint32) bool {
+		for _, a := range addrs {
+			block := mem.Addr(a) &^ 63
+			c.Insert(block, Shared)
+			if c.Peek(block) == nil {
+				return false
+			}
+		}
+		return c.ValidLines() <= 16*4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachDeterministic(t *testing.T) {
+	c := small()
+	c.Insert(0x40, Shared)
+	c.Insert(0x80, Modified)
+	c.Insert(0xc0, Exclusive)
+	var order1, order2 []mem.Addr
+	c.ForEach(func(ln *Line) { order1 = append(order1, ln.Addr) })
+	c.ForEach(func(ln *Line) { order2 = append(order2, ln.Addr) })
+	if len(order1) != 3 || len(order1) != len(order2) {
+		t.Fatalf("ForEach visited %d/%d lines", len(order1), len(order2))
+	}
+	for i := range order1 {
+		if order1[i] != order2[i] {
+			t.Fatal("ForEach order not deterministic")
+		}
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, tc := range []struct {
+		size  uint64
+		assoc int
+		block uint64
+	}{
+		{1000, 2, 64}, // size not divisible
+		{1024, 0, 64}, // zero assoc
+		{1024, 2, 48}, // non-power-of-two block
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%d) did not panic", tc.size, tc.assoc, tc.block)
+				}
+			}()
+			New("bad", tc.size, tc.assoc, tc.block)
+		}()
+	}
+}

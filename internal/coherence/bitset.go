@@ -1,0 +1,51 @@
+package coherence
+
+import "math/bits"
+
+// Bitset tracks a set of core ids (sharer masks in directory entries). It
+// supports machines up to 64 cores, which covers every configuration in the
+// evaluation (the paper tops out at 2 sockets × 12 cores).
+type Bitset uint64
+
+// MaxCores is the largest core id (exclusive) a Bitset can track.
+const MaxCores = 64
+
+// Add returns b with core added.
+func (b Bitset) Add(core int) Bitset { return b | 1<<uint(core) }
+
+// Remove returns b with core removed.
+func (b Bitset) Remove(core int) Bitset { return b &^ (1 << uint(core)) }
+
+// Has reports whether core is in the set.
+func (b Bitset) Has(core int) bool { return b&(1<<uint(core)) != 0 }
+
+// Count returns the number of cores in the set.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Empty reports whether the set is empty.
+func (b Bitset) Empty() bool { return b == 0 }
+
+// Sole returns the single member of a one-element set. It panics if the set
+// does not have exactly one member.
+func (b Bitset) Sole() int {
+	if b.Count() != 1 {
+		panic("coherence: Sole on bitset without exactly one member")
+	}
+	return bits.TrailingZeros64(uint64(b))
+}
+
+// ForEach calls fn for each member in ascending core order. Ascending order
+// keeps every protocol action deterministic, including WARDen's
+// "last processed wins" reconciliation merges.
+func (b Bitset) ForEach(fn func(core int)) {
+	for v := uint64(b); v != 0; v &= v - 1 {
+		fn(bits.TrailingZeros64(v))
+	}
+}
+
+// Members returns the set as an ascending slice of core ids.
+func (b Bitset) Members() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(c int) { out = append(out, c) })
+	return out
+}

@@ -1,0 +1,183 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warden/internal/cache"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if !b.Empty() {
+		t.Fatal("zero bitset not empty")
+	}
+	b = b.Add(3).Add(17).Add(3)
+	if b.Count() != 2 || !b.Has(3) || !b.Has(17) || b.Has(4) {
+		t.Fatalf("bitset state wrong: %b", b)
+	}
+	b = b.Remove(3)
+	if b.Count() != 1 || b.Has(3) {
+		t.Fatal("remove failed")
+	}
+	if b.Sole() != 17 {
+		t.Fatalf("Sole = %d", b.Sole())
+	}
+}
+
+func TestBitsetSolePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sole on two-element set did not panic")
+		}
+	}()
+	Bitset(0).Add(1).Add(2).Sole()
+}
+
+func TestBitsetForEachAscending(t *testing.T) {
+	b := Bitset(0).Add(9).Add(0).Add(33)
+	var got []int
+	b.ForEach(func(c int) { got = append(got, c) })
+	want := []int{0, 9, 33}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want ascending %v", got, want)
+		}
+	}
+}
+
+func TestQuickBitsetAddRemove(t *testing.T) {
+	f := func(adds, removes []uint8) bool {
+		var b Bitset
+		ref := map[int]bool{}
+		for _, a := range adds {
+			c := int(a % MaxCores)
+			b = b.Add(c)
+			ref[c] = true
+		}
+		for _, r := range removes {
+			c := int(r % MaxCores)
+			b = b.Remove(c)
+			delete(ref, c)
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for c := 0; c < MaxCores; c++ {
+			if b.Has(c) != ref[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectoryEnsureDrop(t *testing.T) {
+	d := NewDirectory()
+	if d.Lookup(0x40) != nil {
+		t.Fatal("empty directory returned an entry")
+	}
+	e := d.Ensure(0x40)
+	if e.State != cache.Invalid {
+		t.Fatal("fresh entry not Invalid")
+	}
+	e.State = cache.Shared
+	e.Sharers = Bitset(0).Add(2)
+	if got := d.Lookup(0x40); got != e {
+		t.Fatal("Lookup did not return the stored entry")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	d.Drop(0x40)
+	if d.Lookup(0x40) != nil || d.Len() != 0 {
+		t.Fatal("Drop incomplete")
+	}
+}
+
+func TestEntryHolders(t *testing.T) {
+	e := &Entry{State: cache.Exclusive, Owner: 5}
+	if h := e.Holders(); h.Count() != 1 || !h.Has(5) {
+		t.Fatal("E holders wrong")
+	}
+	e = &Entry{State: cache.Shared, Sharers: Bitset(0).Add(1).Add(2)}
+	if h := e.Holders(); h.Count() != 2 {
+		t.Fatal("S holders wrong")
+	}
+}
+
+func TestFabricLatencyAndTraffic(t *testing.T) {
+	cfg := topology.XeonGold6126(2)
+	ctr := &stats.Counters{}
+	f := NewFabric(cfg, ctr)
+
+	// Core 0 (socket 0) to a block homed on socket 0: on-chip only.
+	var sameBlock mem.Addr
+	for b := mem.Addr(0); ; b += mem.Addr(cfg.BlockSize) {
+		if cfg.HomeSocket(uint64(b)) == 0 {
+			sameBlock = b
+			break
+		}
+	}
+	onChip := f.CoreToHome(stats.GetS, 0, sameBlock)
+	if onChip != cfg.AvgNoCHops*cfg.NoCHopLatency {
+		t.Fatalf("on-chip latency = %d", onChip)
+	}
+	// Cross-socket message pays the intersocket latency.
+	var crossBlock mem.Addr
+	for b := mem.Addr(0); ; b += mem.Addr(cfg.BlockSize) {
+		if cfg.HomeSocket(uint64(b)) == 1 {
+			crossBlock = b
+			break
+		}
+	}
+	cross := f.CoreToHome(stats.GetM, 0, crossBlock)
+	if cross != onChip+cfg.InterSocketLatency {
+		t.Fatalf("cross-socket latency = %d, want %d", cross, onChip+cfg.InterSocketLatency)
+	}
+	if ctr.Msgs[stats.GetS] != 1 || ctr.Msgs[stats.GetM] != 1 {
+		t.Fatal("messages not counted")
+	}
+	if ctr.IntersocketMsgs[stats.GetM] != 1 || ctr.IntersocketMsgs[stats.GetS] != 0 {
+		t.Fatal("intersocket accounting wrong")
+	}
+}
+
+func TestFabricDataVsControlFlits(t *testing.T) {
+	cfg := topology.XeonGold6126(2)
+	ctr := &stats.Counters{}
+	f := NewFabric(cfg, ctr)
+	f.CoreToCore(stats.Inv, 0, 1) // control: 1 flit
+	ctrl := ctr.NoCFlitHops
+	f.CoreToCore(stats.Data, 0, 1) // data: header + block
+	data := ctr.NoCFlitHops - ctrl
+	if data <= ctrl {
+		t.Fatalf("data flits (%d) not larger than control (%d)", data, ctrl)
+	}
+	if want := (cfg.BlockSize/16 + 1) * cfg.AvgNoCHops; data != want {
+		t.Fatalf("data flit-hops = %d, want %d", data, want)
+	}
+}
+
+func TestFabricPartialFlush(t *testing.T) {
+	cfg := topology.XeonGold6126(1)
+	ctr := &stats.Counters{}
+	f := NewFabric(cfg, ctr)
+	f.FlushToHome(0, 0, 3) // 3 dirty bytes: header + 1 payload flit
+	if got, want := ctr.NoCFlitHops, 2*cfg.AvgNoCHops; got != want {
+		t.Fatalf("flush flit-hops = %d, want %d", got, want)
+	}
+	f.FlushToHome(0, 0, 64) // full block
+	if got, want := ctr.NoCFlitHops-2*cfg.AvgNoCHops, 5*cfg.AvgNoCHops; got != want {
+		t.Fatalf("full flush flit-hops = %d, want %d", got, want)
+	}
+}

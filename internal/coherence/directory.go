@@ -1,0 +1,82 @@
+// Package coherence provides the protocol-agnostic building blocks of a
+// directory-based coherence implementation: full-map directory entries with
+// sharer bitsets, and a message fabric that accounts for the latency and
+// traffic of every protocol message. The MESI and WARDen protocols
+// themselves live in internal/core and are built from these pieces.
+package coherence
+
+import (
+	"warden/internal/cache"
+	"warden/internal/mem"
+)
+
+// Entry is one directory entry. The directory is full-map: it precisely
+// tracks the owner or sharer set of every cached block.
+//
+// State is one of:
+//   - cache.Invalid: no private cache holds the block (entries in this state
+//     are removed from the map).
+//   - cache.Shared: Sharers hold read-only copies.
+//   - cache.Exclusive: Owner holds the block in E or M (the directory cannot
+//     distinguish a silent E->M upgrade, as in real MESI directories).
+//   - cache.Ward: coherence is disabled; Sharers hold private copies and
+//     Region identifies the WARD region responsible.
+type Entry struct {
+	State   cache.State
+	Owner   int
+	Sharers Bitset
+	Region  uint32 // valid only when State == cache.Ward
+}
+
+// Holders returns the set of cores holding the block in any state.
+func (e *Entry) Holders() Bitset {
+	if e.State == cache.Exclusive {
+		return Bitset(0).Add(e.Owner)
+	}
+	return e.Sharers
+}
+
+// Directory is a full-map directory over block addresses. The zero value is
+// not ready; use NewDirectory.
+type Directory struct {
+	entries map[mem.Addr]*Entry
+}
+
+// NewDirectory returns an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[mem.Addr]*Entry)}
+}
+
+// Lookup returns the entry for block, or nil if the block is uncached
+// (logically in state I).
+func (d *Directory) Lookup(block mem.Addr) *Entry {
+	return d.entries[block]
+}
+
+// Ensure returns the entry for block, creating an Invalid one if absent.
+func (d *Directory) Ensure(block mem.Addr) *Entry {
+	e, ok := d.entries[block]
+	if !ok {
+		e = &Entry{State: cache.Invalid}
+		d.entries[block] = e
+	}
+	return e
+}
+
+// Drop removes block's entry entirely (the block is uncached).
+func (d *Directory) Drop(block mem.Addr) {
+	delete(d.entries, block)
+}
+
+// Len reports the number of tracked (cached) blocks.
+func (d *Directory) Len() int { return len(d.entries) }
+
+// ForEach calls fn for every tracked block. Iteration order is undefined;
+// callers that need determinism must collect and sort the addresses (see
+// core.System.checkInvariants and the reconciliation path, which iterate
+// per-region sorted block lists instead).
+func (d *Directory) ForEach(fn func(block mem.Addr, e *Entry)) {
+	for a, e := range d.entries {
+		fn(a, e)
+	}
+}

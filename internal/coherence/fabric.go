@@ -1,0 +1,77 @@
+package coherence
+
+import (
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// Fabric models the interconnect: it charges latency and records traffic for
+// every protocol message. On-chip messages pay a hop-count × hop-latency
+// cost; messages whose endpoints are on different sockets additionally pay
+// the (much larger) intersocket latency, which is what makes coherence
+// increasingly expensive on multi-socket and disaggregated machines (§7.3).
+type Fabric struct {
+	cfg          topology.Config
+	ctr          *stats.Counters
+	flitsPerData uint64
+}
+
+// NewFabric returns a fabric for the given machine, recording traffic into
+// ctr.
+func NewFabric(cfg topology.Config, ctr *stats.Counters) *Fabric {
+	// A 16-byte flit link: a 64-byte block takes 4 data flits plus a header.
+	return &Fabric{cfg: cfg, ctr: ctr, flitsPerData: cfg.BlockSize/16 + 1}
+}
+
+// onChip returns the latency of traversing the on-chip network once.
+func (f *Fabric) onChip() uint64 { return f.cfg.AvgNoCHops * f.cfg.NoCHopLatency }
+
+func (f *Fabric) send(t stats.MsgType, fromSocket, toSocket int) uint64 {
+	flits := uint64(1)
+	if t.Carries() {
+		flits = f.flitsPerData
+	}
+	return f.sendFlits(t, fromSocket, toSocket, flits)
+}
+
+func (f *Fabric) sendFlits(t stats.MsgType, fromSocket, toSocket int, flits uint64) uint64 {
+	crossed := fromSocket != toSocket
+	f.ctr.Message(t, f.cfg.AvgNoCHops, crossed, flits)
+	lat := f.onChip()
+	if crossed {
+		lat += f.cfg.InterSocketLatency
+	}
+	return lat
+}
+
+// FlushToHome sends a reconciliation flush carrying only the block's dirty
+// sectors (§6.1: "any sector of a flushed cache block with the write flag
+// set is written back"), so sparse writers move only what they wrote.
+func (f *Fabric) FlushToHome(core int, block mem.Addr, dirtyBytes uint64) uint64 {
+	flits := 1 + (dirtyBytes+15)/16
+	return f.sendFlits(stats.ReconcileFlush, f.cfg.SocketOf(core), f.cfg.HomeSocket(uint64(block)), flits)
+}
+
+// CoreToHome sends a request from core to the home directory of block and
+// returns its latency.
+func (f *Fabric) CoreToHome(t stats.MsgType, core int, block mem.Addr) uint64 {
+	return f.send(t, f.cfg.SocketOf(core), f.cfg.HomeSocket(uint64(block)))
+}
+
+// HomeToCore sends a response or forwarded request from block's home
+// directory to core and returns its latency.
+func (f *Fabric) HomeToCore(t stats.MsgType, block mem.Addr, core int) uint64 {
+	return f.send(t, f.cfg.HomeSocket(uint64(block)), f.cfg.SocketOf(core))
+}
+
+// CoreToCore sends a cache-to-cache message (e.g. the data response to a
+// Fwd-GetS) and returns its latency.
+func (f *Fabric) CoreToCore(t stats.MsgType, from, to int) uint64 {
+	return f.send(t, f.cfg.SocketOf(from), f.cfg.SocketOf(to))
+}
+
+// HomeSocket returns the home socket of block (exposed for protocol code).
+func (f *Fabric) HomeSocket(block mem.Addr) int {
+	return f.cfg.HomeSocket(uint64(block))
+}

@@ -1,0 +1,975 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"warden/internal/cache"
+	"warden/internal/coherence"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// Protocol selects the coherence protocol the memory system runs.
+type Protocol int
+
+const (
+	// MESI is the baseline directory protocol of the paper; AddRegion/
+	// RemoveRegion are near-free no-ops, modelling standard hardware.
+	MESI Protocol = iota
+	// WARDen is MESI augmented with the W state, the WARD region table, and
+	// reconciliation (§5).
+	WARDen
+	// MOESI is a stronger baseline than the paper evaluates: the Owned
+	// state lets a dirty block be shared without writing it back, with the
+	// owner sourcing data for readers. Useful for judging how much of
+	// WARDen's win a better legacy protocol could claw back.
+	MOESI
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case WARDen:
+		return "WARDen"
+	case MOESI:
+		return "MOESI"
+	default:
+		return "MESI"
+	}
+}
+
+// wardCopy is a core's private copy of a W-state block, with a sector mask
+// recording which sectors this core wrote. This is the sectored-cache
+// storage of §6.1 plus the private data that real hardware keeps in the
+// cache's data array.
+type wardCopy struct {
+	data [64]byte
+	mask cache.SectorMask
+}
+
+const (
+	// regionOpCycles is the local cost of executing an Add/Remove Region
+	// instruction (§6.1 expects the two new instructions to be cheap).
+	regionOpCycles = 2
+	// reconcileBlocksPerCycle is the directory's bulk-reconciliation rate
+	// as seen by the removing core. Reconciliation is overlappable with
+	// computation (§5.3) and parallelizable across directory banks (§6.1
+	// suggests exactly that); the paper measures it at roughly one block
+	// per 50k cycles in practice, so the core pays only a pipelined issue
+	// cost.
+	reconcileBlocksPerCycle = 4
+	// forcedReconcileCycles is the critical-path cost of reconciling a
+	// single block synchronously (an atomic hitting a W block must wait).
+	forcedReconcileCycles = 8
+	// rmwExtraCycles approximates the extra pipeline cost of an atomic
+	// read-modify-write beyond obtaining write permission.
+	rmwExtraCycles = 9
+)
+
+// System is the simulated memory system: per-core private L1/L2 caches,
+// per-socket shared L3 slices, a full-map directory per the configured
+// protocol, and the interconnect fabric. All methods are single-threaded;
+// the simulation engine serializes cores.
+type System struct {
+	cfg    topology.Config
+	proto  Protocol
+	mem    *mem.Memory
+	ctr    *stats.Counters
+	fabric *coherence.Fabric
+	dir    *coherence.Directory
+
+	l1, l2 []*cache.Cache // indexed by core
+	l3     []*cache.Cache // indexed by socket
+
+	regions    *regionTable
+	wcopies    []map[mem.Addr]*wardCopy // indexed by core
+	sectorSize uint64                   // bytes per sector bit (default 1: byte sectoring)
+
+	detectEntangle bool
+	violations     []Violation
+}
+
+// NewSystem builds a memory system for the given machine and protocol over
+// the given backing store, recording events into ctr.
+func NewSystem(cfg topology.Config, proto Protocol, m *mem.Memory, ctr *stats.Counters) *System {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.Cores() > coherence.MaxCores {
+		panic(fmt.Sprintf("core: %d cores exceeds directory sharer-mask capacity %d", cfg.Cores(), coherence.MaxCores))
+	}
+	if cfg.BlockSize > 64 {
+		panic("core: block sizes above 64 bytes are not supported by the sector mask")
+	}
+	s := &System{
+		cfg:        cfg,
+		proto:      proto,
+		mem:        m,
+		ctr:        ctr,
+		fabric:     coherence.NewFabric(cfg, ctr),
+		dir:        coherence.NewDirectory(),
+		regions:    newRegionTable(cfg.WardRegionCapacity),
+		sectorSize: 1,
+	}
+	for c := 0; c < cfg.Cores(); c++ {
+		s.l1 = append(s.l1, cache.New(fmt.Sprintf("L1-%d", c), cfg.L1Size, cfg.L1Assoc, cfg.BlockSize))
+		s.l2 = append(s.l2, cache.New(fmt.Sprintf("L2-%d", c), cfg.L2Size, cfg.L2Assoc, cfg.BlockSize))
+		s.wcopies = append(s.wcopies, make(map[mem.Addr]*wardCopy))
+	}
+	for k := 0; k < cfg.Sockets; k++ {
+		s.l3 = append(s.l3, cache.New(fmt.Sprintf("L3-%d", k), cfg.L3SizePerSocket(), cfg.L3Assoc, cfg.BlockSize))
+	}
+	return s
+}
+
+// Protocol returns the protocol the system runs.
+func (s *System) Protocol() Protocol { return s.proto }
+
+// Config returns the machine configuration.
+func (s *System) Config() topology.Config { return s.cfg }
+
+// Mem returns the canonical backing store.
+func (s *System) Mem() *mem.Memory { return s.mem }
+
+// SetSectorSize overrides the sector granularity (bytes per write-mask bit).
+// The default is 1 (byte sectoring, §6.1); the ablation harness uses 8
+// (word) and BlockSize (whole-block). Must be called before any access.
+func (s *System) SetSectorSize(n uint64) {
+	if n == 0 || n&(n-1) != 0 || s.cfg.BlockSize/n > 64 || n > s.cfg.BlockSize {
+		panic(fmt.Sprintf("core: invalid sector size %d for block size %d", n, s.cfg.BlockSize))
+	}
+	s.sectorSize = n
+}
+
+// ActiveRegions reports the number of registered WARD regions.
+func (s *System) ActiveRegions() int { return s.regions.len() }
+
+// PrivateCaches returns the per-core L1 and L2 caches for stats collection.
+func (s *System) PrivateCaches() (l1, l2 []*cache.Cache) { return s.l1, s.l2 }
+
+// ---------------------------------------------------------------------------
+// Access paths
+
+type accessMode int
+
+const (
+	modeRead accessMode = iota
+	modeWrite
+	modeAtomic // write permission, but never via the W state
+)
+
+// Read performs a load of len(buf) bytes at a (which must not cross a cache
+// block boundary) by core, fills buf, and returns the access latency in
+// cycles.
+func (s *System) Read(core int, a mem.Addr, buf []byte) uint64 {
+	s.checkSpan(a, len(buf))
+	block := a.Block(s.cfg.BlockSize)
+	st, lat := s.acquire(core, block, modeRead)
+	if st == cache.Ward {
+		s.ctr.WardAccesses++
+		wc := s.wcopy(core, block)
+		copy(buf, wc.data[a-block:int(a-block)+len(buf)])
+		if s.detectEntangle {
+			if e := s.dir.Lookup(block); e != nil && e.State == cache.Ward {
+				s.checkEntangledRead(core, block, a, len(buf), e)
+			}
+		}
+	} else {
+		s.mem.Read(a, buf)
+	}
+	return lat
+}
+
+// Write performs a store of src at a (within one block) by core and returns
+// the access latency; the store buffer in internal/machine decides how much
+// of that latency stalls the core.
+func (s *System) Write(core int, a mem.Addr, src []byte) uint64 {
+	s.checkSpan(a, len(src))
+	block := a.Block(s.cfg.BlockSize)
+	st, lat := s.acquire(core, block, modeWrite)
+	if st == cache.Ward {
+		s.ctr.WardAccesses++
+		wc := s.wcopy(core, block)
+		copy(wc.data[a-block:], src)
+		lo := uint(a-block) / uint(s.sectorSize)
+		hi := (uint(a-block) + uint(len(src)) + uint(s.sectorSize) - 1) / uint(s.sectorSize)
+		wc.mask = wc.mask.Set(lo, hi-lo)
+	} else {
+		s.mem.Write(a, src)
+	}
+	return lat
+}
+
+// RMW performs an atomic read-modify-write of a size-byte integer at a.
+// Atomics are synchronization, which the WARD property explicitly does not
+// cover, so they always take the MESI path: a W-state block is first
+// reconciled, then owned exclusively.
+func (s *System) RMW(core int, a mem.Addr, size int, fn func(old uint64) uint64) (old uint64, lat uint64) {
+	s.checkSpan(a, size)
+	block := a.Block(s.cfg.BlockSize)
+	st, lat := s.acquire(core, block, modeAtomic)
+	if st == cache.Ward {
+		panic("core: atomic acquired a Ward line")
+	}
+	old = s.mem.ReadUint(a, size)
+	s.mem.WriteUint(a, size, fn(old))
+	return old, lat + rmwExtraCycles
+}
+
+func (s *System) checkSpan(a mem.Addr, n int) {
+	if n <= 0 || uint64(a)/s.cfg.BlockSize != (uint64(a)+uint64(n)-1)/s.cfg.BlockSize {
+		panic(fmt.Sprintf("core: access at %#x size %d crosses a block boundary", uint64(a), n))
+	}
+}
+
+func (s *System) wcopy(core int, block mem.Addr) *wardCopy {
+	wc, ok := s.wcopies[core][block]
+	if !ok {
+		wc = &wardCopy{}
+		s.mem.Read(block, wc.data[:s.cfg.BlockSize])
+		s.wcopies[core][block] = wc
+	}
+	return wc
+}
+
+// acquire obtains block at core with permissions for the given mode and
+// returns the line's resulting state and the latency. On return the block is
+// present in the core's L1 and L2.
+func (s *System) acquire(core int, block mem.Addr, mode accessMode) (cache.State, uint64) {
+	lat := s.cfg.L1Latency
+	s.ctr.L1Accesses++
+	if ln := s.l1[core].Lookup(block); ln != nil {
+		if ok, st := s.privHit(core, block, ln.State, mode); ok {
+			s.l1[core].Hits++
+			s.ctr.L1Hits++
+			return st, lat
+		}
+	} else {
+		s.ctr.L2Accesses++
+		lat += s.cfg.L2Latency
+		if ln2 := s.l2[core].Lookup(block); ln2 != nil {
+			if ok, st := s.privHit(core, block, ln2.State, mode); ok {
+				s.l2[core].Hits++
+				s.ctr.L2Hits++
+				s.fillL1(core, block, st)
+				return st, lat
+			}
+		} else {
+			s.l2[core].Misses++
+		}
+	}
+	// Private miss (or S->M upgrade): go to the directory.
+	st, dlat := s.dirTransaction(core, block, mode)
+	return st, lat + dlat
+}
+
+// privHit decides whether a privately cached line in state st satisfies the
+// access without a directory transaction, returning the (possibly silently
+// upgraded) state.
+func (s *System) privHit(core int, block mem.Addr, st cache.State, mode accessMode) (bool, cache.State) {
+	switch mode {
+	case modeRead:
+		return true, st
+	case modeWrite:
+		switch st {
+		case cache.Modified, cache.Ward:
+			return true, st
+		case cache.Exclusive:
+			// Silent E->M upgrade; the directory's E entry already names
+			// this core as owner.
+			s.setPrivState(core, block, cache.Modified)
+			return true, cache.Modified
+		}
+		return false, st // S needs an upgrade
+	case modeAtomic:
+		switch st {
+		case cache.Modified:
+			return true, st
+		case cache.Exclusive:
+			s.setPrivState(core, block, cache.Modified)
+			return true, cache.Modified
+		}
+		return false, st // S upgrade; Ward must reconcile at the directory
+	}
+	panic("core: unknown access mode")
+}
+
+// ---------------------------------------------------------------------------
+// Directory transactions
+
+// dirTransaction performs a full coherence transaction at block's home
+// directory on behalf of core. Because the simulation engine serializes
+// cores, the transaction runs atomically; latency and messages accumulate
+// as if the message sequence executed on the fabric.
+func (s *System) dirTransaction(core int, block mem.Addr, mode accessMode) (cache.State, uint64) {
+	req := stats.GetS
+	if mode != modeRead {
+		req = stats.GetM
+	}
+	lat := s.fabric.CoreToHome(req, core, block)
+	s.ctr.DirAccesses++
+	lat += s.cfg.L3Latency // directory + LLC slice access
+	e := s.dir.Ensure(block)
+
+	// WARDen: in-region blocks take the W path, which never invalidates or
+	// downgrades anyone (§5.1). Atomics are exempt.
+	if s.proto == WARDen && mode != modeAtomic {
+		if rid, ok := s.regions.lookup(block); ok {
+			return cache.Ward, lat + s.wardGrant(core, block, e, rid)
+		}
+	}
+	// A W block reached by an atomic, or whose region disappeared without
+	// removal (defensive): reconcile it on the spot, then continue as MESI.
+	if e.State == cache.Ward {
+		s.reconcileBlock(block, e, true)
+		lat += forcedReconcileCycles
+	}
+
+	switch mode {
+	case modeRead:
+		return s.mesiGetS(core, block, e, &lat), lat
+	default:
+		return s.mesiGetM(core, block, e, &lat), lat
+	}
+}
+
+// mesiGetS is the MESI read-miss transaction.
+func (s *System) mesiGetS(core int, block mem.Addr, e *coherence.Entry, lat *uint64) cache.State {
+	switch e.State {
+	case cache.Invalid:
+		// No cached copies: fetch from LLC/DRAM and grant Exclusive (the
+		// MESI E optimization for unshared data).
+		*lat += s.llcFetch(block)
+		*lat += s.fabric.HomeToCore(stats.Data, block, core)
+		e.State = cache.Exclusive
+		e.Owner = core
+		e.Sharers = 0
+		s.installPrivate(core, block, cache.Exclusive)
+		return cache.Exclusive
+
+	case cache.Exclusive:
+		if e.Owner == core {
+			panic("core: GetS from the recorded owner (private state out of sync)")
+		}
+		// Forward to the owner, who downgrades and sends the requester the
+		// data. Under MESI a dirty owner also writes back to the LLC and
+		// everyone ends Shared; under MOESI a dirty owner keeps the block
+		// in Owned and remains responsible for sourcing it.
+		owner := e.Owner
+		*lat += s.fabric.HomeToCore(stats.FwdGetS, block, owner)
+		*lat += s.cfg.L2Latency // owner's private lookup
+		ownerLine := s.l2[owner].Peek(block)
+		dirty := ownerLine != nil && ownerLine.State == cache.Modified
+		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
+		if s.proto == MOESI && dirty {
+			s.downgradePrivateTo(owner, block, cache.Owned)
+			e.State = cache.Owned
+			e.Owner = owner
+			e.Sharers = coherence.Bitset(0).Add(core)
+		} else {
+			s.downgradePrivate(owner, block)
+			if dirty {
+				s.fabric.CoreToHome(stats.DataDir, owner, block) // writeback, off critical path
+			}
+			e.State = cache.Shared
+			e.Sharers = coherence.Bitset(0).Add(owner).Add(core)
+		}
+		s.installPrivate(core, block, cache.Shared)
+		return cache.Shared
+
+	case cache.Owned:
+		// MOESI: the owner sources the data; no LLC involvement, no
+		// writeback, no state change at the owner.
+		owner := e.Owner
+		*lat += s.fabric.HomeToCore(stats.FwdGetS, block, owner)
+		*lat += s.cfg.L2Latency
+		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
+		e.Sharers = e.Sharers.Add(core)
+		s.installPrivate(core, block, cache.Shared)
+		return cache.Shared
+
+	case cache.Shared:
+		*lat += s.llcFetch(block)
+		*lat += s.fabric.HomeToCore(stats.Data, block, core)
+		e.Sharers = e.Sharers.Add(core)
+		s.installPrivate(core, block, cache.Shared)
+		return cache.Shared
+	}
+	panic(fmt.Sprintf("core: GetS with directory in state %v", e.State))
+}
+
+// mesiGetM is the MESI write-miss/upgrade transaction.
+func (s *System) mesiGetM(core int, block mem.Addr, e *coherence.Entry, lat *uint64) cache.State {
+	switch e.State {
+	case cache.Invalid:
+		*lat += s.llcFetch(block)
+		*lat += s.fabric.HomeToCore(stats.Data, block, core)
+
+	case cache.Exclusive:
+		if e.Owner == core {
+			panic("core: GetM from the recorded owner (private state out of sync)")
+		}
+		owner := e.Owner
+		*lat += s.fabric.HomeToCore(stats.FwdGetM, block, owner)
+		*lat += s.cfg.L2Latency
+		s.invalidatePrivate(owner, block, true)
+		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
+
+	case cache.Owned:
+		// MOESI: invalidate the sharers; the owner supplies data (or just
+		// upgrades in place if the requester is the owner).
+		owner := e.Owner
+		var worst uint64
+		e.Sharers.ForEach(func(sh int) {
+			if sh == core {
+				return
+			}
+			l := s.fabric.HomeToCore(stats.Inv, block, sh)
+			s.invalidatePrivate(sh, block, true)
+			l += s.fabric.CoreToCore(stats.InvAck, sh, core)
+			if l > worst {
+				worst = l
+			}
+		})
+		*lat += worst
+		if owner != core {
+			*lat += s.fabric.HomeToCore(stats.FwdGetM, block, owner)
+			*lat += s.cfg.L2Latency
+			s.invalidatePrivate(owner, block, true)
+			*lat += s.fabric.CoreToCore(stats.Data, owner, core)
+		}
+
+	case cache.Shared:
+		// Invalidate every other sharer; invalidations proceed in parallel,
+		// so latency is the slowest inv+ack round.
+		upgrade := e.Sharers.Has(core)
+		var worst uint64
+		e.Sharers.ForEach(func(sh int) {
+			if sh == core {
+				return
+			}
+			l := s.fabric.HomeToCore(stats.Inv, block, sh)
+			s.invalidatePrivate(sh, block, true)
+			l += s.fabric.CoreToCore(stats.InvAck, sh, core)
+			if l > worst {
+				worst = l
+			}
+		})
+		*lat += worst
+		if !upgrade {
+			*lat += s.llcFetch(block)
+			*lat += s.fabric.HomeToCore(stats.Data, block, core)
+		}
+	default:
+		panic(fmt.Sprintf("core: GetM with directory in state %v", e.State))
+	}
+	e.State = cache.Exclusive
+	e.Owner = core
+	e.Sharers = 0
+	s.installPrivate(core, block, cache.Modified)
+	return cache.Modified
+}
+
+// wardGrant serves a request for a block inside an active WARD region: the
+// directory moves the block to W (if not already), adds the requester to the
+// holder set, and furnishes a copy without invalidating or downgrading any
+// other holder (§5.1).
+func (s *System) wardGrant(core int, block mem.Addr, e *coherence.Entry, rid RegionID) uint64 {
+	var lat uint64
+	if e.State != cache.Ward {
+		switch e.State {
+		case cache.Exclusive:
+			// The previous owner keeps its copy, now as a W line with a
+			// fresh private snapshot. No invalidation, no downgrade.
+			owner := e.Owner
+			e.Sharers = coherence.Bitset(0).Add(owner)
+			s.setPrivState(owner, block, cache.Ward)
+			s.wcopy(owner, block)
+		case cache.Shared:
+			// Existing S holders keep their (clean, still-valid) S lines.
+		case cache.Invalid:
+			e.Sharers = 0
+		}
+		e.State = cache.Ward
+		e.Region = uint32(rid)
+		s.regions.noteBlock(rid, block)
+	}
+	already := e.Sharers.Has(core) && s.l2[core].Peek(block) != nil
+	e.Sharers = e.Sharers.Add(core)
+	if !already {
+		lat += s.llcFetch(block)
+		lat += s.fabric.HomeToCore(stats.Data, block, core)
+	}
+	s.installPrivate(core, block, cache.Ward)
+	s.wcopy(core, block)
+	return lat
+}
+
+// llcFetch reads block at its home LLC slice, falling back to DRAM on miss,
+// and returns the latency beyond the already-charged L3 access.
+func (s *System) llcFetch(block mem.Addr) uint64 {
+	home := s.fabric.HomeSocket(block)
+	s.ctr.L3Accesses++
+	l3 := s.l3[home]
+	if l3.Lookup(block) != nil {
+		l3.Hits++
+		s.ctr.L3Hits++
+		return 0
+	}
+	l3.Misses++
+	s.ctr.DRAMAccesses++
+	l3.Insert(block, cache.Shared) // LLC victim drops silently (non-inclusive LLC)
+	return s.cfg.DRAMLatency
+}
+
+// ---------------------------------------------------------------------------
+// Private-cache maintenance
+
+// fillL1 installs block into L1 after an L2 hit (inclusion holds; the L1
+// victim needs no action).
+func (s *System) fillL1(core int, block mem.Addr, st cache.State) {
+	s.l1[core].Insert(block, st)
+}
+
+// installPrivate installs block into the core's L2 then L1, handling the L2
+// capacity victim's protocol actions.
+func (s *System) installPrivate(core int, block mem.Addr, st cache.State) {
+	if ev, ok := s.l2[core].Insert(block, st); ok {
+		s.evictL2Victim(core, ev)
+	}
+	s.l1[core].Insert(block, st)
+}
+
+// setPrivState updates block's state in the core's L1 and L2 where present.
+func (s *System) setPrivState(core int, block mem.Addr, st cache.State) {
+	if ln := s.l2[core].Peek(block); ln != nil {
+		ln.State = st
+	}
+	if ln := s.l1[core].Peek(block); ln != nil {
+		ln.State = st
+	}
+}
+
+// invalidatePrivate removes block from the core's private caches; when
+// coherence is true the removals are counted as coherence invalidations
+// (one per cache holding the block, matching the paper's per-cache counts).
+func (s *System) invalidatePrivate(core int, block mem.Addr, coherenceInv bool) {
+	if st := s.l1[core].Invalidate(block); st != cache.Invalid && coherenceInv {
+		s.l1[core].CountInvalidation()
+		s.ctr.Invalidations++
+	}
+	if st := s.l2[core].Invalidate(block); st != cache.Invalid && coherenceInv {
+		s.l2[core].CountInvalidation()
+		s.ctr.Invalidations++
+	}
+}
+
+// downgradePrivate moves block to S in the core's private caches, counting a
+// coherence downgrade per cache holding it.
+func (s *System) downgradePrivate(core int, block mem.Addr) {
+	s.downgradePrivateTo(core, block, cache.Shared)
+}
+
+// downgradePrivateTo moves block to the given (less privileged) state in the
+// core's private caches, counting a coherence downgrade per cache holding it.
+func (s *System) downgradePrivateTo(core int, block mem.Addr, st cache.State) {
+	if ln := s.l1[core].Peek(block); ln != nil {
+		ln.State = st
+		s.l1[core].CountDowngrade()
+		s.ctr.Downgrades++
+	}
+	if ln := s.l2[core].Peek(block); ln != nil {
+		ln.State = st
+		s.l2[core].CountDowngrade()
+		s.ctr.Downgrades++
+	}
+}
+
+// evictL2Victim performs the protocol actions for a block displaced from a
+// private L2: maintain inclusion, notify the directory, and write back or
+// reconcile-flush dirty data. Writebacks are posted (they do not stall the
+// evicting core) but their traffic is charged.
+func (s *System) evictL2Victim(core int, ev cache.Eviction) {
+	// Inclusion: the L1 copy (if any) must go too. Not a coherence inv.
+	s.l1[core].Invalidate(ev.Addr)
+
+	e := s.dir.Lookup(ev.Addr)
+	if e == nil {
+		panic(fmt.Sprintf("core: evicting %#x with no directory entry", uint64(ev.Addr)))
+	}
+	switch ev.State {
+	case cache.Shared:
+		s.fabric.CoreToHome(stats.PutS, core, ev.Addr)
+		e.Sharers = e.Sharers.Remove(core)
+		if e.State == cache.Shared && e.Sharers.Empty() {
+			s.dir.Drop(ev.Addr)
+		}
+		// Under an Owned entry, sharers come and go while the owner keeps
+		// the block; nothing more to do.
+		// Under a Ward directory entry an S holder may evict; the entry
+		// stays W for the remaining holders.
+		if e.State == cache.Ward && e.Sharers.Empty() {
+			s.regions.forgetBlock(RegionID(e.Region), ev.Addr)
+			s.dir.Drop(ev.Addr)
+		}
+	case cache.Owned:
+		// The dirty sourcing copy leaves: write back to the LLC; remaining
+		// sharers (if any) keep clean S copies served by the LLC.
+		s.fabric.CoreToHome(stats.PutM, core, ev.Addr)
+		s.fabric.CoreToHome(stats.DataDir, core, ev.Addr)
+		s.l3[s.fabric.HomeSocket(ev.Addr)].Insert(ev.Addr, cache.Shared)
+		if e.Sharers.Empty() {
+			s.dir.Drop(ev.Addr)
+		} else {
+			e.State = cache.Shared
+			e.Owner = 0
+		}
+	case cache.Exclusive:
+		s.fabric.CoreToHome(stats.PutE, core, ev.Addr)
+		s.dir.Drop(ev.Addr)
+	case cache.Modified:
+		s.fabric.CoreToHome(stats.PutM, core, ev.Addr)
+		s.fabric.CoreToHome(stats.DataDir, core, ev.Addr)
+		s.dir.Drop(ev.Addr)
+	case cache.Ward:
+		// Proactive flush: merge this core's written sectors into the LLC
+		// now, off the critical path (§5.3's overlap benefit).
+		s.flushWardCopy(core, ev.Addr)
+		e.Sharers = e.Sharers.Remove(core)
+		if e.Sharers.Empty() {
+			s.regions.forgetBlock(RegionID(e.Region), ev.Addr)
+			s.dir.Drop(ev.Addr)
+		}
+	default:
+		panic(fmt.Sprintf("core: evicting line in state %v", ev.State))
+	}
+}
+
+// flushWardCopy merges core's private copy of block into the canonical
+// store (masked sectors only) and discards the copy.
+func (s *System) flushWardCopy(core int, block mem.Addr) {
+	wc, ok := s.wcopies[core][block]
+	if !ok {
+		return
+	}
+	if wc.mask != 0 {
+		s.applyMask(block, wc)
+		s.fabric.FlushToHome(core, block, uint64(wc.mask.Count())*s.sectorSize)
+		s.ctr.ReconciledBlocks++
+		s.ctr.ReconciledSectors += uint64(wc.mask.Count())
+		s.l3[s.fabric.HomeSocket(block)].Insert(block, cache.Shared)
+	}
+	delete(s.wcopies[core], block)
+}
+
+func (s *System) applyMask(block mem.Addr, wc *wardCopy) {
+	sectors := uint(s.cfg.BlockSize / s.sectorSize)
+	for i := uint(0); i < sectors; i++ {
+		if wc.mask.Has(i) {
+			off := mem.Addr(uint64(i) * s.sectorSize)
+			s.mem.Write(block+off, wc.data[uint64(i)*s.sectorSize:(uint64(i)+1)*s.sectorSize])
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// WARD region instructions and reconciliation
+
+// AddRegion executes the "Add Region" instruction for [lo, hi) on behalf of
+// core. Under MESI (legacy hardware) it is a cheap no-op. It returns the
+// region id (NullRegion if not registered), the latency, and whether a
+// region became active.
+//
+// The interval is rounded *inward* to cache-block boundaries: a block only
+// partially inside a region cannot have coherence disabled, because its
+// remaining bytes may hold unrelated data that other threads access
+// coherently (the region's edge blocks therefore stay on the MESI paths).
+// The paper's page-granular heap regions are always block-aligned; this
+// matters for the library's byte-granular bulk-operation scopes.
+func (s *System) AddRegion(core int, lo, hi mem.Addr) (RegionID, uint64, bool) {
+	if s.proto != WARDen {
+		return NullRegion, regionOpCycles, false
+	}
+	lo = (lo + mem.Addr(s.cfg.BlockSize) - 1).Block(s.cfg.BlockSize)
+	hi = hi.Block(s.cfg.BlockSize)
+	id, ok := s.regions.add(lo, hi)
+	if !ok {
+		s.ctr.RegionOverflows++
+		return NullRegion, regionOpCycles, false
+	}
+	s.ctr.RegionAdds++
+	// The region-add message is posted: its traffic and energy count, but
+	// the instruction retires without waiting for the directory.
+	s.fabric.CoreToHome(stats.RegionAdd, core, lo)
+	return id, regionOpCycles, true
+}
+
+// RemoveRegion executes the "Remove Region" instruction: it deactivates the
+// region and reconciles every block it holds in the W state (§5.2),
+// returning the latency charged to the removing core.
+func (s *System) RemoveRegion(core int, id RegionID) uint64 {
+	if s.proto != WARDen || id == NullRegion {
+		return regionOpCycles
+	}
+	blocks, ok := s.regions.remove(id)
+	if !ok {
+		return regionOpCycles
+	}
+	s.ctr.RegionRemoves++
+	s.fabric.CoreToHome(stats.RegionRemove, core, 0) // posted
+	if len(blocks) == 0 {
+		return regionOpCycles
+	}
+	s.ctr.Reconciliations++
+	for _, b := range blocks {
+		if e := s.dir.Lookup(b); e != nil && e.State == cache.Ward {
+			s.reconcileBlock(b, e, false)
+		}
+	}
+	return regionOpCycles + uint64(len(blocks))/reconcileBlocksPerCycle
+}
+
+// reconcileBlock returns one W block to a coherent state following the
+// §6.1 implementation (and the paper's prototype, per its footnote): every
+// private W copy is flushed — written sectors merge into the LLC in
+// ascending core order ("the final value of each sector is taken from
+// whichever copy is processed last"; any order is correct by the WARD
+// property, and ascending order keeps the simulation deterministic) — and
+// invalidated. The merged block lands in its home LLC slice, which is what
+// makes the §5.3 proactive flush pay off: the next consumer takes an LLC
+// hit instead of a forward-and-downgrade round to the producer's private
+// cache. Clean S holders under the W entry keep their (still valid) lines.
+// forgetRegion also detaches the block from its region's index (used on the
+// forced-reconcile path; RemoveRegion has already discarded the index).
+func (s *System) reconcileBlock(block mem.Addr, e *coherence.Entry, forgetRegion bool) {
+	holders := e.Sharers
+	var totalMask cache.SectorMask
+	writers := 0
+	lastWriter := -1
+	overlap := false
+	var remaining coherence.Bitset // holders keeping valid S lines
+
+	// First pass: merge every written sector into the canonical store.
+	holders.ForEach(func(c int) {
+		ln := s.l2[c].Peek(block)
+		if ln == nil || ln.State != cache.Ward {
+			return
+		}
+		wc, ok := s.wcopies[c][block]
+		if ok && wc.mask != 0 {
+			if wc.mask.Overlaps(totalMask) {
+				overlap = true
+			}
+			totalMask |= wc.mask
+			writers++
+			lastWriter = c
+			s.applyMask(block, wc)
+			s.fabric.FlushToHome(c, block, uint64(wc.mask.Count())*s.sectorSize)
+			s.ctr.ReconciledSectors += uint64(wc.mask.Count())
+		}
+	})
+	// Second pass: dispose of the private copies. A copy that provably
+	// equals the merged block — any copy when nothing was written, or the
+	// sole writer's own copy — converts to a clean S line in place;
+	// every other copy is stale and is flushed-and-invalidated (§6.1).
+	// These invalidations are not coherence invalidations: no Inv messages
+	// travel, the holders volunteered their blocks.
+	holders.ForEach(func(c int) {
+		ln := s.l2[c].Peek(block)
+		if ln == nil {
+			return
+		}
+		if ln.State != cache.Ward {
+			remaining = remaining.Add(c) // clean S holder under a W entry
+			return
+		}
+		delete(s.wcopies[c], block)
+		if totalMask == 0 || (writers == 1 && c == lastWriter) {
+			s.setPrivState(c, block, cache.Shared)
+			remaining = remaining.Add(c)
+			return
+		}
+		s.l1[c].Invalidate(block)
+		s.l2[c].Invalidate(block)
+	})
+	s.ctr.ReconciledBlocks++
+	if writers > 0 && holders.Count() > 1 {
+		if overlap {
+			s.ctr.TrueShareMerges++
+		} else {
+			s.ctr.FalseShareMerges++
+		}
+	}
+	// The merged data now lives in the home LLC slice.
+	s.l3[s.fabric.HomeSocket(block)].Insert(block, cache.Shared)
+	if remaining.Empty() {
+		s.dir.Drop(block)
+	} else {
+		e.State = cache.Shared
+		e.Owner = 0
+		e.Sharers = remaining
+	}
+	if forgetRegion {
+		s.regions.forgetBlock(RegionID(e.Region), block)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checking (used heavily by the test suite)
+
+// CheckInvariants verifies the protocol's global invariants: single-writer/
+// multiple-reader for MESI states, directory/private-cache agreement, L1⊆L2
+// inclusion, and W-state bookkeeping. It returns the first violation found.
+func (s *System) CheckInvariants() error {
+	// Collect directory entries in address order for determinism.
+	var addrs []mem.Addr
+	s.dir.ForEach(func(a mem.Addr, _ *coherence.Entry) { addrs = append(addrs, a) })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	for _, a := range addrs {
+		e := s.dir.Lookup(a)
+		switch e.State {
+		case cache.Exclusive:
+			ln := s.l2[e.Owner].Peek(a)
+			if ln == nil || (ln.State != cache.Exclusive && ln.State != cache.Modified) {
+				return fmt.Errorf("dir says core %d owns %#x but its L2 has %v", e.Owner, uint64(a), lnState(ln))
+			}
+			for c := range s.l2 {
+				if c != e.Owner && s.l2[c].Peek(a) != nil {
+					return fmt.Errorf("block %#x owned by core %d also valid in core %d", uint64(a), e.Owner, c)
+				}
+			}
+		case cache.Owned:
+			ln := s.l2[e.Owner].Peek(a)
+			if ln == nil || ln.State != cache.Owned {
+				return fmt.Errorf("dir says core %d owns %#x (O) but its L2 has %v", e.Owner, uint64(a), lnState(ln))
+			}
+			for c := range s.l2 {
+				if c == e.Owner {
+					continue
+				}
+				l := s.l2[c].Peek(a)
+				if e.Sharers.Has(c) {
+					if l == nil || l.State != cache.Shared {
+						return fmt.Errorf("dir says core %d shares O-block %#x but its L2 has %v", c, uint64(a), lnState(l))
+					}
+				} else if l != nil {
+					return fmt.Errorf("core %d holds O-block %#x (%v) but is not a sharer", c, uint64(a), l.State)
+				}
+			}
+		case cache.Shared:
+			if e.Sharers.Empty() {
+				return fmt.Errorf("shared block %#x with empty sharer set", uint64(a))
+			}
+			for c := range s.l2 {
+				ln := s.l2[c].Peek(a)
+				if e.Sharers.Has(c) {
+					if ln == nil || ln.State != cache.Shared {
+						return fmt.Errorf("dir says core %d shares %#x but its L2 has %v", c, uint64(a), lnState(ln))
+					}
+				} else if ln != nil {
+					return fmt.Errorf("core %d holds %#x (%v) but is not in sharer set", c, uint64(a), ln.State)
+				}
+			}
+		case cache.Ward:
+			if s.proto != WARDen {
+				return fmt.Errorf("block %#x in W state under MESI", uint64(a))
+			}
+			for c := range s.l2 {
+				ln := s.l2[c].Peek(a)
+				if e.Sharers.Has(c) {
+					if ln == nil || (ln.State != cache.Ward && ln.State != cache.Shared) {
+						return fmt.Errorf("dir says core %d holds W block %#x but its L2 has %v", c, uint64(a), lnState(ln))
+					}
+				} else if ln != nil {
+					return fmt.Errorf("core %d holds W block %#x but is not in holder set", c, uint64(a))
+				}
+			}
+		default:
+			return fmt.Errorf("directory entry for %#x in state %v", uint64(a), e.State)
+		}
+	}
+	// Inclusion and reverse-mapping: every valid private line is tracked.
+	for c := range s.l1 {
+		var err error
+		s.l1[c].ForEach(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			l2ln := s.l2[c].Peek(ln.Addr)
+			if l2ln == nil {
+				err = fmt.Errorf("core %d: L1 holds %#x but L2 does not (inclusion)", c, uint64(ln.Addr))
+			} else if l2ln.State != ln.State {
+				err = fmt.Errorf("core %d: L1 state %v != L2 state %v for %#x", c, ln.State, l2ln.State, uint64(ln.Addr))
+			}
+		})
+		if err != nil {
+			return err
+		}
+		s.l2[c].ForEach(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			if s.dir.Lookup(ln.Addr) == nil {
+				err = fmt.Errorf("core %d: L2 holds %#x with no directory entry", c, uint64(ln.Addr))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lnState(ln *cache.Line) cache.State {
+	if ln == nil {
+		return cache.Invalid
+	}
+	return ln.State
+}
+
+// DrainAll flushes every private cache back to a coherent state; used at
+// the end of a run so final memory contents can be verified. It reconciles
+// all W blocks and writes back every dirty MESI block (counting the
+// writeback traffic), so the two protocols are charged comparably for data
+// that must eventually reach shared memory.
+func (s *System) DrainAll() {
+	var wards, dirty []mem.Addr
+	s.dir.ForEach(func(a mem.Addr, e *coherence.Entry) {
+		switch e.State {
+		case cache.Ward:
+			wards = append(wards, a)
+		case cache.Exclusive, cache.Owned:
+			if ln := s.l2[e.Owner].Peek(a); ln != nil && (ln.State == cache.Modified || ln.State == cache.Owned) {
+				dirty = append(dirty, a)
+			}
+		}
+	})
+	sort.Slice(wards, func(i, j int) bool { return wards[i] < wards[j] })
+	for _, a := range wards {
+		if e := s.dir.Lookup(a); e != nil && e.State == cache.Ward {
+			s.reconcileBlock(a, e, true)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	for _, a := range dirty {
+		e := s.dir.Lookup(a)
+		if e == nil || (e.State != cache.Exclusive && e.State != cache.Owned) {
+			continue
+		}
+		owner := e.Owner
+		s.fabric.CoreToHome(stats.PutM, owner, a)
+		s.fabric.CoreToHome(stats.DataDir, owner, a)
+		s.l3[s.fabric.HomeSocket(a)].Insert(a, cache.Shared)
+		if e.State == cache.Owned {
+			s.setPrivState(owner, a, cache.Shared) // clean, still shared
+			e.State = cache.Shared
+			e.Sharers = e.Sharers.Add(owner)
+			e.Owner = 0
+		} else {
+			s.setPrivState(owner, a, cache.Exclusive) // now clean
+		}
+	}
+}

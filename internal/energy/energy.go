@@ -1,0 +1,101 @@
+// Package energy is the McPAT substitute: an event-energy model that turns
+// the simulator's architectural counters into processor and interconnect
+// energy estimates.
+//
+// Dynamic energy is a sum of per-event energies (cache/directory accesses,
+// NoC flit-hops, intersocket flits, DRAM accesses, core activity per
+// instruction); static energy integrates per-core and per-socket idle power
+// over the simulated execution time. The per-event constants are ballpark
+// values in the range published for CACTI/McPAT models of ~14 nm server
+// parts; absolute joules are not meaningful, but relative comparisons
+// between two runs of the same binary (the paper's methodology) are.
+package energy
+
+import (
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// Model holds per-event energies (joules) and static powers (watts).
+type Model struct {
+	PerInstruction  float64 // core front-end+ALU energy per instruction
+	L1Access        float64
+	L2Access        float64
+	L3Access        float64
+	DirAccess       float64
+	RegionCAMAccess float64 // WARD region table lookup (§6.1: tiny vs caches)
+	NoCFlitHop      float64
+	IntersocketFlit float64
+	DRAMAccess      float64
+
+	CorePower         float64 // static, per core
+	UncorePowerSocket float64 // static, per socket (LLC, directory, NoC)
+}
+
+// Default returns the model used throughout the evaluation, with the
+// intersocket link energy scaled for disaggregated fabrics (whose per-bit
+// transport energy is far higher than a package-to-package link).
+func Default(cfg topology.Config) Model {
+	m := Model{
+		PerInstruction:    80e-12,
+		L1Access:          20e-12,
+		L2Access:          55e-12,
+		L3Access:          480e-12,
+		DirAccess:         45e-12,
+		RegionCAMAccess:   9e-12,
+		NoCFlitHop:        26e-12,
+		IntersocketFlit:   1600e-12,
+		DRAMAccess:        14e-9,
+		CorePower:         0.85,
+		UncorePowerSocket: 7.5,
+	}
+	if cfg.InterSocketLatency >= 1000 {
+		// Disaggregated: remote traffic traverses a network fabric.
+		m.IntersocketFlit *= 4.5
+	}
+	return m
+}
+
+// Breakdown is the energy of one run split the way the paper reports it:
+// Figs. 7b/8b chart "Interconnect" and "Total Processor"; Fig. 12b adds the
+// "In-Processor" remainder explicitly.
+type Breakdown struct {
+	Core         float64 // instruction execution + static core power
+	Caches       float64 // L1/L2/L3/directory/region-CAM dynamic energy
+	Interconnect float64 // NoC + intersocket dynamic energy
+	DRAM         float64
+	Uncore       float64 // static uncore power
+	Total        float64 // sum of the above ("Total Processor")
+}
+
+// InProcessor is everything that is not interconnect or DRAM — the
+// "In-Processor" series of Fig. 12b.
+func (b Breakdown) InProcessor() float64 { return b.Core + b.Caches + b.Uncore }
+
+// Evaluate converts counters plus total runtime (cycles) into a Breakdown
+// for a machine of the given topology.
+func (m Model) Evaluate(c *stats.Counters, cycles uint64, cfg topology.Config) Breakdown {
+	seconds := cfg.CyclesToSeconds(cycles)
+	var b Breakdown
+	b.Core = float64(c.Instructions)*m.PerInstruction +
+		m.CorePower*seconds*float64(cfg.Cores())
+	b.Caches = float64(c.L1Accesses)*m.L1Access +
+		float64(c.L2Accesses)*m.L2Access +
+		float64(c.L3Accesses)*m.L3Access +
+		float64(c.DirAccesses)*(m.DirAccess+m.RegionCAMAccess)
+	b.Interconnect = float64(c.NoCFlitHops)*m.NoCFlitHop +
+		float64(c.IntersocketFlits)*m.IntersocketFlit
+	b.DRAM = float64(c.DRAMAccesses) * m.DRAMAccess
+	b.Uncore = m.UncorePowerSocket * seconds * float64(cfg.Sockets)
+	b.Total = b.Core + b.Caches + b.Interconnect + b.DRAM + b.Uncore
+	return b
+}
+
+// Savings returns the percent energy saved going from base to opt:
+// 100*(base-opt)/base. Negative values mean opt used more energy.
+func Savings(base, opt float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - opt) / base
+}

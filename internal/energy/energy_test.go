@@ -1,0 +1,97 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+func TestEvaluateComponents(t *testing.T) {
+	cfg := topology.XeonGold6126(2)
+	m := Default(cfg)
+	c := &stats.Counters{
+		Instructions: 1_000_000,
+		L1Accesses:   800_000,
+		L2Accesses:   100_000,
+		L3Accesses:   20_000,
+		DirAccesses:  20_000,
+		DRAMAccesses: 1_000,
+		NoCFlitHops:  500_000,
+	}
+	c.IntersocketFlits = 50_000
+	b := m.Evaluate(c, 10_000_000, cfg)
+	if b.Total <= 0 {
+		t.Fatal("non-positive total energy")
+	}
+	sum := b.Core + b.Caches + b.Interconnect + b.DRAM + b.Uncore
+	if diff := b.Total - sum; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("total %v != sum of parts %v", b.Total, sum)
+	}
+	if b.InProcessor() != b.Core+b.Caches+b.Uncore {
+		t.Fatal("InProcessor decomposition wrong")
+	}
+}
+
+func TestMoreTrafficMoreEnergy(t *testing.T) {
+	cfg := topology.XeonGold6126(2)
+	m := Default(cfg)
+	base := &stats.Counters{Instructions: 1000, NoCFlitHops: 1000}
+	more := &stats.Counters{Instructions: 1000, NoCFlitHops: 100000}
+	eb := m.Evaluate(base, 1000, cfg)
+	em := m.Evaluate(more, 1000, cfg)
+	if em.Interconnect <= eb.Interconnect {
+		t.Fatal("more flit-hops did not increase interconnect energy")
+	}
+	if em.Core != eb.Core {
+		t.Fatal("flit-hops changed core energy")
+	}
+}
+
+func TestStaticScalesWithTime(t *testing.T) {
+	cfg := topology.XeonGold6126(1)
+	m := Default(cfg)
+	c := &stats.Counters{}
+	short := m.Evaluate(c, 1_000_000, cfg)
+	long := m.Evaluate(c, 2_000_000, cfg)
+	if long.Uncore <= short.Uncore || long.Core <= short.Core {
+		t.Fatal("static energy did not scale with runtime")
+	}
+	if got, want := long.Uncore/short.Uncore, 2.0; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("uncore scaling = %v, want 2", got)
+	}
+}
+
+func TestDisaggregatedLinkCostsMore(t *testing.T) {
+	std := Default(topology.XeonGold6126(2))
+	dis := Default(topology.Disaggregated())
+	if dis.IntersocketFlit <= std.IntersocketFlit {
+		t.Fatal("disaggregated fabric not costlier per flit")
+	}
+}
+
+func TestSavings(t *testing.T) {
+	if Savings(100, 75) != 25 {
+		t.Fatal("Savings(100,75) != 25")
+	}
+	if Savings(100, 125) != -25 {
+		t.Fatal("Savings(100,125) != -25")
+	}
+	if Savings(0, 10) != 0 {
+		t.Fatal("Savings with zero base must be 0")
+	}
+}
+
+func TestQuickEnergyMonotoneInCounters(t *testing.T) {
+	cfg := topology.XeonGold6126(2)
+	m := Default(cfg)
+	f := func(l1, l3, dram uint32) bool {
+		a := &stats.Counters{L1Accesses: uint64(l1), L3Accesses: uint64(l3), DRAMAccesses: uint64(dram)}
+		b := &stats.Counters{L1Accesses: uint64(l1) + 1, L3Accesses: uint64(l3) + 1, DRAMAccesses: uint64(dram) + 1}
+		return m.Evaluate(b, 1000, cfg).Total > m.Evaluate(a, 1000, cfg).Total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

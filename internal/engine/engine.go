@@ -1,0 +1,179 @@
+// Package engine is a deterministic, execution-driven multicore simulation
+// engine. Each simulated hardware thread is a goroutine running real Go
+// code (the HLPL runtime plus benchmark); whenever that code performs a
+// simulated operation (load, store, compute, ...) the goroutine parks and
+// the engine decides when — in simulated time — the operation happens.
+//
+// Determinism comes from two rules:
+//
+//  1. Exactly one goroutine (a thread body or the engine itself) runs at any
+//     instant. The engine resumes a thread, then blocks until that thread
+//     posts its next operation (or exits) before doing anything else.
+//  2. Among parked threads, the engine always executes the operation of the
+//     thread with the smallest local clock, breaking ties by thread id.
+//
+// Under these rules all simulator state is accessed single-threaded — no
+// locks anywhere — and every run of the same program is bit-identical,
+// which the test suite asserts.
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Op is a simulated operation posted by a thread. Concrete op types are
+// defined by the machine layer; the engine treats them opaquely.
+type Op interface{}
+
+// Handler executes op on behalf of t and returns how many cycles t's local
+// clock advances. Handlers run on the engine goroutine and may freely
+// mutate simulator state.
+type Handler func(t *Thread, op Op) (advance uint64)
+
+// Thread is one simulated hardware thread.
+type Thread struct {
+	id   int
+	now  uint64
+	eng  *Engine
+	res  chan struct{}
+	body func(*Thread)
+}
+
+// ID returns the hardware thread id (dense, starting at 0).
+func (t *Thread) ID() int { return t.id }
+
+// Now returns the thread's local clock in cycles.
+func (t *Thread) Now() uint64 { return t.now }
+
+// Call posts op and blocks until the engine has executed it (advancing the
+// thread's clock by the handler's result). It must only be called from the
+// thread's own body.
+func (t *Thread) Call(op Op) {
+	t.eng.events <- event{t: t, op: op}
+	<-t.res
+}
+
+type event struct {
+	t  *Thread
+	op Op // nil means the thread's body returned
+}
+
+// Engine runs a set of threads to completion. Create with New.
+type Engine struct {
+	threads []*Thread
+	handler Handler
+	events  chan event
+
+	// MaxCycles aborts the run when every runnable thread's clock exceeds
+	// it — a guard against deadlocked simulated programs. Zero means no
+	// limit.
+	MaxCycles uint64
+}
+
+// ErrMaxCycles is returned by Run when the cycle guard trips.
+var ErrMaxCycles = errors.New("engine: exceeded MaxCycles (simulated program deadlocked or runaway)")
+
+// New creates an engine with n threads whose operations are executed by
+// handler.
+func New(n int, handler Handler) *Engine {
+	if n <= 0 {
+		panic(fmt.Sprintf("engine: need at least one thread, got %d", n))
+	}
+	e := &Engine{handler: handler, events: make(chan event)}
+	for i := 0; i < n; i++ {
+		e.threads = append(e.threads, &Thread{id: i, eng: e, res: make(chan struct{})})
+	}
+	return e
+}
+
+// Threads returns the number of hardware threads.
+func (e *Engine) Threads() int { return len(e.threads) }
+
+// SetBody sets the code thread id runs. Every thread must have a body
+// before Run.
+func (e *Engine) SetBody(id int, body func(*Thread)) {
+	e.threads[id].body = body
+}
+
+// Run executes all thread bodies to completion and returns the final global
+// clock (the maximum thread-local clock). It can only be called once.
+func (e *Engine) Run() (uint64, error) {
+	pending := make([]event, len(e.threads)) // indexed by thread id; op nil = none
+	alive := 0
+
+	start := func(t *Thread) {
+		go func() {
+			defer func() {
+				// Even on panic, unblock the engine with an exit event so
+				// the panic propagates instead of deadlocking. Re-panic on
+				// the engine side is not possible; just forward the value.
+				if r := recover(); r != nil {
+					e.events <- event{t: t, op: panicOp{r}}
+					return
+				}
+				e.events <- event{t: t, op: nil}
+			}()
+			t.body(t)
+		}()
+	}
+
+	// Start threads one at a time; a freshly started thread runs until its
+	// first op (or exit), so only one goroutine is ever live.
+	for _, t := range e.threads {
+		if t.body == nil {
+			panic(fmt.Sprintf("engine: thread %d has no body", t.id))
+		}
+		start(t)
+		ev := <-e.events
+		if p, ok := ev.op.(panicOp); ok {
+			panic(p.v)
+		}
+		if ev.op != nil {
+			pending[ev.t.id] = ev
+			alive++
+		}
+	}
+
+	var final uint64
+	for alive > 0 {
+		// Pick the parked thread with the smallest clock (lowest id wins
+		// ties).
+		var next *Thread
+		for i := range pending {
+			if pending[i].op == nil {
+				continue
+			}
+			t := pending[i].t
+			if next == nil || t.now < next.now {
+				next = t
+			}
+		}
+		if e.MaxCycles > 0 && next.now > e.MaxCycles {
+			return next.now, ErrMaxCycles
+		}
+		op := pending[next.id].op
+		pending[next.id] = event{}
+		alive--
+
+		next.now += e.handler(next, op)
+		if next.now > final {
+			final = next.now
+		}
+
+		// Resume the thread and wait for its next event; nothing else runs
+		// in the meantime.
+		next.res <- struct{}{}
+		ev := <-e.events
+		if p, ok := ev.op.(panicOp); ok {
+			panic(p.v)
+		}
+		if ev.op != nil {
+			pending[ev.t.id] = ev
+			alive++
+		}
+	}
+	return final, nil
+}
+
+type panicOp struct{ v any }

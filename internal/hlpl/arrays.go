@@ -1,0 +1,106 @@
+package hlpl
+
+import (
+	"math"
+
+	"warden/internal/mem"
+)
+
+// U64 is a simulated array of 64-bit words. Elements are accessed with
+// simulated loads and stores; the array's storage lives in whichever heap
+// allocated it.
+type U64 struct {
+	Base mem.Addr
+	N    int
+}
+
+// NewU64 allocates an n-element word array in the task's leaf heap. The
+// contents are whatever the underlying (possibly recycled) pages held;
+// initialize explicitly, as a language runtime's object initialization
+// would.
+func (t *Task) NewU64(n int) U64 {
+	return U64{Base: t.Alloc(uint64(n)*8, 8), N: n}
+}
+
+// NewU64Scratch allocates a task-local temporary word array.
+func (t *Task) NewU64Scratch(n int) U64 {
+	return U64{Base: t.AllocScratch(uint64(n)*8, 8), N: n}
+}
+
+// Addr returns the address of element i.
+func (a U64) Addr(i int) mem.Addr { return a.Base + mem.Addr(i)*8 }
+
+// Get loads element i.
+func (a U64) Get(t *Task, i int) uint64 { return t.Load(a.Addr(i), 8) }
+
+// Set stores element i.
+func (a U64) Set(t *Task, i int, v uint64) { t.Store(a.Addr(i), 8, v) }
+
+// GetF loads element i as a float64.
+func (a U64) GetF(t *Task, i int) float64 { return math.Float64frombits(a.Get(t, i)) }
+
+// SetF stores a float64 into element i.
+func (a U64) SetF(t *Task, i int, v float64) { a.Set(t, i, math.Float64bits(v)) }
+
+// Fill stores v into every element sequentially on the calling task.
+func (a U64) Fill(t *Task, v uint64) {
+	for i := 0; i < a.N; i++ {
+		a.Set(t, i, v)
+	}
+}
+
+// Slice returns the subarray [lo, hi).
+func (a U64) Slice(lo, hi int) U64 {
+	return U64{Base: a.Addr(lo), N: hi - lo}
+}
+
+// U8 is a simulated byte array.
+type U8 struct {
+	Base mem.Addr
+	N    int
+}
+
+// NewU8 allocates an n-byte array in the task's leaf heap.
+func (t *Task) NewU8(n int) U8 {
+	return U8{Base: t.Alloc(uint64(n), 1), N: n}
+}
+
+// NewU8Scratch allocates a task-local temporary byte array.
+func (t *Task) NewU8Scratch(n int) U8 {
+	return U8{Base: t.AllocScratch(uint64(n), 1), N: n}
+}
+
+// Addr returns the address of byte i.
+func (a U8) Addr(i int) mem.Addr { return a.Base + mem.Addr(i) }
+
+// Get loads byte i.
+func (a U8) Get(t *Task, i int) byte { return byte(t.Load(a.Addr(i), 1)) }
+
+// Set stores byte i.
+func (a U8) Set(t *Task, i int, v byte) { t.Store(a.Addr(i), 1, uint64(v)) }
+
+// SetBulk writes data starting at byte i using block-wide stores, the way
+// optimized runtime memcpy/init loops would.
+func (a U8) SetBulk(t *Task, i int, data []byte) {
+	t.Ctx().StoreBytes(a.Addr(i), data)
+}
+
+// GetBulk reads len(buf) bytes starting at i using block-wide loads.
+func (a U8) GetBulk(t *Task, i int, buf []byte) {
+	t.Ctx().LoadBytes(a.Addr(i), buf)
+}
+
+// Slice returns the subarray [lo, hi).
+func (a U8) Slice(lo, hi int) U8 {
+	return U8{Base: a.Addr(lo), N: hi - lo}
+}
+
+// ReadU64 copies a simulated U64 array out through host-side (untimed)
+// memory access — for result verification after a run.
+func ReadU64(m interface{ ReadUint(mem.Addr, int) uint64 }, a U64) []uint64 {
+	out := make([]uint64, a.N)
+	for i := range out {
+		out[i] = m.ReadUint(a.Addr(i), 8)
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+// Package hlpl is the high-level parallel language runtime — the MPL
+// substitute. It provides nested fork-join parallelism over the simulated
+// machine, a work-stealing scheduler, and MPL's heap hierarchy: every task
+// gets a fresh heap of bump-allocated pages that merges into its parent's
+// heap at join (§2.1 of the paper).
+//
+// Programs written against this package are disentangled by construction:
+// tasks allocate only into their own leaf heap and hold pointers only into
+// their root-to-leaf heap path. The runtime exploits that discipline
+// exactly as the paper's modified MPL does (§4.2):
+//
+//   - whenever a new page run is allocated to extend a leaf heap, the run is
+//     marked as a WARD region (the Add Region instruction);
+//   - the scheduler unmarks the current heap's regions before each fork,
+//     proactively flushing fork records to the shared cache (§5.3);
+//   - additionally, a completing task unmarks its heap before merging it
+//     into the parent. The paper's Sniper prototype executes functionally
+//     on the host and would tolerate skipping this, but our simulator
+//     models W-state data divergence for real, so the runtime must
+//     reconcile a heap before another hardware thread may read it. This is
+//     also where the bulk of the proactive-flush benefit materializes.
+//
+// Scheduler metadata (join cells, deque indices) lives in simulated memory
+// that is never WARD-marked, so synchronization takes the plain MESI paths,
+// as in the paper.
+package hlpl
+
+import (
+	"fmt"
+
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// Options tunes the runtime. The zero value is not useful; start from
+// DefaultOptions.
+//
+// Note that the unmark-before-fork of §4.2 is not optional: children read
+// fork records and other parent-heap data, so a parent's WARD regions must
+// reconcile at every fork for program correctness (our simulator models
+// W-state data divergence for real, unlike a functionally-coherent timing
+// simulator). The ablations instead toggle the two *sources* of WARD
+// regions.
+type Options struct {
+	// MarkHeapPages marks fresh leaf-heap page runs as WARD regions
+	// (§4.2's mechanism). The Add/Remove Region instructions are issued
+	// under MESI machines too (where they are no-ops), keeping instruction
+	// streams comparable.
+	MarkHeapPages bool
+	// MarkScopes enables the standard library's bulk-operation WARD scopes
+	// (Task.WardScope), the analogue of MPL's trusted library primitives.
+	MarkScopes bool
+	// Grain is the default sequential grain for ParallelFor when the caller
+	// passes grain <= 0.
+	Grain int
+}
+
+// DefaultOptions returns the paper-faithful configuration.
+func DefaultOptions() Options {
+	return Options{MarkHeapPages: true, MarkScopes: true, Grain: 64}
+}
+
+// Scheduler cost constants (simulated cycles). They approximate the
+// instruction counts of a lean work-stealing runtime.
+const (
+	forkSetupCycles = 24 // create task descriptor, child heap bookkeeping
+	taskSetupCycles = 18 // scheduler dispatch of a (possibly stolen) task
+	joinMergeCycles = 14 // heap merge into parent
+	runAllocCycles  = 22 // page-run acquisition (pool hit) in the allocator
+	allocBumpCycles = 2  // pointer-bump allocation fast path
+	idleProbeCycles = 40 // failed steal attempt backoff
+	stealProbeLimit = 4  // victims probed per steal round
+)
+
+// RT is a runtime instance bound to one machine. Create with New, then call
+// Run once.
+type RT struct {
+	m    *machine.Machine
+	opts Options
+
+	workers []*worker
+	pool    map[int][]mem.Addr // free page runs keyed by page count (LIFO)
+	cells   []mem.Addr         // free 64-byte runtime cells
+	cellTop mem.Addr           // bump space for fresh cells
+	cellEnd mem.Addr
+	done    bool
+
+	// Stats (host-side, for tests and reports).
+	Forks  uint64
+	Steals uint64
+}
+
+// New creates a runtime for m.
+func New(m *machine.Machine, opts Options) *RT {
+	if opts.Grain <= 0 {
+		opts.Grain = DefaultOptions().Grain
+	}
+	return &RT{m: m, opts: opts, pool: make(map[int][]mem.Addr)}
+}
+
+// Machine returns the runtime's machine.
+func (rt *RT) Machine() *machine.Machine { return rt.m }
+
+// Run executes root as the root task of the spawn tree, with every hardware
+// thread of the machine participating as a worker. It returns the total
+// simulated cycles.
+func (rt *RT) Run(root func(*Task)) (uint64, error) {
+	if rt.workers != nil {
+		return 0, fmt.Errorf("hlpl: RT.Run called twice")
+	}
+	n := rt.m.Config().Threads()
+	rt.workers = make([]*worker, n)
+	for i := 0; i < n; i++ {
+		rt.workers[i] = newWorker(rt, i)
+	}
+	bodies := make([]func(*machine.Ctx), n)
+	for i := 0; i < n; i++ {
+		i := i
+		bodies[i] = func(ctx *machine.Ctx) {
+			w := rt.workers[i]
+			w.ctx = ctx
+			if i == 0 {
+				h := rt.newHeap(nil)
+				t := &Task{w: w, heap: h}
+				root(t)
+				t.releaseScratch()
+				h.unmark(ctx)
+				rt.done = true
+				return
+			}
+			w.loop()
+		}
+	}
+	return rt.m.Run(bodies)
+}
+
+// allocCell returns a cache-block-sized cell of runtime memory (join cells,
+// deque control words). Cells are recycled, generating the runtime's own
+// true-sharing coherence traffic, and are never WARD-marked.
+func (rt *RT) allocCell() mem.Addr {
+	if n := len(rt.cells); n > 0 {
+		a := rt.cells[n-1]
+		rt.cells = rt.cells[:n-1]
+		return a
+	}
+	if rt.cellTop >= rt.cellEnd {
+		base := rt.m.Mem().AllocPages(4)
+		rt.cellTop, rt.cellEnd = base, base+4*mem.PageSize
+	}
+	a := rt.cellTop
+	rt.cellTop += 64
+	return a
+}
+
+func (rt *RT) freeCell(a mem.Addr) { rt.cells = append(rt.cells, a) }
+
+// getRun pops a page run from the worker's local pool, the global pool, or
+// fresh address space, in that order. Like MPL's per-processor page lists,
+// workers prefer their own recently freed runs (warm in their caches);
+// stolen work and imbalance still circulate runs between workers, which is
+// what makes allocation-heavy programs generate coherence traffic under
+// MESI: a cross-worker reused page's blocks are still cached by the worker
+// that last wrote them.
+func (rt *RT) getRun(w *worker, pages int) mem.Addr {
+	if rs := w.runPool[pages]; len(rs) > 0 {
+		a := rs[len(rs)-1]
+		w.runPool[pages] = rs[:len(rs)-1]
+		return a
+	}
+	if rs := rt.pool[pages]; len(rs) > 0 {
+		a := rs[len(rs)-1]
+		rt.pool[pages] = rs[:len(rs)-1]
+		return a
+	}
+	return rt.m.Mem().AllocPages(pages)
+}
+
+// putRun returns a run to the freeing worker's local pool, spilling to the
+// global pool beyond a small cap.
+func (rt *RT) putRun(w *worker, base mem.Addr, pages int) {
+	const localCap = 8
+	if len(w.runPool[pages]) < localCap {
+		w.runPool[pages] = append(w.runPool[pages], base)
+		return
+	}
+	rt.pool[pages] = append(rt.pool[pages], base)
+}

@@ -1,0 +1,157 @@
+package hlpl
+
+import (
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+	"warden/internal/topology"
+)
+
+func testConfig(sockets int) topology.Config {
+	cfg := topology.XeonGold6126(sockets)
+	cfg.CoresPerSocket = 4 // keep unit tests fast
+	return cfg
+}
+
+// runFill runs a parallel tabulate of i*i into a freshly allocated array
+// and returns (machine, array, cycles).
+func runFill(t *testing.T, proto core.Protocol, n int) (*machine.Machine, U64, uint64) {
+	t.Helper()
+	m := machine.New(testConfig(1), proto)
+	rt := New(m, DefaultOptions())
+	var arr U64
+	cycles, err := rt.Run(func(root *Task) {
+		arr = root.NewU64(n)
+		root.WardScope(arr.Base, uint64(n)*8, func() {
+			root.ParallelFor(0, n, 32, func(leaf *Task, i int) {
+				leaf.Compute(2)
+				arr.Set(leaf, i, uint64(i)*uint64(i))
+			})
+		})
+	})
+	if err != nil {
+		t.Fatalf("%v run: %v", proto, err)
+	}
+	return m, arr, cycles
+}
+
+func TestParallelFillBothProtocols(t *testing.T) {
+	const n = 4096
+	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		m, arr, cycles := runFill(t, proto, n)
+		if cycles == 0 {
+			t.Fatalf("%v: zero cycles", proto)
+		}
+		vals := ReadU64(m.Mem(), arr)
+		for i, v := range vals {
+			if v != uint64(i)*uint64(i) {
+				t.Fatalf("%v: arr[%d] = %d, want %d", proto, i, v, uint64(i)*uint64(i))
+			}
+		}
+		if err := m.System().CheckInvariants(); err != nil {
+			t.Fatalf("%v invariants: %v", proto, err)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		_, _, c1 := runFill(t, proto, 2048)
+		m2, _, c2 := runFill(t, proto, 2048)
+		if c1 != c2 {
+			t.Fatalf("%v: cycles differ across identical runs: %d vs %d", proto, c1, c2)
+		}
+		_, _, c3 := runFill(t, proto, 2048)
+		if c3 != c1 {
+			t.Fatalf("%v: third run differs: %d vs %d", proto, c3, c1)
+		}
+		if m2.Counters().Instructions == 0 {
+			t.Fatalf("%v: no instructions counted", proto)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	m := machine.New(testConfig(1), core.WARDen)
+	rt := New(m, DefaultOptions())
+	const n = 3000
+	var sum uint64
+	_, err := rt.Run(func(root *Task) {
+		arr := root.NewU64(n)
+		root.ParallelFor(0, n, 64, func(leaf *Task, i int) {
+			arr.Set(leaf, i, uint64(i))
+		})
+		sum = root.Reduce(0, n, 64, func(leaf *Task, lo, hi int) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += arr.Get(leaf, i)
+			}
+			return s
+		}, func(a, b uint64) uint64 { return a + b })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(n) * (n - 1) / 2
+	if sum != want {
+		t.Fatalf("sum = %d, want %d", sum, want)
+	}
+}
+
+func TestWardRegionsDrainToZero(t *testing.T) {
+	m, _, _ := runFill(t, core.WARDen, 2048)
+	if got := m.System().ActiveRegions(); got != 0 {
+		t.Fatalf("active regions after run = %d, want 0", got)
+	}
+	c := m.Counters()
+	if c.RegionAdds == 0 || c.RegionRemoves == 0 {
+		t.Fatalf("expected region activity, got adds=%d removes=%d", c.RegionAdds, c.RegionRemoves)
+	}
+	if c.WardAccesses == 0 {
+		t.Fatal("expected some accesses to be satisfied under the W state")
+	}
+}
+
+func TestWardenReducesCoherenceDamage(t *testing.T) {
+	mMESI, _, cyclesMESI := runFill(t, core.MESI, 8192)
+	mWARD, _, cyclesWARD := runFill(t, core.WARDen, 8192)
+	dmgM := mMESI.Counters().Invalidations + mMESI.Counters().Downgrades
+	dmgW := mWARD.Counters().Invalidations + mWARD.Counters().Downgrades
+	t.Logf("MESI: %d cycles, %d inv+dg; WARDen: %d cycles, %d inv+dg",
+		cyclesMESI, dmgM, cyclesWARD, dmgW)
+	if dmgW > dmgM {
+		t.Errorf("WARDen caused more invalidations+downgrades (%d) than MESI (%d)", dmgW, dmgM)
+	}
+}
+
+func TestScratchRecycling(t *testing.T) {
+	m := machine.New(testConfig(1), core.WARDen)
+	rt := New(m, DefaultOptions())
+	_, err := rt.Run(func(root *Task) {
+		root.ParallelFor(0, 64, 1, func(leaf *Task, i int) {
+			s := leaf.NewU64Scratch(512)
+			for j := 0; j < 512; j++ {
+				s.Set(leaf, j, uint64(i+j))
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pooled int
+	for _, runs := range rt.pool {
+		pooled += len(runs)
+	}
+	for _, w := range rt.workers {
+		for _, runs := range w.runPool {
+			pooled += len(runs)
+		}
+	}
+	if pooled == 0 {
+		t.Fatal("scratch runs were not returned to any pool")
+	}
+	if err := m.System().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

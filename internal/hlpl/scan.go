@@ -1,0 +1,108 @@
+package hlpl
+
+// Bulk-parallel library primitives in the PBBS style: exclusive scan and
+// filter. Like Task.WardScope itself, these belong to the runtime's trusted
+// standard library — their output ranges are WARD by construction (each
+// element is written by exactly one task and read only after the operation
+// joins), so the library marks them without any user involvement (§4.2's
+// "disentangled by construction" argument).
+
+// scanChunks picks a chunk count balancing parallelism against the
+// root-sequential combine over chunk totals.
+func scanChunks(rt *RT, n int) int {
+	c := rt.m.Config().Threads() * 4
+	if c > n {
+		c = n
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// ScanU64 computes the exclusive prefix sum of src into a freshly allocated
+// array and returns it along with the grand total: out[i] = src[0] + ... +
+// src[i-1]. The classic two-pass chunked algorithm: per-chunk totals in
+// parallel, a (short) sequential combine over chunks, then parallel
+// emission of absolute prefixes.
+func (t *Task) ScanU64(src U64) (out U64, total uint64) {
+	n := src.N
+	out = t.NewU64(n)
+	if n == 0 {
+		return out, 0
+	}
+	nChunks := scanChunks(t.w.rt, n)
+	sums := t.NewU64(nChunks)
+	t.WardScope(sums.Base, uint64(nChunks)*8, func() {
+		t.ParallelFor(0, nChunks, 1, func(leaf *Task, c int) {
+			lo, hi := c*n/nChunks, (c+1)*n/nChunks
+			var s uint64
+			for i := lo; i < hi; i++ {
+				leaf.Compute(1)
+				s += src.Get(leaf, i)
+			}
+			sums.Set(leaf, c, s)
+		})
+	})
+	bases := t.NewU64(nChunks)
+	var acc uint64
+	for c := 0; c < nChunks; c++ {
+		bases.Set(t, c, acc)
+		acc += sums.Get(t, c)
+	}
+	total = acc
+	t.WardScope(out.Base, uint64(n)*8, func() {
+		t.ParallelFor(0, nChunks, 1, func(leaf *Task, c int) {
+			lo, hi := c*n/nChunks, (c+1)*n/nChunks
+			s := bases.Get(leaf, c)
+			for i := lo; i < hi; i++ {
+				leaf.Compute(1)
+				out.Set(leaf, i, s)
+				s += src.Get(leaf, i)
+			}
+		})
+	})
+	return out, total
+}
+
+// FilterU64 writes the elements of src for which keep returns true into a
+// freshly allocated array, preserving order, and returns it. keep must be
+// pure: it runs twice per element (count pass and emit pass), the standard
+// parallel-filter recomputation trade.
+func (t *Task) FilterU64(src U64, keep func(leaf *Task, i int, v uint64) bool) U64 {
+	n := src.N
+	nChunks := scanChunks(t.w.rt, n)
+	if n == 0 {
+		return t.NewU64(0)
+	}
+	counts := t.NewU64(nChunks)
+	t.WardScope(counts.Base, uint64(nChunks)*8, func() {
+		t.ParallelFor(0, nChunks, 1, func(leaf *Task, c int) {
+			lo, hi := c*n/nChunks, (c+1)*n/nChunks
+			var cnt uint64
+			for i := lo; i < hi; i++ {
+				leaf.Compute(1)
+				if keep(leaf, i, src.Get(leaf, i)) {
+					cnt++
+				}
+			}
+			counts.Set(leaf, c, cnt)
+		})
+	})
+	offs, total := t.ScanU64(counts)
+	out := t.NewU64(int(total))
+	t.WardScope(out.Base, total*8, func() {
+		t.ParallelFor(0, nChunks, 1, func(leaf *Task, c int) {
+			lo, hi := c*n/nChunks, (c+1)*n/nChunks
+			k := int(offs.Get(leaf, c))
+			for i := lo; i < hi; i++ {
+				v := src.Get(leaf, i)
+				if keep(leaf, i, v) {
+					out.Set(leaf, k, v)
+					k++
+				}
+			}
+		})
+	})
+	return out
+}

@@ -1,0 +1,135 @@
+package hlpl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+)
+
+func TestScanU64(t *testing.T) {
+	m := machine.New(testConfig(1), core.WARDen)
+	rt := New(m, DefaultOptions())
+	const n = 1500
+	var out U64
+	var total uint64
+	_, err := rt.Run(func(root *Task) {
+		src := root.NewU64(n)
+		root.WardScope(src.Base, n*8, func() {
+			root.ParallelFor(0, n, 64, func(leaf *Task, i int) {
+				src.Set(leaf, i, uint64(i%7))
+			})
+		})
+		out, total = root.ScanU64(src)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := ReadU64(m.Mem(), out)
+	var acc uint64
+	for i := 0; i < n; i++ {
+		if vals[i] != acc {
+			t.Fatalf("scan[%d] = %d, want %d", i, vals[i], acc)
+		}
+		acc += uint64(i % 7)
+	}
+	if total != acc {
+		t.Fatalf("total = %d, want %d", total, acc)
+	}
+	if err := m.System().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanEmptyAndTiny(t *testing.T) {
+	m := machine.New(testConfig(1), core.WARDen)
+	rt := New(m, DefaultOptions())
+	_, err := rt.Run(func(root *Task) {
+		empty := root.NewU64(0)
+		if out, total := root.ScanU64(empty); out.N != 0 || total != 0 {
+			t.Errorf("empty scan: n=%d total=%d", out.N, total)
+		}
+		one := root.NewU64(1)
+		one.Set(root, 0, 42)
+		out, total := root.ScanU64(one)
+		if out.N != 1 || total != 42 || out.Get(root, 0) != 0 {
+			t.Errorf("singleton scan: n=%d total=%d first=%d", out.N, total, out.Get(root, 0))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterU64(t *testing.T) {
+	m := machine.New(testConfig(1), core.WARDen)
+	rt := New(m, DefaultOptions())
+	const n = 2000
+	var out U64
+	_, err := rt.Run(func(root *Task) {
+		src := root.NewU64(n)
+		root.WardScope(src.Base, n*8, func() {
+			root.ParallelFor(0, n, 64, func(leaf *Task, i int) {
+				src.Set(leaf, i, uint64(i))
+			})
+		})
+		out = root.FilterU64(src, func(leaf *Task, i int, v uint64) bool {
+			leaf.Compute(1)
+			return v%3 == 0
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := ReadU64(m.Mem(), out)
+	want := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			if vals[want] != uint64(i) {
+				t.Fatalf("filter[%d] = %d, want %d", want, vals[want], i)
+			}
+			want++
+		}
+	}
+	if len(vals) != want {
+		t.Fatalf("filter produced %d elements, want %d", len(vals), want)
+	}
+}
+
+func TestQuickScanMatchesSequential(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 800 {
+			raw = raw[:800]
+		}
+		m := machine.New(testConfig(1), core.WARDen)
+		rt := New(m, DefaultOptions())
+		var out U64
+		var total uint64
+		_, err := rt.Run(func(root *Task) {
+			src := root.NewU64(len(raw))
+			for i, v := range raw {
+				src.Set(root, i, uint64(v))
+			}
+			out, total = root.ScanU64(src)
+		})
+		if err != nil {
+			return false
+		}
+		vals := ReadU64(m.Mem(), out)
+		var acc uint64
+		for i, v := range raw {
+			if vals[i] != acc {
+				return false
+			}
+			acc += uint64(v)
+		}
+		return total == acc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package hlpl
+
+import (
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+)
+
+func newTestRT(t *testing.T, proto core.Protocol, opts Options) (*machine.Machine, *RT) {
+	t.Helper()
+	m := machine.New(testConfig(1), proto)
+	return m, New(m, opts)
+}
+
+func TestRunTwicePanicsGracefully(t *testing.T) {
+	_, rt := newTestRT(t, core.MESI, DefaultOptions())
+	if _, err := rt.Run(func(*Task) {}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(func(*Task) {}); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestNestedJoinDepth(t *testing.T) {
+	m, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	var depthReached int
+	var rec func(t *Task, d int)
+	rec = func(tk *Task, d int) {
+		if d > depthReached {
+			depthReached = d
+		}
+		if d == 0 {
+			tk.Compute(10)
+			return
+		}
+		tk.Join2(
+			func(a *Task) { rec(a, d-1) },
+			func(b *Task) { rec(b, d-1) },
+		)
+	}
+	if _, err := rt.Run(func(root *Task) { rec(root, 8) }); err != nil {
+		t.Fatal(err)
+	}
+	if depthReached != 8 {
+		t.Fatalf("depth = %d", depthReached)
+	}
+	if rt.Forks != 255 {
+		t.Fatalf("forks = %d, want 255 (2^8 - 1)", rt.Forks)
+	}
+	if err := m.System().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelRangeCoversExactly(t *testing.T) {
+	_, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	covered := make([]int, 1000)
+	_, err := rt.Run(func(root *Task) {
+		root.ParallelRange(0, 1000, 37, func(leaf *Task, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				covered[i]++ // host-side; engine serializes all tasks
+			}
+			leaf.Compute(uint64(hi - lo))
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestDiscardHeapRecyclesRuns(t *testing.T) {
+	_, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	_, err := rt.Run(func(root *Task) {
+		root.ParallelFor(0, 64, 1, func(leaf *Task, i int) {
+			arr := leaf.NewU64(256)
+			for j := 0; j < 256; j++ {
+				arr.Set(leaf, j, uint64(j))
+			}
+			leaf.DiscardHeap()
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pooled := 0
+	for _, w := range rt.workers {
+		for _, runs := range w.runPool {
+			pooled += len(runs)
+		}
+	}
+	for _, runs := range rt.pool {
+		pooled += len(runs)
+	}
+	if pooled == 0 {
+		t.Fatal("discarded heaps returned no runs to any pool")
+	}
+}
+
+func TestHeapRunDoubling(t *testing.T) {
+	m, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	var h *Heap
+	_, err := rt.Run(func(root *Task) {
+		h = root.heap
+		// Allocate ~100 KB in small pieces: runs must double 1,2,4,... up
+		// to the cap rather than growing one page at a time.
+		for i := 0; i < 400; i++ {
+			root.Alloc(256, 8)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.runs) == 0 {
+		t.Fatal("no runs allocated")
+	}
+	if len(h.runs) > 12 {
+		t.Fatalf("%d runs for ~100KB; doubling is broken", len(h.runs))
+	}
+	for i := 1; i < len(h.runs) && i < 5; i++ {
+		if h.runs[i].pages < h.runs[i-1].pages {
+			t.Fatalf("run %d has %d pages after %d", i, h.runs[i].pages, h.runs[i-1].pages)
+		}
+	}
+	_ = m
+}
+
+func TestBigAllocationGetsDedicatedRun(t *testing.T) {
+	_, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	var arr U64
+	_, err := rt.Run(func(root *Task) {
+		arr = root.NewU64(1 << 17) // 1 MB, far beyond maxRunPages
+		arr.Set(root, 0, 1)
+		arr.Set(root, 1<<17-1, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arr.N != 1<<17 {
+		t.Fatal("allocation failed")
+	}
+}
+
+func TestWardScopeDisabledByOptions(t *testing.T) {
+	opts := DefaultOptions()
+	opts.MarkScopes = false
+	m, rt := newTestRT(t, core.WARDen, opts)
+	_, err := rt.Run(func(root *Task) {
+		arr := root.NewU64(64)
+		root.WardScope(arr.Base, 64*8, func() {
+			arr.Fill(root, 7)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only heap-page regions may have been added; scope adds would push the
+	// count higher. With MarkScopes off and one tiny heap, expect the adds
+	// to equal the number of heap runs.
+	c := m.Counters()
+	if c.RegionAdds > 4 {
+		t.Fatalf("scopes disabled but %d regions added", c.RegionAdds)
+	}
+}
+
+func TestStealsHappenOnWideFanout(t *testing.T) {
+	_, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	_, err := rt.Run(func(root *Task) {
+		root.ParallelFor(0, 512, 1, func(leaf *Task, i int) {
+			leaf.Compute(500)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Steals == 0 {
+		t.Fatal("no steals on a 512-way fan-out over multiple cores")
+	}
+}
+
+func TestU8BulkRoundTrip(t *testing.T) {
+	m, rt := newTestRT(t, core.WARDen, DefaultOptions())
+	data := make([]byte, 300)
+	for i := range data {
+		data[i] = byte(i * 3)
+	}
+	var arr U8
+	_, err := rt.Run(func(root *Task) {
+		arr = root.NewU8(512)
+		arr.SetBulk(root, 100, data)
+		buf := make([]byte, len(data))
+		arr.GetBulk(root, 100, buf)
+		for i := range buf {
+			if buf[i] != data[i] {
+				t.Errorf("bulk byte %d = %d, want %d", i, buf[i], data[i])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+}
+
+func TestArrayHelpers(t *testing.T) {
+	_, rt := newTestRT(t, core.MESI, DefaultOptions())
+	_, err := rt.Run(func(root *Task) {
+		a := root.NewU64(16)
+		a.Fill(root, 9)
+		s := a.Slice(4, 8)
+		if s.N != 4 {
+			t.Errorf("slice length %d", s.N)
+		}
+		if s.Get(root, 0) != 9 {
+			t.Error("slice does not alias the parent array")
+		}
+		s.SetF(root, 1, 2.5)
+		if got := s.GetF(root, 1); got != 2.5 {
+			t.Errorf("float round trip got %v", got)
+		}
+		b := root.NewU8(8)
+		b.Set(root, 3, 200)
+		if b.Get(root, 3) != 200 {
+			t.Error("byte round trip failed")
+		}
+		if b.Slice(2, 6).Get(root, 1) != 200 {
+			t.Error("byte slice alias failed")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

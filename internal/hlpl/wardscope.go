@@ -1,0 +1,34 @@
+package hlpl
+
+import "warden/internal/mem"
+
+// WardScope runs body with [base, base+size) registered as a WARD region,
+// reconciling it when body returns.
+//
+// This is the library-level analogue of MPL's trusted bulk primitives: the
+// paper's runtime marks only leaf-heap pages (§4.2), but the language's
+// standard library (tabulate, inject, bulk writes) knows by construction
+// that an operation's output range satisfies the WARD definition for the
+// operation's duration — concurrent tasks only *write* it (no cross-task
+// RAW), and any write-write overlap is apathetic (§3). The prime sieve of
+// Fig. 4 is exactly this pattern: the flags array "is a WARD region"
+// semantically even while it lives in an internal heap.
+//
+// Like every WARD mechanism here, this requires no user annotation: it is
+// used by the bulk operations in internal/pbbs's little standard library,
+// not by benchmark "application" code. Under a MESI machine the scope is a
+// no-op, so instruction streams stay comparable.
+//
+// The body must uphold the WARD contract: no task may read a location of
+// the range that another task wrote during the scope (such a read returns
+// stale data — the simulator models the divergence faithfully, and the
+// entanglement test demonstrates it).
+func (t *Task) WardScope(base mem.Addr, size uint64, body func()) {
+	if !t.w.rt.opts.MarkScopes {
+		body()
+		return
+	}
+	id, _ := t.w.ctx.AddRegion(base, base+mem.Addr(size))
+	body()
+	t.w.ctx.RemoveRegion(id)
+}

@@ -1,0 +1,133 @@
+package hlpl
+
+import (
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// taskDesc describes a forked task sitting in a deque. The Go-side struct
+// carries the closure; the simulated side carries the fork record the
+// parent wrote into its heap (function pointer + argument words) that the
+// executing worker must read, and the join cell it must signal.
+type taskDesc struct {
+	fn     func(*Task)
+	parent *Heap
+	desc   mem.Addr // fork record in the parent's heap (16 bytes)
+	join   mem.Addr // join cell in runtime memory
+}
+
+// worker is one scheduler participant, pinned to a hardware thread. Its
+// deque holds Go task descriptors; a pair of simulated control words (top
+// and bottom indices, in runtime memory on separate blocks) carries the
+// coherence traffic a Chase-Lev deque would generate.
+type worker struct {
+	rt  *RT
+	id  int
+	ctx *machine.Ctx
+
+	items []*taskDesc
+	head  int
+
+	topCell    mem.Addr // stolen-from end: thieves FetchAdd here
+	bottomCell mem.Addr // owner end: owner loads/stores here
+
+	runPool map[int][]mem.Addr // worker-local free page runs by size
+
+	rng uint64
+}
+
+func newWorker(rt *RT, id int) *worker {
+	return &worker{
+		rt:         rt,
+		id:         id,
+		topCell:    rt.allocCell(),
+		bottomCell: rt.allocCell(),
+		runPool:    make(map[int][]mem.Addr),
+		rng:        uint64(id)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+	}
+}
+
+func (w *worker) nextRand() uint64 {
+	w.rng ^= w.rng << 13
+	w.rng ^= w.rng >> 7
+	w.rng ^= w.rng << 17
+	return w.rng
+}
+
+// push makes td stealable. The owner publishes the new bottom index.
+func (w *worker) push(td *taskDesc) {
+	w.items = append(w.items, td)
+	w.ctx.Store(w.bottomCell, 8, uint64(len(w.items)))
+}
+
+// popIf removes td from the owner's end if it was not stolen, performing
+// the owner side of the deque protocol (load top, move bottom).
+func (w *worker) popIf(td *taskDesc) bool {
+	w.ctx.Load(w.topCell, 8)
+	if len(w.items) > w.head && w.items[len(w.items)-1] == td {
+		w.items = w.items[:len(w.items)-1]
+		w.ctx.Store(w.bottomCell, 8, uint64(len(w.items)))
+		return true
+	}
+	return false
+}
+
+// trySteal probes up to stealProbeLimit random victims and takes the oldest
+// task of the first victim with work. The simulated CAS on the victim's top
+// cell is the classic steal-side contention.
+func (w *worker) trySteal() *taskDesc {
+	n := len(w.rt.workers)
+	if n <= 1 {
+		return nil
+	}
+	for probe := 0; probe < stealProbeLimit; probe++ {
+		v := w.rt.workers[int(w.nextRand()%uint64(n))]
+		if v == w {
+			continue
+		}
+		w.ctx.Load(v.bottomCell, 8)
+		// The load parks this worker; other workers may mutate the deque in
+		// the meantime, so decide and commit on the post-load state before
+		// issuing more simulated operations.
+		if len(v.items) > v.head {
+			td := v.items[v.head]
+			v.head++
+			if v.head == len(v.items) {
+				v.items = v.items[:0]
+				v.head = 0
+			}
+			w.rt.Steals++
+			w.ctx.FetchAdd(v.topCell, 8, 1)
+			return td
+		}
+	}
+	return nil
+}
+
+// runTask executes a (typically stolen) task: read the fork record the
+// parent wrote into its heap, run the task in a fresh leaf heap, unmark and
+// merge the heap, and signal the join cell.
+func (w *worker) runTask(td *taskDesc) {
+	w.ctx.Compute(taskSetupCycles)
+	w.ctx.Load(td.desc, 8)
+	w.ctx.Load(td.desc+8, 8)
+	h := w.rt.newHeap(td.parent)
+	t := &Task{w: w, heap: h}
+	td.fn(t)
+	t.finish(td.parent)
+	w.ctx.Store(td.join, 8, 1)
+}
+
+// loop is the body of every non-root worker: steal until the computation
+// finishes. The done flag is host-side state; reading it models the cheap
+// "work available?" check real schedulers keep in shared memory via the
+// deque bottom loads inside trySteal.
+func (w *worker) loop() {
+	for !w.rt.done {
+		if td := w.trySteal(); td != nil {
+			w.runTask(td)
+			continue
+		}
+		w.ctx.Compute(idleProbeCycles)
+	}
+}

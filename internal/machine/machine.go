@@ -1,0 +1,385 @@
+// Package machine assembles the simulated computer: the discrete-event
+// engine, the MESI/WARDen memory system, and the instruction set that
+// simulated programs execute (loads, stores, compute, fences, atomics, and
+// WARDen's Add/Remove Region instructions).
+//
+// Programs are ordinary Go functions receiving a *Ctx per hardware thread;
+// every Ctx method is one or more simulated instructions whose timing and
+// coherence behaviour flow through the memory system. Stores retire through
+// a finite store buffer and only stall the core when it fills, while loads
+// block — the asymmetry behind the paper's observation that avoided
+// downgrades matter more than avoided invalidations (Fig. 10).
+package machine
+
+import (
+	"fmt"
+
+	"warden/internal/core"
+	"warden/internal/engine"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// Machine is a full simulated system. Create with New, install one Body per
+// hardware thread, then Run.
+type Machine struct {
+	cfg   topology.Config
+	proto core.Protocol
+	mem   *mem.Memory
+	sys   *core.System
+	ctr   *stats.Counters
+	eng   *engine.Engine
+	sbufs []*storeBuffer
+
+	cycles uint64 // final clock after Run
+}
+
+// New builds a machine with the given topology and protocol.
+func New(cfg topology.Config, proto core.Protocol) *Machine {
+	m := &Machine{
+		cfg:   cfg,
+		proto: proto,
+		mem:   mem.New(0),
+		ctr:   &stats.Counters{},
+	}
+	m.sys = core.NewSystem(cfg, proto, m.mem, m.ctr)
+	m.eng = engine.New(cfg.Threads(), m.exec)
+	m.eng.MaxCycles = 50_000_000_000
+	for i := 0; i < cfg.Threads(); i++ {
+		m.sbufs = append(m.sbufs, newStoreBuffer(cfg.StoreBufferEntries))
+	}
+	return m
+}
+
+// Config returns the machine's topology.
+func (m *Machine) Config() topology.Config { return m.cfg }
+
+// Protocol returns the coherence protocol in use.
+func (m *Machine) Protocol() core.Protocol { return m.proto }
+
+// Mem returns the simulated physical memory (host-side access, no timing).
+func (m *Machine) Mem() *mem.Memory { return m.mem }
+
+// System returns the memory system, for stats and invariant checks.
+func (m *Machine) System() *core.System { return m.sys }
+
+// Counters returns the machine's architectural counters.
+func (m *Machine) Counters() *stats.Counters { return m.ctr }
+
+// Cycles returns the total simulated execution time after Run.
+func (m *Machine) Cycles() uint64 { return m.cycles }
+
+// SetMaxCycles overrides the runaway guard.
+func (m *Machine) SetMaxCycles(c uint64) { m.eng.MaxCycles = c }
+
+// Run executes bodies (one per hardware thread; len must equal
+// Config().Threads()) to completion, drains all caches so memory is
+// coherent, and returns total cycles.
+func (m *Machine) Run(bodies []func(*Ctx)) (uint64, error) {
+	if len(bodies) != m.cfg.Threads() {
+		return 0, fmt.Errorf("machine: %d bodies for %d hardware threads", len(bodies), m.cfg.Threads())
+	}
+	for i, body := range bodies {
+		body := body
+		core := m.cfg.CoreOf(i)
+		m.eng.SetBody(i, func(t *engine.Thread) {
+			body(&Ctx{m: m, t: t, core: core})
+		})
+	}
+	cycles, err := m.eng.Run()
+	m.cycles = cycles
+	if err != nil {
+		return cycles, err
+	}
+	m.sys.DrainAll()
+	return cycles, nil
+}
+
+// ---------------------------------------------------------------------------
+// Instruction set (ops posted to the engine)
+
+type loadOp struct {
+	addr mem.Addr
+	buf  []byte
+}
+
+type storeOp struct {
+	addr mem.Addr
+	data []byte
+}
+
+type rmwOp struct {
+	addr mem.Addr
+	size int
+	fn   func(uint64) uint64
+	old  uint64
+}
+
+// superscalarWidth is how many ALU instructions retire per cycle.
+const superscalarWidth = 2
+
+type computeOp struct{ cycles uint64 }
+
+type fenceOp struct{}
+
+type addRegionOp struct {
+	lo, hi mem.Addr
+	id     core.RegionID
+	ok     bool
+}
+
+type removeRegionOp struct{ id core.RegionID }
+
+// exec is the engine handler: it executes one op and returns the clock
+// advance for the issuing thread.
+func (m *Machine) exec(t *engine.Thread, op engine.Op) uint64 {
+	switch o := op.(type) {
+	case *loadOp:
+		m.ctr.Instructions++
+		m.ctr.Loads++
+		var lat uint64
+		forEachBlockSpan(o.addr, len(o.buf), m.cfg.BlockSize, func(a mem.Addr, off, n int) {
+			lat += m.sys.Read(m.cfg.CoreOf(t.ID()), a, o.buf[off:off+n])
+		})
+		m.ctr.LoadCycles += lat
+		return lat
+
+	case *storeOp:
+		m.ctr.Instructions++
+		m.ctr.Stores++
+		var lat uint64
+		forEachBlockSpan(o.addr, len(o.data), m.cfg.BlockSize, func(a mem.Addr, off, n int) {
+			lat += m.sys.Write(m.cfg.CoreOf(t.ID()), a, o.data[off:off+n])
+		})
+		// The store's state change is visible now; its latency drains
+		// through the store buffer. The core advances by the issue cost
+		// plus any stall the full buffer imposes.
+		stall := m.sbufs[t.ID()].push(t.Now(), lat)
+		if stall > 0 {
+			m.ctr.StoreBufferStalls++
+		}
+		m.ctr.StoreCycles += 1 + stall
+		return 1 + stall
+
+	case *rmwOp:
+		m.ctr.Instructions++
+		m.ctr.Atomics++
+		// Atomics order the store buffer (TSO): drain first.
+		lat := m.sbufs[t.ID()].drain(t.Now())
+		old, alat := m.sys.RMW(m.cfg.CoreOf(t.ID()), o.addr, o.size, o.fn)
+		o.old = old
+		m.ctr.AtomicCycles += lat + alat
+		return lat + alat
+
+	case *computeOp:
+		// n ALU instructions retire at the core's superscalar width.
+		m.ctr.Instructions += o.cycles
+		adv := (o.cycles + superscalarWidth - 1) / superscalarWidth
+		m.ctr.ComputeCycles += adv
+		return adv
+
+	case *fenceOp:
+		m.ctr.Instructions++
+		m.ctr.FenceDrains++
+		return 1 + m.sbufs[t.ID()].drain(t.Now())
+
+	case *addRegionOp:
+		m.ctr.Instructions++
+		id, lat, ok := m.sys.AddRegion(m.cfg.CoreOf(t.ID()), o.lo, o.hi)
+		o.id, o.ok = id, ok
+		m.ctr.RegionCycles += lat
+		return lat
+
+	case *removeRegionOp:
+		m.ctr.Instructions++
+		lat := m.sys.RemoveRegion(m.cfg.CoreOf(t.ID()), o.id)
+		m.ctr.RegionCycles += lat
+		return lat
+	}
+	panic(fmt.Sprintf("machine: unknown op %T", op))
+}
+
+// forEachBlockSpan splits [addr, addr+n) into block-contained spans.
+func forEachBlockSpan(addr mem.Addr, n int, blockSize uint64, fn func(a mem.Addr, off, n int)) {
+	off := 0
+	for n > 0 {
+		a := addr + mem.Addr(off)
+		room := int(blockSize - uint64(a)%blockSize)
+		if room > n {
+			room = n
+		}
+		fn(a, off, room)
+		off += room
+		n -= room
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Store buffer
+
+// storeMSHRs is how many store misses can be outstanding at once: with the
+// buffer draining in order but misses overlapping, the effective
+// serialization between consecutive stores is lat/storeMSHRs.
+const storeMSHRs = 4
+
+// storeBuffer models a per-thread FIFO of in-flight stores. Entries hold
+// completion times; pushing into a full buffer stalls until the oldest
+// entry completes. Consecutive misses overlap (storeMSHRs outstanding), as
+// in a real core's miss-handling architecture.
+type storeBuffer struct {
+	completions []uint64 // ring buffer
+	head, size  int
+	lastDone    uint64 // completion time of the most recent entry
+}
+
+func newStoreBuffer(entries int) *storeBuffer {
+	return &storeBuffer{completions: make([]uint64, entries)}
+}
+
+func (b *storeBuffer) pop(now uint64) {
+	for b.size > 0 && b.completions[b.head] <= now {
+		b.head = (b.head + 1) % len(b.completions)
+		b.size--
+	}
+}
+
+// push enqueues a store taking lat cycles in the memory system and returns
+// the stall (beyond the 1-cycle issue cost) the core suffers.
+func (b *storeBuffer) push(now, lat uint64) (stall uint64) {
+	b.pop(now)
+	if b.size == len(b.completions) {
+		oldest := b.completions[b.head]
+		stall = oldest - now
+		now = oldest
+		b.pop(now)
+	}
+	// Retirement stays in order (TSO) but misses overlap: a store finishes
+	// no earlier than its own full latency and no earlier than a
+	// pipelined step after its predecessor.
+	done := now + lat
+	if pipelined := b.lastDone + lat/storeMSHRs; pipelined > done {
+		done = pipelined
+	}
+	b.lastDone = done
+	tail := (b.head + b.size) % len(b.completions)
+	b.completions[tail] = done
+	b.size++
+	return stall
+}
+
+// drain blocks until every buffered store completes, returning the stall.
+func (b *storeBuffer) drain(now uint64) (stall uint64) {
+	b.pop(now)
+	if b.size == 0 {
+		return 0
+	}
+	stall = b.lastDone - now
+	b.head, b.size = 0, 0
+	return stall
+}
+
+// ---------------------------------------------------------------------------
+// Ctx: the API simulated programs run against
+
+// Ctx is a hardware thread's view of the machine. All methods execute
+// simulated instructions; none are safe to call from any goroutine other
+// than the thread's own body.
+type Ctx struct {
+	m    *Machine
+	t    *engine.Thread
+	core int
+}
+
+// ThreadID returns the hardware thread id.
+func (c *Ctx) ThreadID() int { return c.t.ID() }
+
+// CoreID returns the core this thread runs on.
+func (c *Ctx) CoreID() int { return c.core }
+
+// Now returns the thread's local clock.
+func (c *Ctx) Now() uint64 { return c.t.Now() }
+
+// Machine returns the underlying machine.
+func (c *Ctx) Machine() *Machine { return c.m }
+
+// Load performs a size-byte load (size 1, 2, 4, or 8) and returns the value.
+func (c *Ctx) Load(a mem.Addr, size int) uint64 {
+	var buf [8]byte
+	op := loadOp{addr: a, buf: buf[:size]}
+	c.t.Call(&op)
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// Store performs a size-byte store of v at a.
+func (c *Ctx) Store(a mem.Addr, size int, v uint64) {
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v)
+		v >>= 8
+	}
+	c.t.Call(&storeOp{addr: a, data: buf[:size]})
+}
+
+// LoadBytes fills buf from simulated memory starting at a, as a single
+// load instruction per cache block touched.
+func (c *Ctx) LoadBytes(a mem.Addr, buf []byte) {
+	c.t.Call(&loadOp{addr: a, buf: buf})
+}
+
+// StoreBytes writes data to simulated memory starting at a.
+func (c *Ctx) StoreBytes(a mem.Addr, data []byte) {
+	c.t.Call(&storeOp{addr: a, data: data})
+}
+
+// Compute advances the thread by n single-cycle ALU instructions.
+func (c *Ctx) Compute(n uint64) {
+	if n == 0 {
+		return
+	}
+	c.t.Call(&computeOp{cycles: n})
+}
+
+// Fence drains the store buffer (a full memory barrier under TSO).
+func (c *Ctx) Fence() {
+	c.t.Call(&fenceOp{})
+}
+
+// CAS atomically compares the size-byte value at a with old and, if equal,
+// stores new. It reports whether the swap happened.
+func (c *Ctx) CAS(a mem.Addr, size int, old, new uint64) bool {
+	op := rmwOp{addr: a, size: size, fn: func(cur uint64) uint64 {
+		if cur == old {
+			return new
+		}
+		return cur
+	}}
+	c.t.Call(&op)
+	return op.old == old
+}
+
+// FetchAdd atomically adds delta to the size-byte value at a and returns
+// the previous value.
+func (c *Ctx) FetchAdd(a mem.Addr, size int, delta uint64) uint64 {
+	op := rmwOp{addr: a, size: size, fn: func(cur uint64) uint64 { return cur + delta }}
+	c.t.Call(&op)
+	return op.old
+}
+
+// AddRegion executes WARDen's Add Region instruction for [lo, hi). Under
+// MESI or when the region table is full it returns (core.NullRegion, false).
+func (c *Ctx) AddRegion(lo, hi mem.Addr) (core.RegionID, bool) {
+	op := addRegionOp{lo: lo, hi: hi}
+	c.t.Call(&op)
+	return op.id, op.ok
+}
+
+// RemoveRegion executes WARDen's Remove Region instruction, reconciling the
+// region's W blocks. Removing core.NullRegion is a cheap no-op.
+func (c *Ctx) RemoveRegion(id core.RegionID) {
+	c.t.Call(&removeRegionOp{id: id})
+}

@@ -1,0 +1,156 @@
+// Package mem implements the simulated physical address space: a sparse,
+// paged backing store plus a simple region allocator.
+//
+// The backing store holds the canonical value of every byte of simulated
+// memory. Under MESI the coherence protocol guarantees a single writer per
+// block, so reads and writes operate directly on the canonical store. Blocks
+// in the WARD state are the exception: each sharer keeps a private copy (see
+// internal/core), and the canonical store is only updated when those copies
+// reconcile.
+package mem
+
+import "fmt"
+
+// PageSize is the size of a simulated physical page in bytes. The HLPL
+// runtime allocates heap space and registers WARD regions at page
+// granularity, mirroring MPL's page-based heaps.
+const PageSize = 4096
+
+// Addr is a simulated physical address.
+type Addr uint64
+
+// Page returns the page-aligned base address containing a.
+func (a Addr) Page() Addr { return a &^ (PageSize - 1) }
+
+// Block returns the cache-block-aligned base of a for the given block size,
+// which must be a power of two.
+func (a Addr) Block(blockSize uint64) Addr { return a &^ Addr(blockSize-1) }
+
+// Memory is a sparse simulated address space with a bump region allocator.
+// The zero value is not ready to use; call New.
+type Memory struct {
+	pages map[Addr]*[PageSize]byte
+	next  Addr // next unallocated address for Alloc
+}
+
+// New returns an empty address space. Allocation starts at base, which is
+// rounded up to a page boundary; address 0 is never handed out so that it
+// can serve as a null pointer in runtime data structures.
+func New(base Addr) *Memory {
+	if base == 0 {
+		base = PageSize
+	}
+	return &Memory{
+		pages: make(map[Addr]*[PageSize]byte),
+		next:  (base + PageSize - 1).Page(),
+	}
+}
+
+// Alloc reserves size bytes aligned to align (a power of two, at least 1)
+// and returns the base address. The memory is zeroed on first touch.
+func (m *Memory) Alloc(size, align uint64) Addr {
+	if align == 0 {
+		align = 1
+	}
+	if align&(align-1) != 0 {
+		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
+	}
+	base := (m.next + Addr(align-1)) &^ Addr(align-1)
+	m.next = base + Addr(size)
+	return base
+}
+
+// AllocPages reserves n whole pages and returns the page-aligned base.
+func (m *Memory) AllocPages(n int) Addr {
+	return m.Alloc(uint64(n)*PageSize, PageSize)
+}
+
+// Brk reports the current top of the allocated address range.
+func (m *Memory) Brk() Addr { return m.next }
+
+func (m *Memory) page(a Addr) *[PageSize]byte {
+	base := a.Page()
+	p, ok := m.pages[base]
+	if !ok {
+		p = new([PageSize]byte)
+		m.pages[base] = p
+	}
+	return p
+}
+
+// ByteAt returns the canonical value of the byte at a.
+func (m *Memory) ByteAt(a Addr) byte {
+	if p, ok := m.pages[a.Page()]; ok {
+		return p[a-a.Page()]
+	}
+	return 0
+}
+
+// SetByte sets the canonical value of the byte at a.
+func (m *Memory) SetByte(a Addr, v byte) {
+	m.page(a)[a-a.Page()] = v
+}
+
+// Read copies len(dst) canonical bytes starting at a into dst. Reads may
+// cross page boundaries.
+func (m *Memory) Read(a Addr, dst []byte) {
+	for len(dst) > 0 {
+		base := a.Page()
+		off := int(a - base)
+		n := PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if p, ok := m.pages[base]; ok {
+			copy(dst[:n], p[off:off+n])
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = 0
+			}
+		}
+		dst = dst[n:]
+		a += Addr(n)
+	}
+}
+
+// Write copies src into the canonical store starting at a. Writes may cross
+// page boundaries.
+func (m *Memory) Write(a Addr, src []byte) {
+	for len(src) > 0 {
+		base := a.Page()
+		off := int(a - base)
+		n := PageSize - off
+		if n > len(src) {
+			n = len(src)
+		}
+		copy(m.page(a)[off:off+n], src[:n])
+		src = src[n:]
+		a += Addr(n)
+	}
+}
+
+// ReadUint reads a little-endian unsigned integer of the given byte size
+// (1, 2, 4, or 8) at a.
+func (m *Memory) ReadUint(a Addr, size int) uint64 {
+	var buf [8]byte
+	m.Read(a, buf[:size])
+	var v uint64
+	for i := size - 1; i >= 0; i-- {
+		v = v<<8 | uint64(buf[i])
+	}
+	return v
+}
+
+// WriteUint writes a little-endian unsigned integer of the given byte size
+// (1, 2, 4, or 8) at a.
+func (m *Memory) WriteUint(a Addr, size int, v uint64) {
+	var buf [8]byte
+	for i := 0; i < size; i++ {
+		buf[i] = byte(v)
+		v >>= 8
+	}
+	m.Write(a, buf[:size])
+}
+
+// PagesTouched reports how many distinct pages have been materialized.
+func (m *Memory) PagesTouched() int { return len(m.pages) }

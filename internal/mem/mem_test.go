@@ -1,0 +1,157 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddrHelpers(t *testing.T) {
+	if got := Addr(4097).Page(); got != 4096 {
+		t.Errorf("Page(4097) = %d, want 4096", got)
+	}
+	if got := Addr(4096).Page(); got != 4096 {
+		t.Errorf("Page(4096) = %d, want 4096", got)
+	}
+	if got := Addr(127).Block(64); got != 64 {
+		t.Errorf("Block(127, 64) = %d, want 64", got)
+	}
+	if got := Addr(64).Block(64); got != 64 {
+		t.Errorf("Block(64, 64) = %d, want 64", got)
+	}
+}
+
+func TestAllocAlignmentAndDisjointness(t *testing.T) {
+	m := New(0)
+	seen := map[Addr]uint64{} // base -> size
+	for i, tc := range []struct{ size, align uint64 }{
+		{1, 1}, {3, 2}, {8, 8}, {100, 64}, {4096, 4096}, {10, 1}, {64, 64},
+	} {
+		a := m.Alloc(tc.size, tc.align)
+		if uint64(a)%tc.align != 0 {
+			t.Errorf("alloc %d: base %#x not aligned to %d", i, uint64(a), tc.align)
+		}
+		for base, size := range seen {
+			if uint64(a) < uint64(base)+size && uint64(base) < uint64(a)+tc.size {
+				t.Errorf("alloc %d overlaps earlier allocation at %#x", i, uint64(base))
+			}
+		}
+		seen[a] = tc.size
+	}
+}
+
+func TestAllocNeverReturnsNull(t *testing.T) {
+	m := New(0)
+	if a := m.Alloc(1, 1); a == 0 {
+		t.Fatal("allocator handed out the null address")
+	}
+}
+
+func TestBadAlignmentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two alignment")
+		}
+	}()
+	New(0).Alloc(8, 3)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New(0)
+	a := m.Alloc(10000, 8)
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.Write(a, data)
+	got := make([]byte, len(data))
+	m.Read(a, got)
+	if !bytes.Equal(got, data) {
+		t.Fatal("read did not return written data")
+	}
+}
+
+func TestCrossPageWrite(t *testing.T) {
+	m := New(0)
+	a := m.AllocPages(2) + PageSize - 3
+	m.Write(a, []byte{1, 2, 3, 4, 5, 6})
+	got := make([]byte, 6)
+	m.Read(a, got)
+	for i, v := range got {
+		if v != byte(i+1) {
+			t.Fatalf("byte %d = %d, want %d", i, v, i+1)
+		}
+	}
+}
+
+func TestZeroFillUntouched(t *testing.T) {
+	m := New(0)
+	a := m.AllocPages(1)
+	buf := []byte{9, 9, 9, 9}
+	m.Read(a+100, buf)
+	for i, v := range buf {
+		if v != 0 {
+			t.Fatalf("untouched byte %d = %d, want 0", i, v)
+		}
+	}
+	if m.PagesTouched() != 0 {
+		t.Fatalf("reading must not materialize pages, got %d", m.PagesTouched())
+	}
+}
+
+func TestUintRoundTrip(t *testing.T) {
+	m := New(0)
+	a := m.Alloc(64, 8)
+	for _, size := range []int{1, 2, 4, 8} {
+		want := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		m.WriteUint(a, size, 0x1122334455667788)
+		if got := m.ReadUint(a, size); got != want {
+			t.Errorf("size %d: got %#x, want %#x", size, got, want)
+		}
+	}
+}
+
+func TestUintLittleEndian(t *testing.T) {
+	m := New(0)
+	a := m.Alloc(8, 8)
+	m.WriteUint(a, 4, 0x04030201)
+	for i := 0; i < 4; i++ {
+		if got := m.ByteAt(a + Addr(i)); got != byte(i+1) {
+			t.Errorf("byte %d = %d, want %d (little endian)", i, got, i+1)
+		}
+	}
+}
+
+func TestQuickUintRoundTrip(t *testing.T) {
+	m := New(0)
+	a := m.Alloc(PageSize, 8)
+	f := func(off uint16, v uint64) bool {
+		addr := a + Addr(off%(PageSize-8))
+		m.WriteUint(addr, 8, v)
+		return m.ReadUint(addr, 8) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWriteReadSlices(t *testing.T) {
+	m := New(0)
+	base := m.AllocPages(4)
+	f := func(off uint16, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if len(data) > 2*PageSize {
+			data = data[:2*PageSize]
+		}
+		a := base + Addr(off)
+		m.Write(a, data)
+		got := make([]byte, len(data))
+		m.Read(a, got)
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

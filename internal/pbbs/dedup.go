@@ -1,0 +1,101 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// Dedup removes duplicates from a word array using a concurrent
+// linear-probing hash set claimed with compare-and-swap. The table is true
+// synchronization — CAS races decide winners — so it cannot be a WARD
+// region; WARDen leaves this access pattern on the MESI paths, which is
+// why dedup is the paper's weakest benchmark (§7.2, Fig. 8).
+func Dedup(n int) *Workload {
+	w := &Workload{Name: "dedup", Size: n}
+	r := newRng(0xdedb)
+	// Roughly half the keys are duplicates.
+	input := make([]uint64, n)
+	for i := range input {
+		input[i] = 1 + r.next()%uint64(n/2) // keys are nonzero (0 = empty slot)
+	}
+	slots := 1
+	for slots < 2*n {
+		slots *= 2
+	}
+	var (
+		in       hlpl.U64
+		table    hlpl.U64
+		uniqCell mem.Addr
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		in = hostAllocU64(m, n)
+		hostWriteU64(m, in, input)
+	}
+	w.Root = func(root *hlpl.Task) {
+		table = root.NewU64(slots)
+		// Zero the table (tabulate: a WARD region).
+		root.WardScope(table.Base, uint64(slots)*8, func() {
+			root.ParallelFor(0, slots, 512, func(leaf *hlpl.Task, i int) {
+				table.Set(leaf, i, 0)
+			})
+		})
+		// Insert phase: CAS-claimed slots, per-leaf unique counts.
+		unique := root.Reduce(0, n, 128, func(leaf *hlpl.Task, lo, hi int) uint64 {
+			var cnt uint64
+			ctx := leaf.Ctx()
+			for i := lo; i < hi; i++ {
+				k := in.Get(leaf, i)
+				h := int(mix(k)) & (slots - 1)
+				for {
+					leaf.Compute(2)
+					cur := leaf.Load(table.Addr(h), 8)
+					if cur == k {
+						break // duplicate
+					}
+					if cur == 0 {
+						if ctx.CAS(table.Addr(h), 8, 0, k) {
+							cnt++
+							break
+						}
+						continue // lost the race: re-examine the slot
+					}
+					h = (h + 1) & (slots - 1)
+				}
+			}
+			return cnt
+		}, func(a, b uint64) uint64 { return a + b })
+		uniqCell = root.Alloc(8, 8)
+		root.Store(uniqCell, 8, unique)
+	}
+	w.Verify = func(m *machine.Machine) error {
+		seen := make(map[uint64]bool, n)
+		for _, k := range input {
+			seen[k] = true
+		}
+		got := m.Mem().ReadUint(uniqCell, 8)
+		if got != uint64(len(seen)) {
+			return fmt.Errorf("dedup: %d unique keys, want %d", got, len(seen))
+		}
+		// The table must contain exactly the unique keys.
+		vals := hostReadU64(m, table)
+		found := 0
+		for _, v := range vals {
+			if v == 0 {
+				continue
+			}
+			if !seen[v] {
+				return fmt.Errorf("dedup: table contains unexpected key %d", v)
+			}
+			found++
+		}
+		if found != len(seen) {
+			return fmt.Errorf("dedup: table holds %d keys, want %d", found, len(seen))
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,85 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// DMM is a dense n×n integer matrix multiply, parallel over output rows.
+// The output matrix is a WARD region while it is computed: row boundaries
+// within cache blocks would otherwise false-share between row tasks, and
+// the result is read back by the root afterwards (checksum), exercising the
+// proactive-flush path.
+func DMM(n int) *Workload {
+	w := &Workload{Name: "dmm", Size: n}
+	r := newRng(0xd33)
+	av := make([]uint64, n*n)
+	bv := make([]uint64, n*n)
+	for i := range av {
+		av[i] = r.next() % 1000
+		bv[i] = r.next() % 1000
+	}
+	var (
+		a, b, c hlpl.U64
+		sumCell hlpl.U64
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		a = hostAllocU64(m, n*n)
+		b = hostAllocU64(m, n*n)
+		hostWriteU64(m, a, av)
+		hostWriteU64(m, b, bv)
+	}
+	w.Root = func(root *hlpl.Task) {
+		c = root.NewU64(n * n)
+		root.WardScope(c.Base, uint64(n*n)*8, func() {
+			root.ParallelFor(0, n, 1, func(leaf *hlpl.Task, i int) {
+				for j := 0; j < n; j++ {
+					var s uint64
+					for k := 0; k < n; k++ {
+						leaf.Compute(2)
+						s += a.Get(leaf, i*n+k) * b.Get(leaf, k*n+j)
+					}
+					c.Set(leaf, i*n+j, s)
+				}
+			})
+		})
+		// Checksum pass by the root: reads every freshly produced block.
+		sum := root.Reduce(0, n*n, 256, func(leaf *hlpl.Task, lo, hi int) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += c.Get(leaf, i)
+			}
+			return s
+		}, func(x, y uint64) uint64 { return x + y })
+		sumCell = root.NewU64(1)
+		sumCell.Set(root, 0, sum)
+	}
+	w.Verify = func(m *machine.Machine) error {
+		want := make([]uint64, n*n)
+		var wantSum uint64
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				var s uint64
+				for k := 0; k < n; k++ {
+					s += av[i*n+k] * bv[k*n+j]
+				}
+				want[i*n+j] = s
+				wantSum += s
+			}
+		}
+		got := hostReadU64(m, c)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("dmm: c[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		if gotSum := m.Mem().ReadUint(sumCell.Addr(0), 8); gotSum != wantSum {
+			return fmt.Errorf("dmm: checksum = %d, want %d", gotSum, wantSum)
+		}
+		return nil
+	}
+	return w
+}

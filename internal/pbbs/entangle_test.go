@@ -1,0 +1,38 @@
+package pbbs
+
+import (
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// TestSuiteIsDisentangled runs every benchmark with entanglement detection
+// enabled and requires zero violations: each benchmark's WARD regions (leaf
+// heaps and library scopes) must never host a cross-thread read-after-write.
+// This validates the disentanglement-by-construction claim for the whole
+// suite, not just output correctness.
+func TestSuiteIsDisentangled(t *testing.T) {
+	for _, e := range Suite {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			m := machine.New(smallConfig(), core.WARDen)
+			m.System().SetEntanglementDetection(true)
+			w := e.New(e.Small)
+			if w.Prepare != nil {
+				w.Prepare(m)
+			}
+			rt := hlpl.New(m, hlpl.DefaultOptions())
+			if _, err := rt.Run(w.Root); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Verify(m); err != nil {
+				t.Fatal(err)
+			}
+			if n := m.Counters().EntanglementViolations; n != 0 {
+				t.Fatalf("%d entangled reads; first: %v", n, m.System().Violations()[0])
+			}
+		})
+	}
+}

@@ -1,0 +1,67 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// fibCutoff is the depth below which fib runs sequentially.
+const fibCutoff = 11
+
+func fibSeq(n int) uint64 {
+	if n < 2 {
+		return uint64(n)
+	}
+	a, b := uint64(0), uint64(1)
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+// fibWork approximates the instruction count of a sequential recursive
+// fib(n): about three instructions per call, with call count ~ 2*fib(n).
+func fibWork(n int) uint64 { return 3 * (2*fibSeq(n) + 1) }
+
+// Fib is the classic fork-join recursion: almost no memory footprint, so
+// its cost is dominated by the scheduler — forks, steals, and join-cell
+// synchronization. The paper's fib sees a large reduction in coherence
+// events but almost no speedup because few of them are downgrades (§7.2).
+func Fib(n int) *Workload {
+	w := &Workload{Name: "fib", Size: n}
+	var result mem.Addr
+
+	var fib func(t *hlpl.Task, n int) uint64
+	fib = func(t *hlpl.Task, n int) uint64 {
+		if n <= fibCutoff {
+			t.Compute(fibWork(n))
+			return fibSeq(n)
+		}
+		var a, b uint64
+		t.Join2(
+			func(l *hlpl.Task) { a = fib(l, n-1) },
+			func(r *hlpl.Task) { b = fib(r, n-2) },
+		)
+		// A functional language allocates the result pair after the join.
+		pair := t.Alloc(16, 8)
+		t.Store(pair, 8, a)
+		t.Store(pair+8, 8, b)
+		return a + b
+	}
+
+	w.Root = func(root *hlpl.Task) {
+		result = root.Alloc(8, 8)
+		root.Store(result, 8, fib(root, n))
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := m.Mem().ReadUint(result, 8)
+		if want := fibSeq(n); got != want {
+			return fmt.Errorf("fib(%d) = %d, want %d", n, got, want)
+		}
+		return nil
+	}
+	return w
+}

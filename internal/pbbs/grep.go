@@ -1,0 +1,119 @@
+package pbbs
+
+import (
+	"bytes"
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// grepPattern is the fixed needle; three characters over a 26-letter
+// alphabet gives a realistic sparse hit rate.
+var grepPattern = []byte("the")
+
+// Grep finds every occurrence of a pattern in text. Each chunk task scans
+// its range, buffering hit positions in task-local scratch (recycled pages
+// — the allocation-churn traffic WARDen absorbs); per-chunk counts are
+// combined into offsets and a second pass scatters positions into the
+// output.
+func Grep(n int) *Workload {
+	w := &Workload{Name: "grep", Size: n}
+	text := genText(n, 0x93e9)
+	// Plant extra occurrences so matches are non-trivial.
+	r := newRng(7)
+	for k := 0; k < n/200; k++ {
+		i := r.intn(n - len(grepPattern))
+		copy(text[i:], grepPattern)
+	}
+	var (
+		textArr hlpl.U8
+		out     hlpl.U64
+		total   int
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		textArr = hostAllocU8(m, n)
+		hostWriteU8(m, textArr, text)
+	}
+
+	const nChunks = 96
+	scan := func(leaf *hlpl.Task, lo, hi int, emit func(pos int)) {
+		if hi > n-len(grepPattern)+1 {
+			hi = n - len(grepPattern) + 1
+		}
+		for i := lo; i < hi; i++ {
+			if textArr.Get(leaf, i) != grepPattern[0] {
+				continue
+			}
+			ok := true
+			for j := 1; j < len(grepPattern); j++ {
+				leaf.Compute(1)
+				if textArr.Get(leaf, i+j) != grepPattern[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				emit(i)
+			}
+		}
+	}
+
+	w.Root = func(root *hlpl.Task) {
+		sums := root.NewU64(nChunks)
+		// Phase 1: scan chunks, buffering hits in task-local scratch.
+		root.WardScope(sums.Base, nChunks*8, func() {
+			root.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+				lo, hi := c*n/nChunks, (c+1)*n/nChunks
+				buf := leaf.NewU64Scratch(hi - lo)
+				cnt := 0
+				scan(leaf, lo, hi, func(pos int) {
+					buf.Set(leaf, cnt, uint64(pos))
+					cnt++
+				})
+				sums.Set(leaf, c, uint64(cnt))
+			})
+		})
+		offs := root.NewU64(nChunks)
+		var acc uint64
+		for c := 0; c < nChunks; c++ {
+			offs.Set(root, c, acc)
+			acc += sums.Get(root, c)
+		}
+		total = int(acc)
+
+		// Phase 2: rescan and scatter positions at each chunk's offset.
+		out = root.NewU64(total)
+		root.WardScope(out.Base, uint64(total)*8, func() {
+			root.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+				lo, hi := c*n/nChunks, (c+1)*n/nChunks
+				k := int(offs.Get(leaf, c))
+				scan(leaf, lo, hi, func(pos int) {
+					out.Set(leaf, k, uint64(pos))
+					k++
+				})
+			})
+		})
+	}
+
+	w.Verify = func(m *machine.Machine) error {
+		var want []int
+		for i := 0; i+len(grepPattern) <= len(text); i++ {
+			if bytes.Equal(text[i:i+len(grepPattern)], grepPattern) {
+				want = append(want, i)
+			}
+		}
+		if total != len(want) {
+			return fmt.Errorf("grep: %d matches, want %d", total, len(want))
+		}
+		got := hostReadU64(m, out)
+		for i := range want {
+			if got[i] != uint64(want[i]) {
+				return fmt.Errorf("grep: match[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return w
+}

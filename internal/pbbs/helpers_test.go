@@ -1,0 +1,195 @@
+package pbbs
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+func TestRngDeterministic(t *testing.T) {
+	a, b := newRng(42), newRng(42)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("rng not deterministic")
+		}
+	}
+	c := newRng(43)
+	same := true
+	a = newRng(42)
+	for i := 0; i < 10; i++ {
+		if a.next() != c.next() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenTextShape(t *testing.T) {
+	text := genText(10_000, 7)
+	spaces := 0
+	for _, c := range text {
+		if c == ' ' {
+			spaces++
+		} else if c < 'a' || c > 'z' {
+			t.Fatalf("unexpected byte %q", c)
+		}
+	}
+	if spaces == 0 || spaces > len(text)/3 {
+		t.Fatalf("space density off: %d/%d", spaces, len(text))
+	}
+}
+
+func TestHostSieveAgainstTrialDivision(t *testing.T) {
+	f := hostSieve(200)
+	isPrime := func(n int) bool {
+		if n < 2 {
+			return false
+		}
+		for d := 2; d*d <= n; d++ {
+			if n%d == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i <= 200; i++ {
+		if (f[i] == 1) != isPrime(i) {
+			t.Fatalf("sieve wrong at %d", i)
+		}
+	}
+}
+
+func TestHostTokenStarts(t *testing.T) {
+	got := hostTokenStarts([]byte("ab  cd e "))
+	want := []int{0, 4, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQhGeometry(t *testing.T) {
+	a := qhPack(0, 0)
+	b := qhPack(10, 0)
+	up := qhPack(5, 7)
+	down := qhPack(5, -7)
+	if qhCross(a, b, up) <= 0 {
+		t.Fatal("point above the line must have positive cross product")
+	}
+	if qhCross(a, b, down) >= 0 {
+		t.Fatal("point below the line must have negative cross product")
+	}
+	if qhX(qhPack(-300, 44)) != -300 || qhY(qhPack(-300, 44)) != 44 {
+		t.Fatal("pack/unpack round trip failed")
+	}
+}
+
+func TestQuickQhPackRoundTrip(t *testing.T) {
+	f := func(x, y int32) bool {
+		x %= 1 << 19
+		y %= 1 << 19
+		p := qhPack(x, y)
+		return qhX(p) == int64(x) && qhY(p) == int64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNDistance(t *testing.T) {
+	a := nnPack(10, 20)
+	b := nnPack(13, 24)
+	if d := nnDist2(a, b); d != 25 {
+		t.Fatalf("dist2 = %d, want 25", d)
+	}
+	if nnDist2(a, a) != 0 {
+		t.Fatal("self distance nonzero")
+	}
+}
+
+func TestFibHelpers(t *testing.T) {
+	want := []uint64{0, 1, 1, 2, 3, 5, 8, 13}
+	for i, w := range want {
+		if got := fibSeq(i); got != w {
+			t.Fatalf("fibSeq(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if fibWork(10) <= fibWork(5) {
+		t.Fatal("fibWork not increasing")
+	}
+}
+
+func TestNQueensReference(t *testing.T) {
+	for n, want := range map[int]uint64{4: 2, 5: 10, 6: 4, 8: 92} {
+		if got, _ := nqueensCount(n, 0, 0, 0); got != want {
+			t.Fatalf("nqueens(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestParallelSortProperty: the in-simulator parallel sort must equal the
+// host sort for random inputs of random sizes.
+func TestParallelSortProperty(t *testing.T) {
+	f := func(seed uint16, size uint16) bool {
+		n := int(size)%1500 + 2
+		r := newRng(uint64(seed))
+		input := make([]uint64, n)
+		for i := range input {
+			input[i] = r.next() % 10_000
+		}
+		m := machine.New(smallConfig(), core.WARDen)
+		in := hostAllocU64(m, n)
+		hostWriteU64(m, in, input)
+		rt := hlpl.New(m, hlpl.DefaultOptions())
+		var out hlpl.U64
+		if _, err := rt.Run(func(root *hlpl.Task) {
+			out = parallelSort(root, in)
+		}); err != nil {
+			t.Log(err)
+			return false
+		}
+		got := hostReadU64(m, out)
+		want := sortedCopy(input)
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if names := Names(); len(names) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14", len(names))
+	}
+	if !sort.StringsAreSorted(Names()) {
+		t.Fatal("suite not in alphabetical (paper) order")
+	}
+}
+
+func TestPingPongRejectsBadThreads(t *testing.T) {
+	cfg := smallConfig()
+	if _, err := PingPong(cfg, 0, 0, 10, "same"); err == nil {
+		t.Fatal("identical threads accepted")
+	}
+	if _, err := PingPong(cfg, 0, 99, 10, "oob"); err == nil {
+		t.Fatal("out-of-range thread accepted")
+	}
+}

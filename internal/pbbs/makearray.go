@@ -1,0 +1,42 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+func mix(i uint64) uint64 {
+	i = (i ^ (i >> 33)) * 0xff51afd7ed558ccd
+	return i ^ (i >> 33)
+}
+
+// MakeArray is a pure parallel tabulate: allocate an n-word array and fill
+// element i with a hash of i. There is no sharing to speak of, so WARDen's
+// region-tracking/reconciliation overhead is all cost and no benefit — the
+// paper calls make_array out as the benchmark WARDen helps least (§7.2).
+func MakeArray(n int) *Workload {
+	w := &Workload{Name: "make_array", Size: n}
+	var arr hlpl.U64
+
+	w.Root = func(root *hlpl.Task) {
+		arr = root.NewU64(n)
+		root.WardScope(arr.Base, uint64(n)*8, func() {
+			root.ParallelFor(0, n, 256, func(leaf *hlpl.Task, i int) {
+				leaf.Compute(2)
+				arr.Set(leaf, i, mix(uint64(i)))
+			})
+		})
+	}
+	w.Verify = func(m *machine.Machine) error {
+		vals := hostReadU64(m, arr)
+		for i, v := range vals {
+			if v != mix(uint64(i)) {
+				return fmt.Errorf("make_array[%d] = %#x, want %#x", i, v, mix(uint64(i)))
+			}
+		}
+		return nil
+	}
+	return w
+}

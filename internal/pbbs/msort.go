@@ -1,0 +1,47 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// MSort is the functional parallel merge sort of a random word array. Every
+// task allocates its sorted output in its own leaf heap; parents read both
+// children's freshly written arrays while merging. Allocation churn is high
+// (one array per tree node), so page recycling keeps MESI busy
+// invalidating stale copies.
+func MSort(n int) *Workload {
+	w := &Workload{Name: "msort", Size: n}
+	r := newRng(0x5027)
+	input := make([]uint64, n)
+	for i := range input {
+		input[i] = r.next() % 1_000_000
+	}
+	var (
+		in, out hlpl.U64
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		in = hostAllocU64(m, n)
+		hostWriteU64(m, in, input)
+	}
+	w.Root = func(root *hlpl.Task) {
+		out = parallelSort(root, in)
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := hostReadU64(m, out)
+		want := sortedCopy(input)
+		if len(got) != len(want) {
+			return fmt.Errorf("msort: %d elements, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("msort: out[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,111 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// nqueensCount is the sequential bitmask backtracking solver. It returns
+// the solution count and the number of search nodes visited (to charge
+// simulated compute).
+func nqueensCount(n int, cols, diag1, diag2 uint32) (solutions, nodes uint64) {
+	full := uint32(1<<n) - 1
+	if cols == full {
+		return 1, 1
+	}
+	nodes = 1
+	avail := full &^ (cols | diag1 | diag2)
+	for avail != 0 {
+		bit := avail & (^avail + 1)
+		avail &^= bit
+		s, nd := nqueensCount(n, cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1)
+		solutions += s
+		nodes += nd
+	}
+	return solutions, nodes
+}
+
+// nqueensSim is the simulated backtracking search: like a functional
+// program, it allocates a fresh board record per search node in the task's
+// leaf heap (heap churn is the point — MPL programs allocate constantly)
+// and charges compute per node.
+func nqueensSim(t *hlpl.Task, n int, cols, diag1, diag2 uint32) uint64 {
+	full := uint32(1<<n) - 1
+	if cols == full {
+		return 1
+	}
+	var solutions uint64
+	avail := full &^ (cols | diag1 | diag2)
+	for avail != 0 {
+		bit := avail & (^avail + 1)
+		avail &^= bit
+		node := t.Alloc(16, 8)
+		t.Store(node, 8, uint64(cols|bit))
+		t.Store(node+8, 8, uint64(diag1|bit))
+		t.Compute(6)
+		solutions += nqueensSim(t, n, cols|bit, (diag1|bit)<<1&full, (diag2|bit)>>1)
+	}
+	return solutions
+}
+
+// NQueens counts the solutions to the n-queens problem. The first two rows
+// fan out as parallel tasks (one per legal placement pair); each task then
+// backtracks sequentially, allocating a record per search node in its leaf
+// heap. The benchmark is fork/steal/allocation-heavy with short-lived
+// heaps (discarded at completion, as a generational collector would) — in
+// the paper it speeds up mostly through avoided downgrades on scheduler
+// and allocator metadata.
+func NQueens(n int) *Workload {
+	w := &Workload{Name: "nqueens", Size: n}
+	var result mem.Addr
+
+	w.Root = func(root *hlpl.Task) {
+		full := uint32(1<<n) - 1
+		// Enumerate the first two rows' placements.
+		type seed struct{ cols, d1, d2 uint32 }
+		var seeds []seed
+		for c0 := 0; c0 < n; c0++ {
+			b0 := uint32(1) << c0
+			d1, d2 := b0<<1&full, b0>>1
+			for c1 := 0; c1 < n; c1++ {
+				b1 := uint32(1) << c1
+				if b1&(b0|d1|d2) != 0 {
+					continue
+				}
+				seeds = append(seeds, seed{b0 | b1, (d1 | b1) << 1 & full, (d2 | b1) >> 1})
+			}
+		}
+		counts := root.NewU64(len(seeds))
+		root.WardScope(counts.Base, uint64(len(seeds))*8, func() {
+			root.ParallelFor(0, len(seeds), 1, func(leaf *hlpl.Task, i int) {
+				s := seeds[i]
+				sol := nqueensSim(leaf, n, s.cols, s.d1, s.d2)
+				counts.Set(leaf, i, sol)
+				// The search's node records are garbage once the count is
+				// out; a generational collector reclaims them at the join.
+				leaf.DiscardHeap()
+			})
+		})
+		total := root.Reduce(0, len(seeds), 16, func(leaf *hlpl.Task, lo, hi int) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += counts.Get(leaf, i)
+			}
+			return s
+		}, func(a, b uint64) uint64 { return a + b })
+		result = root.Alloc(8, 8)
+		root.Store(result, 8, total)
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := m.Mem().ReadUint(result, 8)
+		want, _ := nqueensCount(n, 0, 0, 0)
+		if got != want {
+			return fmt.Errorf("nqueens(%d) = %d, want %d", n, got, want)
+		}
+		return nil
+	}
+	return w
+}

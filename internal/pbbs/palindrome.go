@@ -1,0 +1,180 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// genPalindromeText produces text over a small alphabet with planted
+// palindromes so searches do real work.
+func genPalindromeText(n int, seed uint64) []byte {
+	r := newRng(seed)
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte('a' + r.intn(4))
+	}
+	for k := 0; k < n/64; k++ {
+		l := 5 + r.intn(24)
+		c := r.intn(n)
+		for d := 1; d <= l && c-d >= 0 && c+d < n; d++ {
+			out[c+d] = out[c-d]
+		}
+	}
+	return out
+}
+
+const palB = 0x100000001b3 // odd polynomial base (mod 2^64 arithmetic)
+
+// Palindrome finds the longest odd-length palindromic substring using
+// rolling prefix hashes: forward and reversed hash arrays are built in
+// parallel (chunked two-pass scan), then every center binary-searches its
+// palindromic radius with hash probes at data-dependent offsets. The probe
+// phase reads hash-array blocks freshly written by other cores all over the
+// string — the downgrade-dominated pattern behind palindrome's standing as
+// the paper's strongest benchmark.
+func Palindrome(n int) *Workload {
+	w := &Workload{Name: "palindrome", Size: n}
+	text := genPalindromeText(n, 0xba1)
+	var (
+		textArr hlpl.U8
+		best    mem.Addr
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		textArr = hostAllocU8(m, n)
+		hostWriteU8(m, textArr, text)
+	}
+
+	const nChunks = 96
+	// buildHashes fills h (length n+1) with prefix hashes of the byte
+	// sequence read through at (h[i+1] = h[i]*B + at(i)), and pow with
+	// powers of B, using a two-pass chunked parallel scan.
+	buildHashes := func(root *hlpl.Task, h, pow hlpl.U64, at func(t *hlpl.Task, i int) byte) {
+		// Pass 1: per-chunk hash and B^len.
+		chunkHash := root.NewU64(nChunks)
+		chunkPow := root.NewU64(nChunks)
+		root.WardScope(chunkHash.Base, nChunks*8, func() {
+			root.WardScope(chunkPow.Base, nChunks*8, func() {
+				root.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+					lo, hi := c*n/nChunks, (c+1)*n/nChunks
+					var hv, pv uint64 = 0, 1
+					for i := lo; i < hi; i++ {
+						leaf.Compute(2)
+						hv = hv*palB + uint64(at(leaf, i))
+						pv *= palB
+					}
+					chunkHash.Set(leaf, c, hv)
+					chunkPow.Set(leaf, c, pv)
+				})
+			})
+		})
+		// Pass 2: exclusive prefixes over chunks (root-sequential, tiny).
+		baseHash := root.NewU64(nChunks)
+		basePow := root.NewU64(nChunks)
+		var hv, pv uint64 = 0, 1
+		for c := 0; c < nChunks; c++ {
+			baseHash.Set(root, c, hv)
+			basePow.Set(root, c, pv)
+			hv = hv*chunkPow.Get(root, c) + chunkHash.Get(root, c)
+			pv *= chunkPow.Get(root, c)
+		}
+		// Pass 3: absolute prefix hashes and powers.
+		root.WardScope(h.Base, uint64(h.N)*8, func() {
+			root.WardScope(pow.Base, uint64(pow.N)*8, func() {
+				if h.N > 0 {
+					h.Set(root, 0, 0)
+				}
+				pow.Set(root, 0, 1)
+				root.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+					lo, hi := c*n/nChunks, (c+1)*n/nChunks
+					hv := baseHash.Get(leaf, c)
+					pv := basePow.Get(leaf, c)
+					for i := lo; i < hi; i++ {
+						leaf.Compute(2)
+						hv = hv*palB + uint64(at(leaf, i))
+						pv *= palB
+						h.Set(leaf, i+1, hv)
+						pow.Set(leaf, i+1, pv)
+					}
+				})
+			})
+		})
+	}
+
+	w.Root = func(root *hlpl.Task) {
+		hf := root.NewU64(n + 1) // forward prefix hashes
+		hr := root.NewU64(n + 1) // reversed-text prefix hashes
+		pow := root.NewU64(n + 1)
+		buildHashes(root, hf, pow, func(t *hlpl.Task, i int) byte { return textArr.Get(t, i) })
+		powDummy := root.NewU64(n + 1)
+		buildHashes(root, hr, powDummy, func(t *hlpl.Task, i int) byte { return textArr.Get(t, n-1-i) })
+
+		// isPal reports whether s[l..r] is a palindrome via hash equality.
+		isPal := func(t *hlpl.Task, l, r int) bool {
+			length := r - l + 1
+			t.Compute(8)
+			fwd := hf.Get(t, r+1) - hf.Get(t, l)*pow.Get(t, length)
+			rl, rr := n-1-r, n-1-l
+			rev := hr.Get(t, rr+1) - hr.Get(t, rl)*pow.Get(t, length)
+			return fwd == rev
+		}
+
+		lens := root.NewU64(n)
+		root.WardScope(lens.Base, uint64(n)*8, func() {
+			root.ParallelFor(0, n, 64, func(leaf *hlpl.Task, c int) {
+				// Binary search the palindromic radius around center c.
+				lo, hi := 0, c
+				if n-1-c < hi {
+					hi = n - 1 - c
+				}
+				for lo < hi {
+					mid := (lo + hi + 1) / 2
+					if isPal(leaf, c-mid, c+mid) {
+						lo = mid
+					} else {
+						hi = mid - 1
+					}
+				}
+				lens.Set(leaf, c, uint64(2*lo+1))
+			})
+		})
+		m := root.Reduce(0, n, 256, func(leaf *hlpl.Task, lo, hi int) uint64 {
+			var mx uint64
+			for i := lo; i < hi; i++ {
+				if v := lens.Get(leaf, i); v > mx {
+					mx = v
+				}
+			}
+			return mx
+		}, func(a, b uint64) uint64 {
+			if a > b {
+				return a
+			}
+			return b
+		})
+		best = root.Alloc(8, 8)
+		root.Store(best, 8, m)
+	}
+
+	w.Verify = func(m *machine.Machine) error {
+		got := m.Mem().ReadUint(best, 8)
+		var want uint64
+		for c := 0; c < n; c++ {
+			d := 0
+			for c-d-1 >= 0 && c+d+1 < n && text[c-d-1] == text[c+d+1] {
+				d++
+			}
+			if v := uint64(2*d + 1); v > want {
+				want = v
+			}
+		}
+		if got != want {
+			return fmt.Errorf("palindrome: longest = %d, want %d", got, want)
+		}
+		return nil
+	}
+	return w
+}

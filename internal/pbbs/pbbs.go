@@ -1,0 +1,158 @@
+// Package pbbs reimplements the PBBS-style benchmark suite the paper
+// evaluates (§7.1): fourteen benchmarks spanning graph/text/geometry/
+// numeric workloads, ported to the hlpl fork-join runtime the way the
+// Parallel ML benchmarks are ported to MPL. Each workload prepares
+// deterministic inputs, runs its parallel kernel on the simulated machine,
+// and verifies its own output afterwards.
+//
+// The package also contains the true-sharing ping-pong microbenchmark of
+// Fig. 6 used to validate the simulator's latency model (Table 1).
+package pbbs
+
+import (
+	"fmt"
+	"sort"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// Workload is one runnable benchmark instance. Prepare writes inputs into
+// simulated memory host-side (input generation is not part of the measured
+// region, matching PBBS methodology); Root is the parallel kernel; Verify
+// checks outputs host-side after the run.
+type Workload struct {
+	Name    string
+	Size    int
+	Prepare func(m *machine.Machine)
+	Root    func(*hlpl.Task)
+	Verify  func(m *machine.Machine) error
+}
+
+// Factory builds a workload for an input size parameter (meaning varies per
+// benchmark: element count, string length, matrix dimension, ...).
+type Factory func(size int) *Workload
+
+// Entry describes one suite member with its preset sizes. Small keeps unit
+// tests fast; Medium is the evaluation size (tuned, like the paper's
+// inputs, for feasible simulation times).
+type Entry struct {
+	Name   string
+	New    Factory
+	Small  int
+	Medium int
+}
+
+// Suite lists the fourteen evaluated benchmarks in the paper's (alphabetical)
+// order.
+var Suite = []Entry{
+	{"dedup", Dedup, 2_000, 24_000},
+	{"dmm", DMM, 24, 56},
+	{"fib", Fib, 17, 24},
+	{"grep", Grep, 8_000, 120_000},
+	{"make_array", MakeArray, 8_000, 150_000},
+	{"msort", MSort, 2_000, 24_000},
+	{"nn", NN, 1_000, 12_000},
+	{"nqueens", NQueens, 6, 8},
+	{"palindrome", Palindrome, 2_000, 20_000},
+	{"primes", Primes, 10_000, 200_000},
+	{"quickhull", QuickHull, 2_000, 24_000},
+	{"ray", Ray, 24, 72},
+	{"suffix-array", SuffixArray, 512, 4_096},
+	{"tokens", Tokens, 8_000, 150_000},
+}
+
+// ByName returns the suite entry with the given name.
+func ByName(name string) (Entry, error) {
+	for _, e := range Suite {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("pbbs: unknown benchmark %q", name)
+}
+
+// Names returns all suite benchmark names in order.
+func Names() []string {
+	out := make([]string, len(Suite))
+	for i, e := range Suite {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic input generation (host-side)
+
+// rng is a splitmix64 generator for reproducible inputs.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng { return &rng{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// hostAllocU64 reserves an n-word array in simulated memory without timing
+// (used for inputs prepared before the measured run).
+func hostAllocU64(m *machine.Machine, n int) hlpl.U64 {
+	return hlpl.U64{Base: m.Mem().Alloc(uint64(n)*8, mem.PageSize), N: n}
+}
+
+// hostAllocU8 reserves an n-byte array in simulated memory without timing.
+func hostAllocU8(m *machine.Machine, n int) hlpl.U8 {
+	return hlpl.U8{Base: m.Mem().Alloc(uint64(n), mem.PageSize), N: n}
+}
+
+func hostWriteU64(m *machine.Machine, a hlpl.U64, vals []uint64) {
+	for i, v := range vals {
+		m.Mem().WriteUint(a.Addr(i), 8, v)
+	}
+}
+
+func hostReadU64(m *machine.Machine, a hlpl.U64) []uint64 {
+	out := make([]uint64, a.N)
+	for i := range out {
+		out[i] = m.Mem().ReadUint(a.Addr(i), 8)
+	}
+	return out
+}
+
+func hostWriteU8(m *machine.Machine, a hlpl.U8, vals []byte) {
+	m.Mem().Write(a.Base, vals)
+}
+
+func hostReadU8(m *machine.Machine, a hlpl.U8) []byte {
+	out := make([]byte, a.N)
+	m.Mem().Read(a.Base, out)
+	return out
+}
+
+// genText produces deterministic lowercase text with word structure for the
+// string benchmarks.
+func genText(n int, seed uint64) []byte {
+	r := newRng(seed)
+	out := make([]byte, n)
+	for i := range out {
+		if r.intn(7) == 0 {
+			out[i] = ' '
+		} else {
+			out[i] = byte('a' + r.intn(26))
+		}
+	}
+	return out
+}
+
+// sortedCopy returns a sorted copy of vals (host-side reference results).
+func sortedCopy(vals []uint64) []uint64 {
+	out := append([]uint64(nil), vals...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

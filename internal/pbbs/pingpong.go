@@ -1,0 +1,64 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/machine"
+	"warden/internal/topology"
+)
+
+// PingPongResult reports the true-sharing microbenchmark's measurement.
+type PingPongResult struct {
+	Scenario      string
+	Cycles        uint64
+	Iterations    int
+	CyclesPerIter float64
+}
+
+// PingPong runs the paper's Fig. 6 true-sharing kernel on a fresh machine:
+// two hardware threads alternately spin on a shared word and overwrite it
+// with their own id, forcing the cache block to ping-pong. It returns the
+// measured cycles per iteration, the quantity validated against real
+// hardware in Table 1.
+//
+//	while (iterations--) {
+//	    while (buf != partnerID) ;
+//	    buf = myID;
+//	}
+func PingPong(cfg topology.Config, threadA, threadB, iterations int, scenario string) (PingPongResult, error) {
+	m := machine.New(cfg, 0 /* MESI; the kernel has no WARD regions */)
+	buf := m.Mem().Alloc(64, 64)
+	idA, idB := uint64(threadA+1), uint64(threadB+1)
+	// A waits for B's id; seed the buffer so A goes first.
+	m.Mem().WriteUint(buf, 8, idB)
+
+	player := func(myID, partnerID uint64) func(*machine.Ctx) {
+		return func(ctx *machine.Ctx) {
+			for it := 0; it < iterations; it++ {
+				for ctx.Load(buf, 8) != partnerID {
+				}
+				ctx.Store(buf, 8, myID)
+			}
+		}
+	}
+	bodies := make([]func(*machine.Ctx), cfg.Threads())
+	for i := range bodies {
+		bodies[i] = func(*machine.Ctx) {}
+	}
+	if threadA == threadB || threadA >= cfg.Threads() || threadB >= cfg.Threads() {
+		return PingPongResult{}, fmt.Errorf("pbbs: bad ping-pong threads %d, %d for %d-thread machine", threadA, threadB, cfg.Threads())
+	}
+	bodies[threadA] = player(idA, idB)
+	bodies[threadB] = player(idB, idA)
+
+	cycles, err := m.Run(bodies)
+	if err != nil {
+		return PingPongResult{}, err
+	}
+	return PingPongResult{
+		Scenario:      scenario,
+		Cycles:        cycles,
+		Iterations:    iterations,
+		CyclesPerIter: float64(cycles) / float64(iterations),
+	}, nil
+}

@@ -1,0 +1,87 @@
+package pbbs
+
+import (
+	"fmt"
+	"math"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// Primes is the paper's running example (Fig. 4): a parallel prime sieve
+// whose flags array is written concurrently by many tasks. The races are
+// benign write-after-write races — every writer stores the same value
+// (false) — so the whole marking phase runs inside a WARD region: under
+// WARDen the blocks ping-ponging between markers under MESI instead sit in
+// the W state and merge once at the end.
+func Primes(n int) *Workload {
+	w := &Workload{Name: "primes", Size: n}
+	var flags hlpl.U8
+
+	// sieve computes flags[0..n] with flags[p] == 1 iff p is prime,
+	// following Fig. 4's structure (recursive sqrt sieve, then parallel
+	// marking of composites).
+	var sieve func(t *hlpl.Task, n int) hlpl.U8
+	sieve = func(t *hlpl.Task, n int) hlpl.U8 {
+		f := t.NewU8(n + 1)
+		t.WardScope(f.Base, uint64(n+1), func() {
+			t.ParallelFor(0, n+1, 512, func(leaf *hlpl.Task, i int) {
+				f.Set(leaf, i, 1)
+			})
+		})
+		f.Set(t, 0, 0)
+		if n >= 1 {
+			f.Set(t, 1, 0)
+		}
+		if n >= 4 {
+			sq := int(math.Sqrt(float64(n)))
+			sqf := sieve(t, sq)
+			t.WardScope(f.Base, uint64(n+1), func() {
+				t.ParallelFor(2, sq+1, 1, func(leaf *hlpl.Task, p int) {
+					if sqf.Get(leaf, p) == 1 {
+						for m := 2 * p; m <= n; m += p {
+							leaf.Compute(1)
+							f.Set(leaf, m, 0)
+						}
+					}
+				})
+			})
+		}
+		return f
+	}
+
+	w.Root = func(root *hlpl.Task) {
+		flags = sieve(root, n)
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := hostReadU8(m, flags)
+		want := hostSieve(n)
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("primes: flags[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+// hostSieve is the reference sequential sieve.
+func hostSieve(n int) []byte {
+	f := make([]byte, n+1)
+	for i := range f {
+		f[i] = 1
+	}
+	f[0] = 0
+	if n >= 1 {
+		f[1] = 0
+	}
+	for p := 2; p*p <= n; p++ {
+		if f[p] == 1 {
+			for m := p * p; m <= n; m += p {
+				f[m] = 0
+			}
+		}
+	}
+	return f
+}

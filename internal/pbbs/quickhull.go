@@ -1,0 +1,161 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// qhPack packs signed 20-bit coordinates (offset by 2^19) into one word.
+func qhPack(x, y int32) uint64 {
+	return uint64(uint32(x+1<<19))<<20 | uint64(uint32(y+1<<19))&0xfffff
+}
+func qhX(p uint64) int64 { return int64(p>>20) - 1<<19 }
+func qhY(p uint64) int64 { return int64(p&0xfffff) - 1<<19 }
+
+// qhCross returns the cross product (b-a) × (c-a): positive when c is left
+// of the directed line a→b.
+func qhCross(a, b, c uint64) int64 {
+	return (qhX(b)-qhX(a))*(qhY(c)-qhY(a)) - (qhY(b)-qhY(a))*(qhX(c)-qhX(a))
+}
+
+// QuickHull computes the upper convex hull of a point set. Each recursion
+// level filters the surviving points into a fresh array in the task's own
+// heap — the functional, allocation-heavy style MPL programs take — and
+// hull points concatenate upward through joins. Like the paper's
+// quickhull, coherence-event reductions are large but the speedup is
+// modest: the kernel is latency-tolerant (stores into fresh pages).
+func QuickHull(n int) *Workload {
+	w := &Workload{Name: "quickhull", Size: n}
+	r := newRng(0x9d11)
+	pts := make([]uint64, n)
+	for i := range pts {
+		x := int32(r.intn(1 << 19))
+		y := int32(r.intn(1 << 19))
+		pts[i] = qhPack(x-1<<18, y-1<<18)
+	}
+	var (
+		in      hlpl.U64
+		hullArr hlpl.U64
+		hullLen int
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		in = hostAllocU64(m, n)
+		hostWriteU64(m, in, pts)
+	}
+
+	// hull returns the hull points strictly left of a→b (as packed coords,
+	// in a→b order), from candidate point values cand.
+	var hull func(t *hlpl.Task, cand hlpl.U64, a, b uint64) hlpl.U64
+	hull = func(t *hlpl.Task, cand hlpl.U64, a, b uint64) hlpl.U64 {
+		if cand.N == 0 {
+			return hlpl.U64{}
+		}
+		// Farthest point from line a→b.
+		far := t.Reduce(0, cand.N, 256, func(leaf *hlpl.Task, lo, hi int) uint64 {
+			best, bestD := uint64(0), int64(-1)
+			for i := lo; i < hi; i++ {
+				leaf.Compute(4)
+				p := cand.Get(leaf, i)
+				if d := qhCross(a, b, p); d > bestD {
+					best, bestD = p, d
+				}
+			}
+			return best
+		}, func(x, y uint64) uint64 {
+			if qhCross(a, b, x) >= qhCross(a, b, y) {
+				return x
+			}
+			return y
+		})
+		// Filter the two flanks into fresh arrays (sequential below a
+		// threshold; the recursion supplies the parallelism).
+		left := t.NewU64(cand.N)
+		right := t.NewU64(cand.N)
+		nl, nr := 0, 0
+		for i := 0; i < cand.N; i++ {
+			t.Compute(4)
+			p := cand.Get(t, i)
+			if qhCross(a, far, p) > 0 {
+				left.Set(t, nl, p)
+				nl++
+			} else if qhCross(far, b, p) > 0 {
+				right.Set(t, nr, p)
+				nr++
+			}
+		}
+		var hl, hr hlpl.U64
+		t.Join2(
+			func(l *hlpl.Task) { hl = hull(l, left.Slice(0, nl), a, far) },
+			func(rt *hlpl.Task) { hr = hull(rt, right.Slice(0, nr), far, b) },
+		)
+		// Concatenate hl ++ [far] ++ hr into a fresh array.
+		out := t.NewU64(hl.N + 1 + hr.N)
+		k := 0
+		for i := 0; i < hl.N; i++ {
+			out.Set(t, k, hl.Get(t, i))
+			k++
+		}
+		out.Set(t, k, far)
+		k++
+		for i := 0; i < hr.N; i++ {
+			out.Set(t, k, hr.Get(t, i))
+			k++
+		}
+		return out
+	}
+
+	w.Root = func(root *hlpl.Task) {
+		// Anchors: leftmost and rightmost points.
+		lo, hi := pts[0], pts[0]
+		for _, p := range pts {
+			if qhX(p) < qhX(lo) || (qhX(p) == qhX(lo) && qhY(p) < qhY(lo)) {
+				lo = p
+			}
+			if qhX(p) > qhX(hi) || (qhX(p) == qhX(hi) && qhY(p) > qhY(hi)) {
+				hi = p
+			}
+		}
+		root.Compute(uint64(2 * n)) // anchor scan cost
+		upper := hull(root, in, lo, hi)
+		hullArr = root.NewU64(upper.N + 2)
+		hullArr.Set(root, 0, lo)
+		for i := 0; i < upper.N; i++ {
+			hullArr.Set(root, i+1, upper.Get(root, i))
+		}
+		hullArr.Set(root, upper.N+1, hi)
+		hullLen = upper.N + 2
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := hostReadU64(m, hullArr)[:hullLen]
+		// 1. Hull vertices must be input points, in strictly increasing x
+		//    order... (ties broken by construction) and convex.
+		set := make(map[uint64]bool, len(pts))
+		for _, p := range pts {
+			set[p] = true
+		}
+		for i, p := range got {
+			if !set[p] {
+				return fmt.Errorf("quickhull: vertex %d (%#x) not an input point", i, p)
+			}
+		}
+		for i := 2; i < len(got); i++ {
+			if qhCross(got[i-2], got[i-1], got[i]) >= 0 {
+				return fmt.Errorf("quickhull: vertices %d..%d not convex", i-2, i)
+			}
+		}
+		// 2. No input point lies strictly above any hull edge.
+		for i := 1; i < len(got); i++ {
+			a, b := got[i-1], got[i]
+			for _, p := range pts {
+				if qhCross(a, b, p) > 0 {
+					return fmt.Errorf("quickhull: point %#x above edge %d", p, i-1)
+				}
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,235 @@
+package pbbs
+
+import (
+	"fmt"
+	"math"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// raySphere is one scene sphere in fixed layout: cx, cy, cz, r, shade.
+const raySphereWords = 5
+
+// raySpheres is the scene size; enough that per-tile culling matters.
+const raySpheres = 96
+
+// rayScene builds a deterministic scene of k spheres as float64 bit
+// patterns.
+func rayScene(k int) []uint64 {
+	r := newRng(0x4a4)
+	s := make([]uint64, 0, k*raySphereWords)
+	for i := 0; i < k; i++ {
+		cx := float64(r.intn(2000))/1000 - 1
+		cy := float64(r.intn(2000))/1000 - 1
+		cz := 2 + float64(r.intn(3000))/1000
+		rad := 0.08 + float64(r.intn(250))/1000
+		shade := 0.2 + float64(r.intn(800))/1000
+		for _, f := range []float64{cx, cy, cz, rad, shade} {
+			s = append(s, math.Float64bits(f))
+		}
+	}
+	return s
+}
+
+// rayTiles is the per-axis screen tile count for the binning acceleration
+// structure.
+const rayTiles = 12
+
+// sphereTileBounds conservatively projects sphere s onto the tile grid.
+func sphereTileBounds(scene []uint64, s int) (tx0, tx1, ty0, ty1 int) {
+	cx := math.Float64frombits(scene[s*raySphereWords+0])
+	cy := math.Float64frombits(scene[s*raySphereWords+1])
+	cz := math.Float64frombits(scene[s*raySphereWords+2])
+	rad := math.Float64frombits(scene[s*raySphereWords+3])
+	// Screen position of the center (project to z=1) with a conservative
+	// radius expansion.
+	px := cx / cz
+	py := cy / cz
+	pr := rad/cz + rad // slack for perspective distortion
+	toTile := func(v float64) int {
+		t := int((v + 1) / 2 * rayTiles)
+		if t < 0 {
+			t = 0
+		}
+		if t >= rayTiles {
+			t = rayTiles - 1
+		}
+		return t
+	}
+	return toTile(px - pr), toTile(px + pr), toTile(py - pr), toTile(py + pr)
+}
+
+// traceRay intersects the pixel ray with the candidate spheres (indices
+// supplied by next) and returns an 8-bit shade. The identical arithmetic
+// runs host-side in Verify, so results must match bit-for-bit.
+func traceRay(px, py float64, candidates []int, get func(i int) float64) byte {
+	bestT := math.Inf(1)
+	shade := 0.0
+	for _, s := range candidates {
+		cx := get(s*raySphereWords + 0)
+		cy := get(s*raySphereWords + 1)
+		cz := get(s*raySphereWords + 2)
+		rad := get(s*raySphereWords + 3)
+		// Solve |t*d - c|^2 = r^2 with d = (px, py, 1).
+		dd := px*px + py*py + 1
+		dc := px*cx + py*cy + cz
+		cc := cx*cx + cy*cy + cz*cz - rad*rad
+		disc := dc*dc - dd*cc
+		if disc <= 0 {
+			continue
+		}
+		t := (dc - math.Sqrt(disc)) / dd
+		if t > 0 && t < bestT {
+			bestT = t
+			shade = get(s*raySphereWords + 4)
+		}
+	}
+	if math.IsInf(bestT, 1) {
+		return 0
+	}
+	return byte(math.Min(255, shade*255))
+}
+
+// Ray renders an n×n image of a sphere scene through a two-phase pipeline:
+// a parallel build of a screen-space binning structure (per-tile sphere
+// lists), then pixel-parallel tracing that reads the freshly built tile
+// lists — a producer/consumer shuffle whose loads block on other cores'
+// modified blocks under MESI. A checksum pass consumes the image. Like the
+// paper's ray, speedup comes almost entirely from avoided downgrades, and
+// busy-wait joins can make IPC fall while performance improves.
+func Ray(n int) *Workload {
+	w := &Workload{Name: "ray", Size: n}
+	scene := rayScene(raySpheres)
+	var (
+		sceneArr hlpl.U64
+		img      hlpl.U8
+		checksum hlpl.U64
+	)
+
+	// Host-side reference binning (identical logic drives Verify).
+	hostBins := make([][]int, rayTiles*rayTiles)
+	for s := 0; s < raySpheres; s++ {
+		tx0, tx1, ty0, ty1 := sphereTileBounds(scene, s)
+		for ty := ty0; ty <= ty1; ty++ {
+			for tx := tx0; tx <= tx1; tx++ {
+				hostBins[ty*rayTiles+tx] = append(hostBins[ty*rayTiles+tx], s)
+			}
+		}
+	}
+
+	w.Prepare = func(m *machine.Machine) {
+		sceneArr = hostAllocU64(m, len(scene))
+		hostWriteU64(m, sceneArr, scene)
+	}
+	w.Root = func(root *hlpl.Task) {
+		tiles := rayTiles * rayTiles
+		// Phase 1: bin spheres into tiles. Counts, offsets, then scatter.
+		counts := root.NewU64(tiles)
+		root.WardScope(counts.Base, uint64(tiles)*8, func() {
+			root.ParallelFor(0, tiles, 4, func(leaf *hlpl.Task, tile int) {
+				counts.Set(leaf, tile, 0)
+			})
+		})
+		root.ParallelFor(0, raySpheres, 4, func(leaf *hlpl.Task, s int) {
+			leaf.Compute(24)
+			// Touch the sphere record (projection reads).
+			for wi := 0; wi < raySphereWords; wi++ {
+				sceneArr.Get(leaf, s*raySphereWords+wi)
+			}
+			tx0, tx1, ty0, ty1 := sphereTileBounds(scene, s)
+			for ty := ty0; ty <= ty1; ty++ {
+				for tx := tx0; tx <= tx1; tx++ {
+					leaf.Ctx().FetchAdd(counts.Addr(ty*rayTiles+tx), 8, 1)
+				}
+			}
+		})
+		starts := root.NewU64(tiles)
+		cursor := root.NewU64(tiles)
+		var acc uint64
+		for tile := 0; tile < tiles; tile++ {
+			starts.Set(root, tile, acc)
+			cursor.Set(root, tile, acc)
+			acc += counts.Get(root, tile)
+		}
+		bins := root.NewU64(int(acc))
+		root.ParallelFor(0, raySpheres, 4, func(leaf *hlpl.Task, s int) {
+			tx0, tx1, ty0, ty1 := sphereTileBounds(scene, s)
+			for ty := ty0; ty <= ty1; ty++ {
+				for tx := tx0; tx <= tx1; tx++ {
+					slot := leaf.Ctx().FetchAdd(cursor.Addr(ty*rayTiles+tx), 8, 1)
+					bins.Set(leaf, int(slot), uint64(s))
+				}
+			}
+		})
+
+		// Phase 2: trace pixels through their tile's sphere list.
+		img = root.NewU8(n * n)
+		root.WardScope(img.Base, uint64(n*n), func() {
+			root.ParallelFor(0, n*n, 32, func(leaf *hlpl.Task, p int) {
+				x, y := p%n, p/n
+				px := 2*(float64(x)+0.5)/float64(n) - 1
+				py := 2*(float64(y)+0.5)/float64(n) - 1
+				tx := int((px + 1) / 2 * rayTiles)
+				ty := int((py + 1) / 2 * rayTiles)
+				if tx >= rayTiles {
+					tx = rayTiles - 1
+				}
+				if ty >= rayTiles {
+					ty = rayTiles - 1
+				}
+				tile := ty*rayTiles + tx
+				lo := starts.Get(leaf, tile)
+				cnt := counts.Get(leaf, tile)
+				cand := make([]int, 0, cnt)
+				for k := uint64(0); k < cnt; k++ {
+					cand = append(cand, int(bins.Get(leaf, int(lo+k))))
+				}
+				leaf.Compute(uint64(8 * (len(cand) + 1)))
+				v := traceRay(px, py, cand, func(i int) float64 {
+					return sceneArr.GetF(leaf, i)
+				})
+				img.Set(leaf, p, v)
+			})
+		})
+		// Consume the image: a tone-map/checksum pass.
+		sum := root.Reduce(0, n*n, 256, func(leaf *hlpl.Task, lo, hi int) uint64 {
+			var s uint64
+			for i := lo; i < hi; i++ {
+				s += uint64(img.Get(leaf, i))
+			}
+			return s
+		}, func(a, b uint64) uint64 { return a + b })
+		checksum = root.NewU64(1)
+		checksum.Set(root, 0, sum)
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := hostReadU8(m, img)
+		var wantSum uint64
+		for p := 0; p < n*n; p++ {
+			x, y := p%n, p/n
+			px := 2*(float64(x)+0.5)/float64(n) - 1
+			py := 2*(float64(y)+0.5)/float64(n) - 1
+			tx := int((px + 1) / 2 * rayTiles)
+			ty := int((py + 1) / 2 * rayTiles)
+			if tx >= rayTiles {
+				tx = rayTiles - 1
+			}
+			if ty >= rayTiles {
+				ty = rayTiles - 1
+			}
+			want := traceRay(px, py, hostBins[ty*rayTiles+tx], func(i int) float64 {
+				return math.Float64frombits(scene[i])
+			})
+			if got[p] != want {
+				return fmt.Errorf("ray: pixel %d = %d, want %d", p, got[p], want)
+			}
+			wantSum += uint64(want)
+		}
+		if gotSum := m.Mem().ReadUint(checksum.Addr(0), 8); gotSum != wantSum {
+			return fmt.Errorf("ray: checksum = %d, want %d", gotSum, wantSum)
+		}
+		return nil
+	}
+	return w
+}

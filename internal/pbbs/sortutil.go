@@ -1,0 +1,100 @@
+package pbbs
+
+import (
+	"warden/internal/hlpl"
+)
+
+// sortGrain is the sequential chunk size at the bottom of the merge sort.
+const sortGrain = 48
+
+// insertionSortRange sorts a[lo:hi) in place with simulated accesses.
+func insertionSortRange(t *hlpl.Task, a hlpl.U64, lo, hi int) {
+	for i := lo + 1; i < hi; i++ {
+		v := a.Get(t, i)
+		j := i - 1
+		for j >= lo {
+			u := a.Get(t, j)
+			t.Compute(1)
+			if u <= v {
+				break
+			}
+			a.Set(t, j+1, u)
+			j--
+		}
+		a.Set(t, j+1, v)
+	}
+}
+
+// mergeRanges merges sorted src[lo:mid) and src[mid:hi) into dst[lo:hi).
+func mergeRanges(t *hlpl.Task, src, dst hlpl.U64, lo, mid, hi int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		t.Compute(1)
+		v1, v2 := src.Get(t, i), src.Get(t, j)
+		if v1 <= v2 {
+			dst.Set(t, k, v1)
+			i++
+		} else {
+			dst.Set(t, k, v2)
+			j++
+		}
+		k++
+	}
+	for ; i < mid; i++ {
+		dst.Set(t, k, src.Get(t, i))
+		k++
+	}
+	for ; j < hi; j++ {
+		dst.Set(t, k, src.Get(t, j))
+		k++
+	}
+}
+
+// parallelSort sorts src into a freshly allocated array using a
+// level-synchronized bottom-up merge sort over ping-pong buffers — the
+// PBBS-style bulk-parallel structure. Every level is one bulk operation:
+// it reads the previous level's output (written largely by other cores) and
+// writes the destination buffer, which the library protects as a WARD
+// region. Under MESI each level therefore re-pays forward/downgrade and
+// invalidation traffic for nearly every block of both buffers; under WARDen
+// the destination writes are W-state private and each level ends with one
+// bulk reconciliation.
+func parallelSort(t *hlpl.Task, src hlpl.U64) hlpl.U64 {
+	n := src.N
+	a := t.NewU64(n)
+	b := t.NewU64(n)
+	// Base level: copy chunks in and sort them sequentially per task.
+	nChunks := (n + sortGrain - 1) / sortGrain
+	t.WardScope(a.Base, uint64(n)*8, func() {
+		t.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+			lo, hi := c*sortGrain, (c+1)*sortGrain
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				a.Set(leaf, i, src.Get(leaf, i))
+			}
+			insertionSortRange(leaf, a, lo, hi)
+		})
+	})
+	// Merge levels: ping-pong between a and b.
+	from, to := a, b
+	for width := sortGrain; width < n; width *= 2 {
+		nPairs := (n + 2*width - 1) / (2 * width)
+		t.WardScope(to.Base, uint64(n)*8, func() {
+			t.ParallelFor(0, nPairs, 1, func(leaf *hlpl.Task, p int) {
+				lo := p * 2 * width
+				mid, hi := lo+width, lo+2*width
+				if mid > n {
+					mid = n
+				}
+				if hi > n {
+					hi = n
+				}
+				mergeRanges(leaf, from, to, lo, mid, hi)
+			})
+		})
+		from, to = to, from
+	}
+	return from
+}

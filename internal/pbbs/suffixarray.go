@@ -1,0 +1,107 @@
+package pbbs
+
+import (
+	"fmt"
+	"sort"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+// SuffixArray builds the suffix array of a text by prefix doubling: each
+// round packs (rank[i], rank[i+k]) pairs into keys, sorts them with the
+// functional parallel merge sort, and rebuilds ranks. Every round allocates
+// fresh key/rank arrays (heavy allocation churn), and the sort's merge
+// levels read other cores' freshly written data.
+func SuffixArray(n int) *Workload {
+	if n > 1<<16 {
+		panic("pbbs: suffix-array size must fit 16-bit packing")
+	}
+	w := &Workload{Name: "suffix-array", Size: n}
+	text := genText(n, 0x5a5a)
+	var (
+		textArr hlpl.U8
+		saArr   hlpl.U64
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		textArr = hostAllocU8(m, n)
+		hostWriteU8(m, textArr, text)
+	}
+	w.Root = func(root *hlpl.Task) {
+		// Initial ranks = byte values.
+		rank := root.NewU64(n)
+		root.WardScope(rank.Base, uint64(n)*8, func() {
+			root.ParallelFor(0, n, 256, func(leaf *hlpl.Task, i int) {
+				rank.Set(leaf, i, uint64(textArr.Get(leaf, i))+1)
+			})
+		})
+		var sorted hlpl.U64
+		for k := 1; ; k *= 2 {
+			// keys[i] = r1<<32 | r2<<16 | i.
+			keys := root.NewU64(n)
+			root.WardScope(keys.Base, uint64(n)*8, func() {
+				root.ParallelFor(0, n, 256, func(leaf *hlpl.Task, i int) {
+					r1 := rank.Get(leaf, i)
+					var r2 uint64
+					if i+k < n {
+						r2 = rank.Get(leaf, i+k)
+					}
+					leaf.Compute(2)
+					keys.Set(leaf, i, r1<<32|r2<<16|uint64(i))
+				})
+			})
+			sorted = parallelSort(root, keys)
+			// Rebuild ranks: flag key changes, then a sequential rank
+			// assignment by the root (ranks are dense, 1-based).
+			diff := root.NewU8(n)
+			root.WardScope(diff.Base, uint64(n), func() {
+				root.ParallelFor(0, n, 256, func(leaf *hlpl.Task, i int) {
+					v := byte(0)
+					if i == 0 || sorted.Get(leaf, i)>>16 != sorted.Get(leaf, i-1)>>16 {
+						v = 1
+					}
+					diff.Set(leaf, i, v)
+				})
+			})
+			newRank := root.NewU64(n)
+			var r uint64
+			distinct := 0
+			for i := 0; i < n; i++ {
+				if diff.Get(root, i) == 1 {
+					r++
+					distinct++
+				}
+				idx := int(sorted.Get(root, i) & 0xffff)
+				newRank.Set(root, idx, r)
+			}
+			rank = newRank
+			if distinct == n {
+				break
+			}
+		}
+		saArr = root.NewU64(n)
+		root.WardScope(saArr.Base, uint64(n)*8, func() {
+			root.ParallelFor(0, n, 256, func(leaf *hlpl.Task, i int) {
+				saArr.Set(leaf, i, sorted.Get(leaf, i)&0xffff)
+			})
+		})
+	}
+	w.Verify = func(m *machine.Machine) error {
+		got := hostReadU64(m, saArr)
+		want := make([]int, n)
+		for i := range want {
+			want[i] = i
+		}
+		sort.Slice(want, func(a, b int) bool {
+			return string(text[want[a]:]) < string(text[want[b]:])
+		})
+		for i := range want {
+			if got[i] != uint64(want[i]) {
+				return fmt.Errorf("suffix-array: sa[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return w
+}

@@ -1,0 +1,123 @@
+package pbbs
+
+import (
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/topology"
+)
+
+func smallConfig() topology.Config {
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 4
+	return cfg
+}
+
+// runWorkload executes one workload on a small machine and verifies it.
+func runWorkload(t *testing.T, e Entry, proto core.Protocol, sockets int) *machine.Machine {
+	t.Helper()
+	cfg := topology.XeonGold6126(sockets)
+	cfg.CoresPerSocket = 4
+	m := machine.New(cfg, proto)
+	w := e.New(e.Small)
+	if w.Prepare != nil {
+		w.Prepare(m)
+	}
+	rt := hlpl.New(m, hlpl.DefaultOptions())
+	if _, err := rt.Run(w.Root); err != nil {
+		t.Fatalf("%s/%v: run: %v", e.Name, proto, err)
+	}
+	if err := w.Verify(m); err != nil {
+		t.Fatalf("%s/%v: verify: %v", e.Name, proto, err)
+	}
+	if err := m.System().CheckInvariants(); err != nil {
+		t.Fatalf("%s/%v: invariants: %v", e.Name, proto, err)
+	}
+	return m
+}
+
+// TestSuiteCorrectUnderAllProtocols is the core end-to-end check: every
+// benchmark must produce verified-correct output under MESI, MOESI, and
+// WARDen.
+func TestSuiteCorrectUnderAllProtocols(t *testing.T) {
+	for _, e := range Suite {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			for _, proto := range []core.Protocol{core.MESI, core.MOESI, core.WARDen} {
+				runWorkload(t, e, proto, 1)
+			}
+		})
+	}
+}
+
+// TestSuiteDualSocket runs the suite on a (shrunken) two-socket machine.
+func TestSuiteDualSocket(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range Suite {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			runWorkload(t, e, core.WARDen, 2)
+		})
+	}
+}
+
+// TestSuiteDeterministic re-runs a few benchmarks and compares cycle counts.
+func TestSuiteDeterministic(t *testing.T) {
+	for _, name := range []string{"primes", "msort", "fib"} {
+		e, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m1 := runWorkload(t, e, core.WARDen, 1)
+		m2 := runWorkload(t, e, core.WARDen, 1)
+		if m1.Cycles() != m2.Cycles() {
+			t.Errorf("%s: cycles differ across runs: %d vs %d", name, m1.Cycles(), m2.Cycles())
+		}
+		if m1.Counters().Instructions != m2.Counters().Instructions {
+			t.Errorf("%s: instruction counts differ: %d vs %d",
+				name, m1.Counters().Instructions, m2.Counters().Instructions)
+		}
+	}
+}
+
+// TestPingPong checks the Fig. 6 microbenchmark's latency ordering: same
+// core ≪ same socket < cross socket (the Table 1 validation property).
+func TestPingPong(t *testing.T) {
+	const iters = 2000
+
+	smt := topology.XeonGold6126(1)
+	smt.ThreadsPerCore = 2
+	same, err := PingPong(smt, 0, 1, iters, "same core")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	one := topology.XeonGold6126(1)
+	sock, err := PingPong(one, 0, 1, iters, "same socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	two := topology.XeonGold6126(2)
+	cross, err := PingPong(two, 0, 12, iters, "cross socket")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Logf("cycles/iter: same core %.1f, same socket %.1f, cross socket %.1f",
+		same.CyclesPerIter, sock.CyclesPerIter, cross.CyclesPerIter)
+	if !(same.CyclesPerIter < sock.CyclesPerIter && sock.CyclesPerIter < cross.CyclesPerIter) {
+		t.Errorf("latency ordering violated: %.1f, %.1f, %.1f",
+			same.CyclesPerIter, sock.CyclesPerIter, cross.CyclesPerIter)
+	}
+	if same.CyclesPerIter > 40 {
+		t.Errorf("same-core ping-pong too slow: %.1f cycles/iter", same.CyclesPerIter)
+	}
+	if cross.CyclesPerIter < 500 {
+		t.Errorf("cross-socket ping-pong too fast: %.1f cycles/iter", cross.CyclesPerIter)
+	}
+}

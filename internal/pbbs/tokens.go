@@ -1,0 +1,111 @@
+package pbbs
+
+import (
+	"fmt"
+
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+)
+
+func isWordByte(c byte) bool { return c != ' ' }
+
+// Tokens splits text into space-separated tokens: a flags phase marks token
+// starts (dense byte writes with heavy false sharing at chunk boundaries —
+// a WARD region), a counting phase computes per-chunk offsets, and a
+// scatter phase writes each token's start position into the output array.
+func Tokens(n int) *Workload {
+	w := &Workload{Name: "tokens", Size: n}
+	text := genText(n, 0x70c3)
+	var (
+		textArr hlpl.U8
+		starts  hlpl.U8
+		out     hlpl.U64
+		total   int
+	)
+
+	w.Prepare = func(m *machine.Machine) {
+		textArr = hostAllocU8(m, n)
+		hostWriteU8(m, textArr, text)
+	}
+
+	const nChunks = 96
+	w.Root = func(root *hlpl.Task) {
+		starts = root.NewU8(n)
+		root.WardScope(starts.Base, uint64(n), func() {
+			root.ParallelFor(0, n, 512, func(leaf *hlpl.Task, i int) {
+				c := textArr.Get(leaf, i)
+				prev := byte(' ')
+				if i > 0 {
+					prev = textArr.Get(leaf, i-1)
+				}
+				v := byte(0)
+				if isWordByte(c) && !isWordByte(prev) {
+					v = 1
+				}
+				starts.Set(leaf, i, v)
+			})
+		})
+
+		// Per-chunk token counts, then an exclusive scan by the root.
+		sums := root.NewU64(nChunks)
+		root.WardScope(sums.Base, nChunks*8, func() {
+			root.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+				lo, hi := c*n/nChunks, (c+1)*n/nChunks
+				var cnt uint64
+				for i := lo; i < hi; i++ {
+					cnt += uint64(starts.Get(leaf, i))
+				}
+				sums.Set(leaf, c, cnt)
+			})
+		})
+		offs := root.NewU64(nChunks)
+		var acc uint64
+		for c := 0; c < nChunks; c++ {
+			offs.Set(root, c, acc)
+			acc += sums.Get(root, c)
+		}
+		total = int(acc)
+
+		// Scatter token start positions.
+		out = root.NewU64(total)
+		root.WardScope(out.Base, uint64(total)*8, func() {
+			root.ParallelFor(0, nChunks, 1, func(leaf *hlpl.Task, c int) {
+				lo, hi := c*n/nChunks, (c+1)*n/nChunks
+				k := offs.Get(leaf, c)
+				for i := lo; i < hi; i++ {
+					if starts.Get(leaf, i) == 1 {
+						out.Set(leaf, int(k), uint64(i))
+						k++
+					}
+				}
+			})
+		})
+	}
+
+	w.Verify = func(m *machine.Machine) error {
+		want := hostTokenStarts(text)
+		if total != len(want) {
+			return fmt.Errorf("tokens: count = %d, want %d", total, len(want))
+		}
+		got := hostReadU64(m, out)
+		for i := range want {
+			if got[i] != uint64(want[i]) {
+				return fmt.Errorf("tokens: out[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	return w
+}
+
+func hostTokenStarts(text []byte) []int {
+	var out []int
+	prev := byte(' ')
+	for i, c := range text {
+		if isWordByte(c) && !isWordByte(prev) {
+			out = append(out, i)
+		}
+		prev = c
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+// Package stats collects the architectural counters the evaluation needs:
+// instruction and cycle counts (IPC, Fig. 11), invalidations and downgrades
+// per cache (Figs. 9 and 10), coherence message and flit-hop counts (energy,
+// Figs. 7b/8b/12b), and WARDen-specific events (region adds/removes,
+// reconciliations).
+package stats
+
+import "fmt"
+
+// MsgType enumerates the coherence messages of the directory MESI protocol
+// (Nagarajan et al.) plus WARDen's region-management traffic.
+type MsgType int
+
+const (
+	GetS MsgType = iota
+	GetM
+	PutS
+	PutE
+	PutM
+	FwdGetS
+	FwdGetM
+	Inv
+	InvAck
+	Data    // data response carrying a block
+	DataDir // writeback data to the directory/LLC
+	RegionAdd
+	RegionRemove
+	ReconcileFlush // masked W-block flush during reconciliation
+	numMsgTypes
+)
+
+// NumMsgTypes is the number of distinct message types.
+const NumMsgTypes = int(numMsgTypes)
+
+var msgNames = [...]string{
+	"GetS", "GetM", "PutS", "PutE", "PutM", "Fwd-GetS", "Fwd-GetM",
+	"Inv", "Inv-Ack", "Data", "Data-to-Dir", "Region-Add", "Region-Remove",
+	"Reconcile-Flush",
+}
+
+// String returns the protocol name of the message type.
+func (t MsgType) String() string {
+	if t < 0 || int(t) >= NumMsgTypes {
+		return fmt.Sprintf("MsgType(%d)", int(t))
+	}
+	return msgNames[t]
+}
+
+// Carries reports whether the message carries a full data block (and thus
+// occupies data-message flits on the interconnect).
+func (t MsgType) Carries() bool {
+	switch t {
+	case Data, DataDir, ReconcileFlush:
+		return true
+	}
+	return false
+}
+
+// Counters aggregates every event the evaluation consumes. The zero value is
+// ready to use. Counters are single-threaded by construction: the simulation
+// engine serializes all cores.
+type Counters struct {
+	// Instruction mix. Every load, store, and atomic counts as one
+	// instruction; Compute(n) counts as n single-cycle instructions.
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Atomics      uint64
+
+	// Cache accesses and hits by level, summed over all caches.
+	L1Accesses, L1Hits uint64
+	L2Accesses, L2Hits uint64
+	L3Accesses, L3Hits uint64
+	DirAccesses        uint64
+	DRAMAccesses       uint64
+
+	// Coherence damage, summed over all caches (per-cache splits live in
+	// the cache objects themselves).
+	Invalidations uint64
+	Downgrades    uint64
+
+	// Interconnect traffic.
+	Msgs             [NumMsgTypes]uint64
+	IntersocketMsgs  [NumMsgTypes]uint64
+	NoCFlitHops      uint64
+	IntersocketFlits uint64
+
+	// WARDen events.
+	WardAccesses      uint64 // loads/stores satisfied under the W state
+	RegionAdds        uint64
+	RegionRemoves     uint64
+	RegionOverflows   uint64 // AddRegion rejected: table full (falls back to MESI)
+	Reconciliations   uint64 // region removals that flushed at least one block
+	ReconciledBlocks  uint64
+	ReconciledSectors uint64
+	TrueShareMerges   uint64 // reconciled blocks where write masks overlapped
+	FalseShareMerges  uint64 // reconciled blocks with multiple disjoint writers
+
+	// EntanglementViolations counts reads that observed a W-state block
+	// whose read sectors another core had concurrently written — a
+	// cross-thread RAW inside a WARD region, i.e. an entangled access
+	// (only counted when detection is enabled; see
+	// core.System.SetEntanglementDetection).
+	EntanglementViolations uint64
+
+	// Pipeline-ish events.
+	StoreBufferStalls uint64
+	FenceDrains       uint64
+
+	// Cycle attribution: how much thread-clock advance each op class
+	// caused (diagnostic; sums to total thread-cycles, not wall cycles).
+	LoadCycles    uint64
+	StoreCycles   uint64
+	AtomicCycles  uint64
+	ComputeCycles uint64
+	RegionCycles  uint64
+}
+
+// Message records one protocol message of the given type travelling hops
+// NoC hops, crossing a socket boundary iff crossed, and occupying flits
+// link flits (1 for control messages; header plus payload for data).
+func (c *Counters) Message(t MsgType, hops uint64, crossed bool, flits uint64) {
+	c.Msgs[t]++
+	c.NoCFlitHops += flits * hops
+	if crossed {
+		c.IntersocketMsgs[t]++
+		c.IntersocketFlits += flits
+	}
+}
+
+// TotalMsgs sums message counts across all types.
+func (c *Counters) TotalMsgs() uint64 {
+	var n uint64
+	for _, v := range c.Msgs {
+		n += v
+	}
+	return n
+}
+
+// InvDowngradesPerKiloInstr returns (invalidations+downgrades) per 1000
+// instructions, the Fig. 9 metric.
+func (c *Counters) InvDowngradesPerKiloInstr() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Invalidations+c.Downgrades) * 1000 / float64(c.Instructions)
+}
+
+// IPC returns instructions per cycle for the given total cycle count.
+func (c *Counters) IPC(cycles uint64) float64 {
+	if cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(cycles)
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	c.Instructions += o.Instructions
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Atomics += o.Atomics
+	c.L1Accesses += o.L1Accesses
+	c.L1Hits += o.L1Hits
+	c.L2Accesses += o.L2Accesses
+	c.L2Hits += o.L2Hits
+	c.L3Accesses += o.L3Accesses
+	c.L3Hits += o.L3Hits
+	c.DirAccesses += o.DirAccesses
+	c.DRAMAccesses += o.DRAMAccesses
+	c.Invalidations += o.Invalidations
+	c.Downgrades += o.Downgrades
+	for i := range c.Msgs {
+		c.Msgs[i] += o.Msgs[i]
+		c.IntersocketMsgs[i] += o.IntersocketMsgs[i]
+	}
+	c.NoCFlitHops += o.NoCFlitHops
+	c.IntersocketFlits += o.IntersocketFlits
+	c.WardAccesses += o.WardAccesses
+	c.RegionAdds += o.RegionAdds
+	c.RegionRemoves += o.RegionRemoves
+	c.RegionOverflows += o.RegionOverflows
+	c.Reconciliations += o.Reconciliations
+	c.ReconciledBlocks += o.ReconciledBlocks
+	c.ReconciledSectors += o.ReconciledSectors
+	c.TrueShareMerges += o.TrueShareMerges
+	c.FalseShareMerges += o.FalseShareMerges
+	c.EntanglementViolations += o.EntanglementViolations
+	c.StoreBufferStalls += o.StoreBufferStalls
+	c.FenceDrains += o.FenceDrains
+	c.LoadCycles += o.LoadCycles
+	c.StoreCycles += o.StoreCycles
+	c.AtomicCycles += o.AtomicCycles
+	c.ComputeCycles += o.ComputeCycles
+	c.RegionCycles += o.RegionCycles
+}

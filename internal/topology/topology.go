@@ -1,0 +1,166 @@
+// Package topology describes the simulated machine: sockets, cores, hardware
+// threads, cache geometry, and the latency/energy-relevant distances between
+// components. It encodes the paper's Table 2 configuration (two-socket Intel
+// Xeon Gold 6126) plus the §7.3 future-machine variants (many-socket and
+// disaggregated systems).
+package topology
+
+import "fmt"
+
+// Config describes a simulated machine. The zero value is not usable; start
+// from XeonGold6126 (Table 2) or one of the variant constructors.
+type Config struct {
+	Name string
+
+	Sockets        int // processor packages (or nodes when disaggregated)
+	CoresPerSocket int
+	ThreadsPerCore int // hardware threads (SMT contexts) per core
+
+	// Cache geometry. L1 and L2 are private per core; L3 is shared per
+	// socket and sized per core (Table 2: 2.5 MB per core).
+	BlockSize     uint64
+	L1Size        uint64
+	L1Assoc       int
+	L2Size        uint64
+	L2Assoc       int
+	L3SizePerCore uint64
+	L3Assoc       int
+
+	// Access latencies in cycles (Table 2: 6-16-71).
+	L1Latency   uint64
+	L2Latency   uint64
+	L3Latency   uint64
+	DRAMLatency uint64
+
+	// InterSocketLatency is the one-way latency added to any message that
+	// crosses a socket boundary. Disaggregated systems raise this to the
+	// remote-access time (§7.3: 1 µs ≈ 3300 cycles at 3.3 GHz).
+	InterSocketLatency uint64
+
+	// NoCHopLatency is the per-hop latency of the on-chip interconnect, and
+	// AvgNoCHops the average hop count between a core tile and its L3/
+	// directory slice. These stand in for Sniper's network model.
+	NoCHopLatency uint64
+	AvgNoCHops    uint64
+
+	// FrequencyGHz is used only to convert cycles to seconds for the static
+	// part of the energy model.
+	FrequencyGHz float64
+
+	// StoreBufferEntries bounds the per-thread store buffer; a store only
+	// stalls its core when the buffer is full (§7.2 analysis).
+	StoreBufferEntries int
+
+	// WardRegionCapacity bounds the directory's WARD region table (§6.1
+	// sizes the CAM at 1024 simultaneous regions).
+	WardRegionCapacity int
+}
+
+// XeonGold6126 returns the paper's Table 2 machine with the given socket
+// count (the paper evaluates 1 and 2).
+func XeonGold6126(sockets int) Config {
+	return Config{
+		Name:               fmt.Sprintf("xeon-gold-6126-%ds", sockets),
+		Sockets:            sockets,
+		CoresPerSocket:     12,
+		ThreadsPerCore:     1,
+		BlockSize:          64,
+		L1Size:             32 << 10,
+		L1Assoc:            8,
+		L2Size:             256 << 10,
+		L2Assoc:            8,
+		L3SizePerCore:      2560 << 10,
+		L3Assoc:            20,
+		L1Latency:          6,
+		L2Latency:          16,
+		L3Latency:          71,
+		DRAMLatency:        210,
+		InterSocketLatency: 240,
+		NoCHopLatency:      4,
+		AvgNoCHops:         3,
+		FrequencyGHz:       3.3,
+		StoreBufferEntries: 56,
+		WardRegionCapacity: 1024,
+	}
+}
+
+// Disaggregated returns a two-node machine whose nodes are disaggregated
+// from their shared memory hierarchy: every cross-node message pays the
+// remote access time of 1 µs (§7.3), i.e. 3300 cycles at 3.3 GHz.
+func Disaggregated() Config {
+	c := XeonGold6126(2)
+	c.Name = "disaggregated-2n"
+	c.InterSocketLatency = 3300
+	return c
+}
+
+// ManySocket returns an s-socket machine with proportionally higher
+// intersocket latency, modelling the §7.3 many-socket trend where
+// interconnect latencies continue to rise with scale.
+func ManySocket(s int) Config {
+	c := XeonGold6126(s)
+	c.Name = fmt.Sprintf("many-socket-%ds", s)
+	c.InterSocketLatency = 240 + 90*uint64(s)
+	return c
+}
+
+// Validate reports a descriptive error for unusable configurations.
+func (c Config) Validate() error {
+	switch {
+	case c.Sockets <= 0:
+		return fmt.Errorf("topology: %q: sockets must be positive, got %d", c.Name, c.Sockets)
+	case c.CoresPerSocket <= 0:
+		return fmt.Errorf("topology: %q: cores per socket must be positive, got %d", c.Name, c.CoresPerSocket)
+	case c.ThreadsPerCore <= 0:
+		return fmt.Errorf("topology: %q: threads per core must be positive, got %d", c.Name, c.ThreadsPerCore)
+	case c.BlockSize == 0 || c.BlockSize&(c.BlockSize-1) != 0:
+		return fmt.Errorf("topology: %q: block size must be a power of two, got %d", c.Name, c.BlockSize)
+	case c.L1Size == 0 || c.L2Size == 0 || c.L3SizePerCore == 0:
+		return fmt.Errorf("topology: %q: cache sizes must be nonzero", c.Name)
+	case c.L1Assoc <= 0 || c.L2Assoc <= 0 || c.L3Assoc <= 0:
+		return fmt.Errorf("topology: %q: associativities must be positive", c.Name)
+	case c.L1Size%(uint64(c.L1Assoc)*c.BlockSize) != 0:
+		return fmt.Errorf("topology: %q: L1 size %d not divisible by assoc*block", c.Name, c.L1Size)
+	case c.L2Size%(uint64(c.L2Assoc)*c.BlockSize) != 0:
+		return fmt.Errorf("topology: %q: L2 size %d not divisible by assoc*block", c.Name, c.L2Size)
+	case c.StoreBufferEntries <= 0:
+		return fmt.Errorf("topology: %q: store buffer must have at least one entry", c.Name)
+	case c.WardRegionCapacity <= 0:
+		return fmt.Errorf("topology: %q: WARD region capacity must be positive", c.Name)
+	case c.FrequencyGHz <= 0:
+		return fmt.Errorf("topology: %q: frequency must be positive", c.Name)
+	}
+	return nil
+}
+
+// Cores is the total number of cores in the machine.
+func (c Config) Cores() int { return c.Sockets * c.CoresPerSocket }
+
+// Threads is the total number of hardware threads in the machine.
+func (c Config) Threads() int { return c.Cores() * c.ThreadsPerCore }
+
+// L3SizePerSocket is the total shared-LLC capacity of one socket.
+func (c Config) L3SizePerSocket() uint64 {
+	return c.L3SizePerCore * uint64(c.CoresPerSocket)
+}
+
+// CoreOf maps a hardware thread id to its core id.
+func (c Config) CoreOf(thread int) int { return thread / c.ThreadsPerCore }
+
+// SocketOf maps a core id to its socket id.
+func (c Config) SocketOf(core int) int { return core / c.CoresPerSocket }
+
+// SocketOfThread maps a hardware thread id to its socket id.
+func (c Config) SocketOfThread(thread int) int { return c.SocketOf(c.CoreOf(thread)) }
+
+// HomeSocket maps a block address to the socket whose L3 slice and directory
+// own it. Blocks are interleaved across sockets at block granularity, the
+// usual address-interleaved home-node policy.
+func (c Config) HomeSocket(blockAddr uint64) int {
+	return int((blockAddr / c.BlockSize) % uint64(c.Sockets))
+}
+
+// CyclesToSeconds converts a cycle count to seconds at the configured clock.
+func (c Config) CyclesToSeconds(cycles uint64) float64 {
+	return float64(cycles) / (c.FrequencyGHz * 1e9)
+}

@@ -1,0 +1,107 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTable2Defaults(t *testing.T) {
+	c := XeonGold6126(2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The Table 2 values.
+	if c.L1Size != 32<<10 || c.L2Size != 256<<10 || c.L3SizePerCore != 2560<<10 {
+		t.Fatal("cache sizes do not match Table 2")
+	}
+	if c.L1Latency != 6 || c.L2Latency != 16 || c.L3Latency != 71 {
+		t.Fatal("latencies do not match Table 2 (6-16-71)")
+	}
+	if c.CoresPerSocket != 12 || c.BlockSize != 64 || c.FrequencyGHz != 3.3 {
+		t.Fatal("core count/block size/frequency do not match Table 2")
+	}
+	if c.Cores() != 24 || c.Threads() != 24 {
+		t.Fatalf("cores=%d threads=%d", c.Cores(), c.Threads())
+	}
+	if c.L3SizePerSocket() != 12*2560<<10 {
+		t.Fatal("per-socket LLC size wrong")
+	}
+}
+
+func TestVariants(t *testing.T) {
+	d := Disaggregated()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 1 µs at 3.3 GHz = 3300 cycles.
+	if d.InterSocketLatency != 3300 {
+		t.Fatalf("disaggregated remote latency = %d, want 3300", d.InterSocketLatency)
+	}
+	m := ManySocket(8)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Sockets != 8 || m.InterSocketLatency <= XeonGold6126(2).InterSocketLatency {
+		t.Fatal("many-socket variant did not scale the interconnect latency")
+	}
+}
+
+func TestThreadCoreSocketMapping(t *testing.T) {
+	c := XeonGold6126(2)
+	c.ThreadsPerCore = 2
+	if c.Threads() != 48 {
+		t.Fatalf("threads = %d", c.Threads())
+	}
+	if c.CoreOf(0) != 0 || c.CoreOf(1) != 0 || c.CoreOf(2) != 1 {
+		t.Fatal("thread->core mapping wrong")
+	}
+	if c.SocketOf(0) != 0 || c.SocketOf(11) != 0 || c.SocketOf(12) != 1 {
+		t.Fatal("core->socket mapping wrong")
+	}
+	if c.SocketOfThread(23) != 0 || c.SocketOfThread(24) != 1 {
+		t.Fatal("thread->socket mapping wrong")
+	}
+}
+
+func TestHomeSocketInterleavesBlocks(t *testing.T) {
+	c := XeonGold6126(2)
+	if c.HomeSocket(0) == c.HomeSocket(64) {
+		t.Fatal("adjacent blocks share a home socket on a 2-socket machine")
+	}
+	f := func(addr uint64) bool {
+		h := c.HomeSocket(addr)
+		return h >= 0 && h < c.Sockets && h == c.HomeSocket(addr|63)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Sockets = 0 },
+		func(c *Config) { c.CoresPerSocket = -1 },
+		func(c *Config) { c.ThreadsPerCore = 0 },
+		func(c *Config) { c.BlockSize = 48 },
+		func(c *Config) { c.L1Size = 0 },
+		func(c *Config) { c.L1Assoc = 0 },
+		func(c *Config) { c.L1Size = 1000 },
+		func(c *Config) { c.StoreBufferEntries = 0 },
+		func(c *Config) { c.WardRegionCapacity = 0 },
+		func(c *Config) { c.FrequencyGHz = 0 },
+	}
+	for i, mut := range mutations {
+		c := XeonGold6126(1)
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestCyclesToSeconds(t *testing.T) {
+	c := XeonGold6126(1)
+	if got := c.CyclesToSeconds(3_300_000_000); got < 0.999 || got > 1.001 {
+		t.Fatalf("3.3e9 cycles = %v s, want 1", got)
+	}
+}

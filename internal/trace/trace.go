@@ -1,0 +1,252 @@
+// Package trace implements a trace-driven front end for the simulator:
+// textual per-thread memory traces replay through the machine without the
+// HLPL runtime, which is useful for protocol exploration, regression
+// reproduction, and differential debugging between MESI and WARDen.
+//
+// Trace format — one event per line, '#' comments and blank lines ignored:
+//
+//	<thread> R <addr> <size>          load (size 1..8 bytes)
+//	<thread> W <addr> <size> <value>  store
+//	<thread> A <addr> <size> <delta>  atomic fetch-add
+//	<thread> C <cycles>               compute
+//	<thread> F                        fence
+//	<thread> B <name> <lo> <hi>       begin WARD region [lo, hi)
+//	<thread> E <name>                 end (reconcile) region <name>
+//
+// Numbers may be decimal or 0x-prefixed hex. Threads replay their own
+// events in order; cross-thread interleaving follows simulated time, as in
+// any execution-driven run.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+	"warden/internal/mem"
+)
+
+// Kind enumerates trace event types.
+type Kind int
+
+const (
+	Read Kind = iota
+	Write
+	Atomic
+	Compute
+	Fence
+	BeginRegion
+	EndRegion
+)
+
+// Event is one parsed trace line.
+type Event struct {
+	Thread int
+	Kind   Kind
+	Addr   mem.Addr
+	Size   int
+	Value  uint64 // store value / atomic delta / compute cycles
+	Hi     mem.Addr
+	Name   string // region name for BeginRegion/EndRegion
+}
+
+// Trace is a parsed trace: per-thread event queues.
+type Trace struct {
+	PerThread map[int][]Event
+	Events    int
+}
+
+// MaxThread returns the largest thread id used.
+func (t *Trace) MaxThread() int {
+	max := 0
+	for id := range t.PerThread {
+		if id > max {
+			max = id
+		}
+	}
+	return max
+}
+
+func parseNum(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "0x"), pickBase(s), 64)
+}
+
+func pickBase(s string) int {
+	if strings.HasPrefix(s, "0x") {
+		return 16
+	}
+	return 10
+}
+
+// Parse reads a trace from r.
+func Parse(r io.Reader) (*Trace, error) {
+	t := &Trace{PerThread: make(map[int][]Event)}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		fail := func(msg string) error {
+			return fmt.Errorf("trace: line %d: %s: %q", lineNo, msg, line)
+		}
+		if len(f) < 2 {
+			return nil, fail("too few fields")
+		}
+		tid, err := strconv.Atoi(f[0])
+		if err != nil || tid < 0 {
+			return nil, fail("bad thread id")
+		}
+		ev := Event{Thread: tid}
+		need := func(n int) error {
+			if len(f) != n {
+				return fail(fmt.Sprintf("want %d fields", n))
+			}
+			return nil
+		}
+		switch strings.ToUpper(f[1]) {
+		case "R":
+			if err := need(4); err != nil {
+				return nil, err
+			}
+			ev.Kind = Read
+			a, err1 := parseNum(f[2])
+			sz, err2 := strconv.Atoi(f[3])
+			if err1 != nil || err2 != nil || sz < 1 || sz > 8 {
+				return nil, fail("bad read operands")
+			}
+			ev.Addr, ev.Size = mem.Addr(a), sz
+		case "W":
+			if err := need(5); err != nil {
+				return nil, err
+			}
+			ev.Kind = Write
+			a, err1 := parseNum(f[2])
+			sz, err2 := strconv.Atoi(f[3])
+			v, err3 := parseNum(f[4])
+			if err1 != nil || err2 != nil || err3 != nil || sz < 1 || sz > 8 {
+				return nil, fail("bad write operands")
+			}
+			ev.Addr, ev.Size, ev.Value = mem.Addr(a), sz, v
+		case "A":
+			if err := need(5); err != nil {
+				return nil, err
+			}
+			ev.Kind = Atomic
+			a, err1 := parseNum(f[2])
+			sz, err2 := strconv.Atoi(f[3])
+			v, err3 := parseNum(f[4])
+			if err1 != nil || err2 != nil || err3 != nil || sz < 1 || sz > 8 {
+				return nil, fail("bad atomic operands")
+			}
+			ev.Addr, ev.Size, ev.Value = mem.Addr(a), sz, v
+		case "C":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			ev.Kind = Compute
+			v, err := parseNum(f[2])
+			if err != nil {
+				return nil, fail("bad compute cycles")
+			}
+			ev.Value = v
+		case "F":
+			if err := need(2); err != nil {
+				return nil, err
+			}
+			ev.Kind = Fence
+		case "B":
+			if err := need(5); err != nil {
+				return nil, err
+			}
+			ev.Kind = BeginRegion
+			lo, err1 := parseNum(f[3])
+			hi, err2 := parseNum(f[4])
+			if err1 != nil || err2 != nil || hi <= lo {
+				return nil, fail("bad region bounds")
+			}
+			ev.Name, ev.Addr, ev.Hi = f[2], mem.Addr(lo), mem.Addr(hi)
+		case "E":
+			if err := need(3); err != nil {
+				return nil, err
+			}
+			ev.Kind = EndRegion
+			ev.Name = f[2]
+		default:
+			return nil, fail("unknown event kind")
+		}
+		t.PerThread[tid] = append(t.PerThread[tid], ev)
+		t.Events++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return t, nil
+}
+
+// Result summarizes one replay.
+type Result struct {
+	Cycles  uint64
+	Machine *machine.Machine
+}
+
+// Replay runs the trace on a fresh machine with the given protocol. Region
+// names are shared across threads: a region begun on one thread may be
+// ended on another (ends before begins are errors).
+func Replay(t *Trace, m *machine.Machine) (Result, error) {
+	if t.MaxThread() >= m.Config().Threads() {
+		return Result{}, fmt.Errorf("trace: uses thread %d but machine has %d threads",
+			t.MaxThread(), m.Config().Threads())
+	}
+	regions := make(map[string]core.RegionID)
+	var replayErr error
+	bodies := make([]func(*machine.Ctx), m.Config().Threads())
+	for i := range bodies {
+		evs := t.PerThread[i]
+		bodies[i] = func(ctx *machine.Ctx) {
+			for _, ev := range evs {
+				if replayErr != nil {
+					return
+				}
+				switch ev.Kind {
+				case Read:
+					ctx.Load(ev.Addr, ev.Size)
+				case Write:
+					ctx.Store(ev.Addr, ev.Size, ev.Value)
+				case Atomic:
+					ctx.FetchAdd(ev.Addr, ev.Size, ev.Value)
+				case Compute:
+					ctx.Compute(ev.Value)
+				case Fence:
+					ctx.Fence()
+				case BeginRegion:
+					id, _ := ctx.AddRegion(ev.Addr, ev.Hi)
+					regions[ev.Name] = id // single-threaded under the engine
+				case EndRegion:
+					id, ok := regions[ev.Name]
+					if !ok {
+						replayErr = fmt.Errorf("trace: thread %d ends unknown region %q", ev.Thread, ev.Name)
+						return
+					}
+					ctx.RemoveRegion(id)
+					delete(regions, ev.Name)
+				}
+			}
+		}
+	}
+	cycles, err := m.Run(bodies)
+	if err != nil {
+		return Result{}, err
+	}
+	if replayErr != nil {
+		return Result{}, replayErr
+	}
+	return Result{Cycles: cycles, Machine: m}, nil
+}

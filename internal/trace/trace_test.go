@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+	"warden/internal/topology"
+)
+
+func testMachine(proto core.Protocol) *machine.Machine {
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 4
+	return machine.New(cfg, proto)
+}
+
+func TestParseBasics(t *testing.T) {
+	src := `
+# a comment
+0 W 0x1000 8 42
+1 R 4096 8
+0 C 100
+1 F
+0 A 0x2000 8 1
+0 B buf 0x3000 0x4000
+0 E buf
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events != 7 {
+		t.Fatalf("events = %d, want 7", tr.Events)
+	}
+	if tr.MaxThread() != 1 {
+		t.Fatalf("max thread = %d", tr.MaxThread())
+	}
+	ev := tr.PerThread[0][0]
+	if ev.Kind != Write || ev.Addr != 0x1000 || ev.Size != 8 || ev.Value != 42 {
+		t.Fatalf("first event = %+v", ev)
+	}
+	if tr.PerThread[1][0].Addr != 4096 {
+		t.Fatal("decimal address parsed wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"x W 0x0 8 1",     // bad thread
+		"0 Q 0x0 8",       // unknown kind
+		"0 W 0x0 8",       // missing value
+		"0 R 0x0 16",      // bad size
+		"0 B r 0x10 0x10", // empty region
+		"0",               // too short
+		"0 C zz",          // bad number
+	} {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestReplayRoundTrip(t *testing.T) {
+	src := `
+0 W 0x10000 8 7
+0 W 0x10008 8 9
+1 C 50
+1 R 0x10000 8
+1 A 0x10008 8 1
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(core.MESI)
+	res, err := Replay(tr, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Fatal("no cycles")
+	}
+	if got := m.Mem().ReadUint(0x10000, 8); got != 7 {
+		t.Fatalf("mem[0x10000] = %d", got)
+	}
+	if got := m.Mem().ReadUint(0x10008, 8); got != 10 {
+		t.Fatalf("mem[0x10008] = %d (atomic add applied?)", got)
+	}
+	if err := m.System().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplayRegions(t *testing.T) {
+	// Two threads write the same WARD block; reconciliation must merge the
+	// disjoint sectors.
+	src := `
+0 B r 0x10000 0x11000
+0 C 200
+0 W 0x10000 8 1
+1 C 220
+1 W 0x10008 8 2
+0 C 5000
+0 E r
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(core.WARDen)
+	if _, err := Replay(tr, m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters().WardAccesses == 0 {
+		t.Fatal("regions did not take effect")
+	}
+	if m.Mem().ReadUint(0x10000, 8) != 1 || m.Mem().ReadUint(0x10008, 8) != 2 {
+		t.Fatal("reconciliation lost a write")
+	}
+}
+
+func TestReplayUnknownRegionFails(t *testing.T) {
+	tr, err := Parse(strings.NewReader("0 E nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(tr, testMachine(core.WARDen)); err == nil {
+		t.Fatal("ending an unknown region must fail")
+	}
+}
+
+func TestReplayTooManyThreads(t *testing.T) {
+	tr, err := Parse(strings.NewReader("99 C 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Replay(tr, testMachine(core.MESI)); err == nil {
+		t.Fatal("thread beyond machine size must fail")
+	}
+}
+
+func TestReplayDifferentialMESIvsWARDen(t *testing.T) {
+	// A WAW ping-pong trace: WARDen must produce (many) fewer
+	// invalidations than MESI.
+	var sb strings.Builder
+	sb.WriteString("0 B r 0x20000 0x21000\n")
+	for i := 0; i < 200; i++ {
+		sb.WriteString("0 W 0x20000 8 1\n")
+		sb.WriteString("1 W 0x20000 8 1\n")
+	}
+	sb.WriteString("0 C 100000\n0 E r\n")
+	tr, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mM := testMachine(core.MESI)
+	if _, err := Replay(tr, mM); err != nil {
+		t.Fatal(err)
+	}
+	mW := testMachine(core.WARDen)
+	if _, err := Replay(tr, mW); err != nil {
+		t.Fatal(err)
+	}
+	if mW.Counters().Invalidations*10 > mM.Counters().Invalidations {
+		t.Fatalf("WARDen inv=%d not ≪ MESI inv=%d",
+			mW.Counters().Invalidations, mM.Counters().Invalidations)
+	}
+}
