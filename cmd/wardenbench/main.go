@@ -7,21 +7,55 @@
 //	wardenbench -experiment all              # everything, medium inputs
 //	wardenbench -experiment fig8 -size small # one figure, quick inputs
 //	wardenbench -experiment ablations
+//	wardenbench -parallel 1                  # force sequential simulation
+//	wardenbench -timing BENCH_runner.json    # record wall-clock per step
+//
+// Simulations fan out across host cores (-parallel 0, the default, uses
+// GOMAXPROCS workers; each simulation is internally deterministic), and
+// the printed tables are byte-identical at every parallelism level. The
+// -timing file records host wall-clock and newly-simulated cycles per
+// experiment so performance can be compared across runs, e.g.
+// -parallel 0 vs -parallel 1 on a multi-core host.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"time"
 
 	"warden/internal/bench"
 )
+
+// stepTiming is one experiment's entry in the -timing report.
+type stepTiming struct {
+	Experiment      string  `json:"experiment"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	SimulatedCycles uint64  `json:"simulated_cycles"` // newly simulated (memo hits add nothing)
+	SimulatedRuns   uint64  `json:"simulated_runs"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+}
+
+// timingReport is the schema of the -timing JSON file.
+type timingReport struct {
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Parallel    int          `json:"parallel"`
+	Size        string       `json:"size"`
+	Experiments []stepTiming `json:"experiments"`
+	Total       stepTiming   `json:"total"`
+}
 
 func main() {
 	experiment := flag.String("experiment", "all",
 		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, or all")
 	size := flag.String("size", "medium", "input size class: small or medium")
 	quiet := flag.Bool("q", false, "suppress progress messages")
+	parallel := flag.Int("parallel", 0,
+		"max simulations running concurrently on the host; 0 = one per host core, 1 = sequential")
+	timing := flag.String("timing", "",
+		"write a JSON timing report (host wall-clock and simulated cycles per experiment) to this file")
 	flag.Parse()
 
 	var sizes bench.SizeClass
@@ -35,17 +69,25 @@ func main() {
 		os.Exit(2)
 	}
 	r := bench.NewRunner(sizes)
+	r.SetParallel(*parallel)
 	if !*quiet {
 		r.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "... %s\n", msg) }
 	}
 
 	out := os.Stdout
+	report := timingReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallel: r.Parallel(), Size: *size}
+	start := time.Now()
 	run := func(name string, fn func() error) {
+		stepStart := time.Now()
+		cyc0, runs0 := r.SimulatedCycles()
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "wardenbench: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		fmt.Fprintln(out)
+		cyc1, runs1 := r.SimulatedCycles()
+		report.Experiments = append(report.Experiments,
+			newStepTiming(name, time.Since(stepStart), cyc1-cyc0, runs1-runs0))
 	}
 
 	iters := 20000
@@ -69,12 +111,44 @@ func main() {
 		for _, name := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets"} {
 			run(name, steps[name])
 		}
-		return
+	} else {
+		fn, ok := steps[*experiment]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "wardenbench: unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+		run(*experiment, fn)
 	}
-	fn, ok := steps[*experiment]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "wardenbench: unknown experiment %q\n", *experiment)
-		os.Exit(2)
+
+	if *timing != "" {
+		cycles, runs := r.SimulatedCycles()
+		report.Total = newStepTiming("total", time.Since(start), cycles, runs)
+		if err := writeTiming(*timing, report); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wardenbench: %.1fs wall, %d simulations, %.0f simulated cycles/sec -> %s\n",
+			report.Total.WallSeconds, runs, report.Total.CyclesPerSecond, *timing)
 	}
-	run(*experiment, fn)
+}
+
+func newStepTiming(name string, wall time.Duration, cycles, runs uint64) stepTiming {
+	s := stepTiming{
+		Experiment:      name,
+		WallSeconds:     wall.Seconds(),
+		SimulatedCycles: cycles,
+		SimulatedRuns:   runs,
+	}
+	if s.WallSeconds > 0 {
+		s.CyclesPerSecond = float64(cycles) / s.WallSeconds
+	}
+	return s
+}
+
+func writeTiming(path string, report timingReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -7,12 +7,15 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"warden/internal/core"
 	"warden/internal/energy"
 	"warden/internal/hlpl"
 	"warden/internal/machine"
 	"warden/internal/pbbs"
+	"warden/internal/runner"
 	"warden/internal/stats"
 	"warden/internal/topology"
 )
@@ -151,54 +154,98 @@ func (s SizeClass) pick(e pbbs.Entry) int {
 	return e.Medium
 }
 
-// Runner executes and caches benchmark runs so the figures that share a
-// run matrix (Figs. 8–11 all use the dual-socket runs) simulate each
-// configuration once per process.
+// Runner executes benchmark runs, fanning independent simulations across
+// host cores and memoizing results so the figures that share a run matrix
+// (Figs. 8–11 all use the dual-socket runs) simulate each configuration
+// once per process. Each simulation is bit-reproducible and results are
+// aggregated in job order, so the rendered reports are byte-identical at
+// every parallelism level (asserted by TestParallelMatchesSequential).
 type Runner struct {
 	Sizes SizeClass
 	Opts  hlpl.Options
-	cache map[string]Result
-	// Progress, if set, is called before each uncached simulation.
+	pool  *runner.Pool
+	memo  runner.Memo[Result]
+	// Progress, if set, is called before each uncached simulation. Calls
+	// are serialized, but under a parallel pool their order varies run to
+	// run (simulation results never do).
 	Progress func(msg string)
+	progMu   sync.Mutex
+
+	simCycles atomic.Uint64 // total cycles of uncached simulations
+	simRuns   atomic.Uint64 // number of uncached simulations
 }
 
-// NewRunner returns a runner at the given size class with paper-faithful
-// runtime options.
+// NewRunner returns a sequential runner at the given size class with
+// paper-faithful runtime options. Use SetParallel to fan out.
 func NewRunner(sizes SizeClass) *Runner {
-	return &Runner{Sizes: sizes, Opts: hlpl.DefaultOptions(), cache: make(map[string]Result)}
+	return &Runner{Sizes: sizes, Opts: hlpl.DefaultOptions(), pool: runner.New(1)}
+}
+
+// SetParallel bounds how many simulations run concurrently on the host:
+// 1 is sequential, 0 selects one per host core (GOMAXPROCS).
+func (r *Runner) SetParallel(n int) { r.pool = runner.New(n) }
+
+// Parallel reports the current host-parallelism bound.
+func (r *Runner) Parallel() int { return r.pool.Workers() }
+
+// SimulatedCycles returns the total simulated cycles and run count of the
+// uncached simulations executed so far (memo hits add nothing).
+func (r *Runner) SimulatedCycles() (cycles, runs uint64) {
+	return r.simCycles.Load(), r.simRuns.Load()
+}
+
+// runWith executes (or recalls) one fully-specified simulation. The memo
+// key fingerprints every field of the config and options, so ablation
+// sweeps that mutate a config without renaming it still get distinct
+// entries.
+func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
+	key := runner.Fingerprint(cfg, proto, e.Name, size, opts)
+	return r.memo.Do(key, func() (Result, error) {
+		if r.Progress != nil {
+			r.progMu.Lock()
+			r.Progress(fmt.Sprintf("simulating %-13s %-7v on %s (size %d)", e.Name, proto, cfg.Name, size))
+			r.progMu.Unlock()
+		}
+		res, err := RunOne(cfg, proto, e, size, opts)
+		if err != nil {
+			return Result{}, err
+		}
+		r.simCycles.Add(res.Cycles)
+		r.simRuns.Add(1)
+		return res, nil
+	})
 }
 
 func (r *Runner) run(cfg topology.Config, proto core.Protocol, e pbbs.Entry) (Result, error) {
-	size := r.Sizes.pick(e)
-	key := fmt.Sprintf("%s|%v|%s|%d|%+v", cfg.Name, proto, e.Name, size, r.Opts)
-	if res, ok := r.cache[key]; ok {
-		return res, nil
-	}
-	if r.Progress != nil {
-		r.Progress(fmt.Sprintf("simulating %-13s %-7v on %s (size %d)", e.Name, proto, cfg.Name, size))
-	}
-	res, err := RunOne(cfg, proto, e, size, r.Opts)
-	if err != nil {
-		return Result{}, err
-	}
-	r.cache[key] = res
-	return res, nil
+	return r.runWith(cfg, proto, e, r.Sizes.pick(e), r.Opts)
+}
+
+// warm fans n fully-specified simulations across the pool so that later,
+// sequential report rendering hits the memo. spec(i) describes job i; its
+// size is the runner's size class.
+func (r *Runner) warm(n int, spec func(i int) (topology.Config, core.Protocol, pbbs.Entry, hlpl.Options)) error {
+	_, err := runner.Map(r.pool, n, func(i int) (Result, error) {
+		cfg, proto, e, opts := spec(i)
+		return r.runWith(cfg, proto, e, r.Sizes.pick(e), opts)
+	})
+	return err
 }
 
 // Compare runs one benchmark under both protocols on cfg.
 func (r *Runner) Compare(cfg topology.Config, e pbbs.Entry) (Comparison, error) {
-	m, err := r.run(cfg, core.MESI, e)
+	protos := []core.Protocol{core.MESI, core.WARDen}
+	res, err := runner.Map(r.pool, len(protos), func(i int) (Result, error) {
+		return r.run(cfg, protos[i], e)
+	})
 	if err != nil {
 		return Comparison{}, err
 	}
-	w, err := r.run(cfg, core.WARDen, e)
-	if err != nil {
-		return Comparison{}, err
-	}
-	return Comparison{Name: e.Name, MESI: m, WARDen: w}, nil
+	return Comparison{Name: e.Name, MESI: res[0], WARDen: res[1]}, nil
 }
 
-// CompareAll runs the whole suite (or the named subset) on cfg.
+// CompareAll runs the whole suite (or the named subset) on cfg. All
+// (benchmark × protocol) cells fan out across the runner's pool; the
+// returned slice follows the input order regardless of parallelism.
 func (r *Runner) CompareAll(cfg topology.Config, names []string) ([]Comparison, error) {
 	entries := pbbs.Suite
 	if names != nil {
@@ -211,13 +258,16 @@ func (r *Runner) CompareAll(cfg topology.Config, names []string) ([]Comparison, 
 			entries = append(entries, e)
 		}
 	}
-	out := make([]Comparison, 0, len(entries))
-	for _, e := range entries {
-		c, err := r.Compare(cfg, e)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, c)
+	protos := []core.Protocol{core.MESI, core.WARDen}
+	res, err := runner.Map(r.pool, len(entries)*len(protos), func(i int) (Result, error) {
+		return r.run(cfg, protos[i%len(protos)], entries[i/len(protos)])
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Comparison, len(entries))
+	for i, e := range entries {
+		out[i] = Comparison{Name: e.Name, MESI: res[2*i], WARDen: res[2*i+1]}
 	}
 	return out, nil
 }

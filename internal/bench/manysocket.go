@@ -5,6 +5,9 @@ import (
 	"io"
 	"text/tabwriter"
 
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/pbbs"
 	"warden/internal/topology"
 )
 
@@ -20,22 +23,28 @@ var ManySocketSubset = []string{"msort", "suffix-array", "tokens", "grep"}
 // per-socket configuration to Table 2 while the cross-socket latency
 // scales with machine size (topology.ManySocket).
 func ManySockets(w io.Writer, r *Runner) error {
+	sockets := []int{1, 2, 4, 8}
+	// Warm the full (socket count × benchmark × protocol) matrix across
+	// the pool before rendering row by row from the memo.
+	subset, err := entriesByName(ManySocketSubset)
+	if err != nil {
+		return err
+	}
+	cells := 2 * len(subset)
+	if err := r.warm(len(sockets)*cells, func(i int) (topology.Config, core.Protocol, pbbs.Entry, hlpl.Options) {
+		proto := core.MESI
+		if i%2 == 1 {
+			proto = core.WARDen
+		}
+		return manySocketConfig(sockets[i/cells]), proto, subset[i%cells/2], r.Opts
+	}); err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "Many sockets (§7.3): WARDen's benefit vs machine scale")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Sockets\tCores\tIntersocket latency\tMean speedup\tMean interconnect savings\tMean total savings")
-	for _, sockets := range []int{1, 2, 4, 8} {
-		var cfg topology.Config
-		if sockets <= 2 {
-			cfg = topology.XeonGold6126(sockets)
-		} else {
-			cfg = topology.ManySocket(sockets)
-			// The directory's sharer mask tracks up to 64 cores; trim the
-			// per-socket core count on the largest machines.
-			if cfg.Cores() > 64 {
-				cfg.CoresPerSocket = 64 / sockets
-				cfg.Name = fmt.Sprintf("%s-%dc", cfg.Name, cfg.CoresPerSocket)
-			}
-		}
+	for _, sockets := range sockets {
+		cfg := manySocketConfig(sockets)
 		comps, err := r.CompareAll(cfg, ManySocketSubset)
 		if err != nil {
 			return err
@@ -50,4 +59,21 @@ func ManySockets(w io.Writer, r *Runner) error {
 			sockets, cfg.Cores(), cfg.InterSocketLatency, geomean(sp), mean(ic), mean(tot))
 	}
 	return tw.Flush()
+}
+
+// manySocketConfig builds the socket-scaling study's machine for a socket
+// count: Table 2's Xeon up to two sockets, the rising-latency ManySocket
+// topology beyond.
+func manySocketConfig(sockets int) topology.Config {
+	if sockets <= 2 {
+		return topology.XeonGold6126(sockets)
+	}
+	cfg := topology.ManySocket(sockets)
+	// The directory's sharer mask tracks up to 64 cores; trim the
+	// per-socket core count on the largest machines.
+	if cfg.Cores() > 64 {
+		cfg.CoresPerSocket = 64 / sockets
+		cfg.Name = fmt.Sprintf("%s-%dc", cfg.Name, cfg.CoresPerSocket)
+	}
+	return cfg
 }

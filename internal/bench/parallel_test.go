@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"warden/internal/pbbs"
+	"warden/internal/topology"
+)
+
+func mustEntry(t *testing.T, name string) pbbs.Entry {
+	t.Helper()
+	e, err := pbbs.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// renderSubset renders a small slice of the evaluation — comparison rows
+// plus a config-mutating sweep row — at the given host parallelism,
+// returning the exact bytes a user would see. Each call uses a fresh
+// Runner so nothing is pre-memoized.
+func renderSubset(t *testing.T, parallel int) string {
+	t.Helper()
+	r := NewRunner(Small)
+	r.SetParallel(parallel)
+	var buf bytes.Buffer
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 4
+	comps, err := r.CompareAll(cfg, []string{"fib", "primes", "tokens"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range comps {
+		fmt.Fprintf(&buf, "%s %.4fx %d %d %.3f %.3f\n", c.Name, c.Speedup(),
+			c.MESI.Cycles, c.WARDen.Cycles, c.MESI.Energy.Total, c.WARDen.Energy.Total)
+	}
+	// A config mutated without a rename: the memo must treat it as a new
+	// machine (the fingerprint covers every field), and its rows must be
+	// just as reproducible.
+	tiny := cfg
+	tiny.WardRegionCapacity = 2
+	c, err := r.Compare(tiny, mustEntry(t, "primes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "cap2 %.4fx %d %d %d\n", c.Speedup(),
+		c.MESI.Cycles, c.WARDen.Cycles, c.WARDen.Counters.RegionOverflows)
+	return buf.String()
+}
+
+// TestParallelMatchesSequential is the tentpole's determinism guarantee:
+// fanning simulations across host cores must be invisible in the output —
+// parallel and sequential runs render byte-identical reports.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run simulation matrix")
+	}
+	seq := renderSubset(t, 1)
+	for _, parallel := range []int{0, 4} {
+		if par := renderSubset(t, parallel); par != seq {
+			t.Fatalf("parallel=%d output diverged from sequential:\n--- sequential ---\n%s--- parallel ---\n%s",
+				parallel, seq, par)
+		}
+	}
+}

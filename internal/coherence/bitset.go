@@ -1,6 +1,9 @@
 package coherence
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Bitset tracks a set of core ids (sharer masks in directory entries). It
 // supports machines up to 64 cores, which covers every configuration in the
@@ -10,14 +13,33 @@ type Bitset uint64
 // MaxCores is the largest core id (exclusive) a Bitset can track.
 const MaxCores = 64
 
+// checkCore panics when core cannot be represented: Go evaluates
+// 1<<core to 0 for shifts past the word width, which would silently turn
+// Add/Remove/Has into no-ops and corrupt sharer tracking on >64-core
+// machines instead of failing loudly.
+func checkCore(core int) {
+	if core < 0 || core >= MaxCores {
+		panic(fmt.Sprintf("coherence: core id %d out of Bitset range [0, %d)", core, MaxCores))
+	}
+}
+
 // Add returns b with core added.
-func (b Bitset) Add(core int) Bitset { return b | 1<<uint(core) }
+func (b Bitset) Add(core int) Bitset {
+	checkCore(core)
+	return b | 1<<uint(core)
+}
 
 // Remove returns b with core removed.
-func (b Bitset) Remove(core int) Bitset { return b &^ (1 << uint(core)) }
+func (b Bitset) Remove(core int) Bitset {
+	checkCore(core)
+	return b &^ (1 << uint(core))
+}
 
 // Has reports whether core is in the set.
-func (b Bitset) Has(core int) bool { return b&(1<<uint(core)) != 0 }
+func (b Bitset) Has(core int) bool {
+	checkCore(core)
+	return b&(1<<uint(core)) != 0
+}
 
 // Count returns the number of cores in the set.
 func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }

@@ -1,0 +1,25 @@
+package coherence
+
+import "testing"
+
+func TestBitsetOutOfRangePanics(t *testing.T) {
+	// A shift past the word width evaluates to zero in Go, so without the
+	// range check Add(64) would silently drop the core from the sharer
+	// mask — the failure must be loud instead.
+	for _, core := range []int{-1, MaxCores, MaxCores + 7} {
+		for name, fn := range map[string]func(){
+			"Add":    func() { Bitset(0).Add(core) },
+			"Remove": func() { Bitset(0).Remove(core) },
+			"Has":    func() { Bitset(0).Has(core) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s(%d) did not panic", name, core)
+					}
+				}()
+				fn()
+			}()
+		}
+	}
+}

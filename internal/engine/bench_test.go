@@ -1,0 +1,32 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEngineOpOverhead measures the engine's per-operation host cost
+// with a trivial handler. threads=1 exercises the inline-lease fast path
+// (the thread owns an infinite horizon, so Call never parks); higher
+// thread counts advance in lockstep, forcing a park/handoff on every
+// operation — the slow path's upper bound.
+func BenchmarkEngineOpOverhead(b *testing.B) {
+	for _, threads := range []int{1, 4, 24} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			e := New(threads, func(t *Thread, op Op) uint64 { return 1 })
+			per := b.N/threads + 1
+			for id := 0; id < threads; id++ {
+				e.SetBody(id, func(t *Thread) {
+					for i := 0; i < per; i++ {
+						t.Call(nil)
+					}
+				})
+			}
+			b.ResetTimer()
+			if _, err := e.Run(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(threads*per)/float64(b.N), "ops/iter")
+		})
+	}
+}

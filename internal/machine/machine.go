@@ -285,10 +285,22 @@ func (b *storeBuffer) drain(now uint64) (stall uint64) {
 // Ctx is a hardware thread's view of the machine. All methods execute
 // simulated instructions; none are safe to call from any goroutine other
 // than the thread's own body.
+//
+// The op structs below are reused across calls: every engine call is
+// synchronous (the op is fully executed before the method returns), so a
+// single scratch op per kind keeps the per-instruction host cost
+// allocation-free.
 type Ctx struct {
 	m    *Machine
 	t    *engine.Thread
 	core int
+
+	ld  loadOp
+	st  storeOp
+	cmp computeOp
+	fnc fenceOp
+	rmw rmwOp
+	buf [8]byte // backing store for scalar Load/Store data
 }
 
 // ThreadID returns the hardware thread id.
@@ -305,69 +317,86 @@ func (c *Ctx) Machine() *Machine { return c.m }
 
 // Load performs a size-byte load (size 1, 2, 4, or 8) and returns the value.
 func (c *Ctx) Load(a mem.Addr, size int) uint64 {
-	var buf [8]byte
-	op := loadOp{addr: a, buf: buf[:size]}
-	c.t.Call(&op)
+	c.ld.addr = a
+	c.ld.buf = c.buf[:size]
+	c.t.Call(&c.ld)
 	var v uint64
 	for i := size - 1; i >= 0; i-- {
-		v = v<<8 | uint64(buf[i])
+		v = v<<8 | uint64(c.buf[i])
 	}
 	return v
 }
 
 // Store performs a size-byte store of v at a.
 func (c *Ctx) Store(a mem.Addr, size int, v uint64) {
-	var buf [8]byte
 	for i := 0; i < size; i++ {
-		buf[i] = byte(v)
+		c.buf[i] = byte(v)
 		v >>= 8
 	}
-	c.t.Call(&storeOp{addr: a, data: buf[:size]})
+	c.st.addr = a
+	c.st.data = c.buf[:size]
+	c.t.Call(&c.st)
 }
 
 // LoadBytes fills buf from simulated memory starting at a, as a single
 // load instruction per cache block touched.
 func (c *Ctx) LoadBytes(a mem.Addr, buf []byte) {
-	c.t.Call(&loadOp{addr: a, buf: buf})
+	c.ld.addr = a
+	c.ld.buf = buf
+	c.t.Call(&c.ld)
+	c.ld.buf = nil
 }
 
 // StoreBytes writes data to simulated memory starting at a.
 func (c *Ctx) StoreBytes(a mem.Addr, data []byte) {
-	c.t.Call(&storeOp{addr: a, data: data})
+	c.st.addr = a
+	c.st.data = data
+	c.t.Call(&c.st)
+	c.st.data = nil
 }
 
-// Compute advances the thread by n single-cycle ALU instructions.
+// Compute advances the thread by n single-cycle ALU instructions. Like
+// every op it goes through Thread.Call, whose inline lease executes it
+// without a park/resume handshake whenever this thread is the one the
+// scheduler would resume anyway.
 func (c *Ctx) Compute(n uint64) {
 	if n == 0 {
 		return
 	}
-	c.t.Call(&computeOp{cycles: n})
+	c.cmp.cycles = n
+	c.t.Call(&c.cmp)
 }
 
 // Fence drains the store buffer (a full memory barrier under TSO).
 func (c *Ctx) Fence() {
-	c.t.Call(&fenceOp{})
+	c.t.Call(&c.fnc)
 }
 
 // CAS atomically compares the size-byte value at a with old and, if equal,
 // stores new. It reports whether the swap happened.
 func (c *Ctx) CAS(a mem.Addr, size int, old, new uint64) bool {
-	op := rmwOp{addr: a, size: size, fn: func(cur uint64) uint64 {
+	c.rmw.addr = a
+	c.rmw.size = size
+	c.rmw.fn = func(cur uint64) uint64 {
 		if cur == old {
 			return new
 		}
 		return cur
-	}}
-	c.t.Call(&op)
-	return op.old == old
+	}
+	c.t.Call(&c.rmw)
+	c.rmw.fn = nil
+	return c.rmw.old == old
 }
 
 // FetchAdd atomically adds delta to the size-byte value at a and returns
 // the previous value.
 func (c *Ctx) FetchAdd(a mem.Addr, size int, delta uint64) uint64 {
-	op := rmwOp{addr: a, size: size, fn: func(cur uint64) uint64 { return cur + delta }}
-	c.t.Call(&op)
-	return op.old
+	c.rmw.addr = a
+	c.rmw.size = size
+	c.rmw.fn = func(cur uint64) uint64 { return cur + delta }
+	c.t.Call(&c.rmw)
+	c.rmw.fn = nil
+	return c.rmw.old
 }
 
 // AddRegion executes WARDen's Add Region instruction for [lo, hi). Under

@@ -56,7 +56,14 @@ func (m *Memory) Alloc(size, align uint64) Addr {
 		panic(fmt.Sprintf("mem: alignment %d is not a power of two", align))
 	}
 	base := (m.next + Addr(align-1)) &^ Addr(align-1)
-	m.next = base + Addr(size)
+	if base < m.next {
+		panic(fmt.Sprintf("mem: aligning %#x to %d overflows the address space", m.next, align))
+	}
+	end := base + Addr(size)
+	if end < base {
+		panic(fmt.Sprintf("mem: allocating %d bytes at %#x overflows the address space", size, base))
+	}
+	m.next = end
 	return base
 }
 

@@ -155,3 +155,21 @@ func TestQuickWriteReadSlices(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestAllocOverflowPanics(t *testing.T) {
+	// Silently wrapping next would hand out address ranges that alias
+	// live allocations; exhaustion of the 64-bit space must panic.
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	m := New(0)
+	m.Alloc(uint64(^Addr(0))-uint64(m.Brk())-PageSize, 1) // nearly exhaust the space
+	mustPanic("size overflow", func() { m.Alloc(2*PageSize, 1) })
+	mustPanic("alignment overflow", func() { m.Alloc(1, 1<<40) })
+}

@@ -1,0 +1,140 @@
+// Package runner fans independent, deterministic simulations out across
+// host cores. It is deliberately simulator-agnostic: a Pool bounds host
+// parallelism, Map runs an indexed job set with ordered aggregation, and
+// Memo single-flights cache fills keyed by config fingerprints.
+//
+// Every simulation in this repository is bit-reproducible and shares no
+// mutable state with its siblings, so running the (benchmark × protocol ×
+// topology) matrix concurrently and then aggregating results in index
+// order yields byte-identical reports to a sequential run — the bench
+// tests assert this.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool bounds how many jobs run concurrently on the host. The zero value
+// is unusable; create pools with New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool running at most workers jobs at once. workers <= 0
+// selects GOMAXPROCS (one job per host core). New(1) is the sequential
+// pool: Map runs jobs in index order on the calling goroutine.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// Map runs fn(0) … fn(n-1) on the pool and returns the results in index
+// order. Job order of *execution* is unspecified beyond the sequential
+// pool's; aggregation order is always 0..n-1, which is what makes
+// parallel and sequential runs indistinguishable to callers. If any jobs
+// fail, the error of the lowest failing index is returned (again so the
+// outcome does not depend on scheduling).
+func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			var err error
+			if out[i], err = fn(i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Memo is a concurrency-safe, single-flight memo cache. The first caller
+// of a key computes the value while any concurrent callers of the same
+// key block and then share the result (including an error). Values are
+// cached forever — the cache's lifetime is the experiment process.
+type Memo[V any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[V]
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, computing it with fn on first use.
+func (c *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]*memoEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// Len reports how many keys have been memoized (including in-flight ones).
+func (c *Memo[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Fingerprint renders parts into a stable cache key. Structs are rendered
+// with their field names ("%+v"), so two configs differing in any field —
+// not just their Name — fingerprint differently. It is a key, not a hash:
+// collisions require equal renderings.
+func Fingerprint(parts ...any) string {
+	var b strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%+v", p)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 4, 16} {
+		p := New(workers)
+		got, err := Map(p, 100, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapLowestErrorWins(t *testing.T) {
+	p := New(8)
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(p, 50, func(i int) (int, error) {
+			if i%7 == 3 { // fails at 3, 10, 17, ...
+				return 0, fmt.Errorf("job %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Fatalf("trial %d: err = %v, want job 3's error", trial, err)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	p := New(3)
+	var live, peak atomic.Int64
+	_, err := Map(p, 64, func(i int) (int, error) {
+		n := live.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		defer live.Add(-1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > 3 {
+		t.Fatalf("observed %d concurrent jobs, pool bound is 3", got)
+	}
+}
+
+func TestMapEmptyAndDefaults(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) must default to at least one worker")
+	}
+	out, err := Map(New(4), 0, func(int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty map: %v, %v", out, err)
+	}
+}
+
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[int]
+	var fills atomic.Int64
+	p := New(8)
+	got, err := Map(p, 32, func(i int) (int, error) {
+		return m.Do(fmt.Sprintf("key%d", i%4), func() (int, error) {
+			fills.Add(1)
+			return i % 4, nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i%4 {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i%4)
+		}
+	}
+	if fills.Load() != 4 {
+		t.Fatalf("fn ran %d times for 4 distinct keys", fills.Load())
+	}
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+}
+
+func TestMemoCachesErrors(t *testing.T) {
+	var m Memo[int]
+	calls := 0
+	fail := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		_, err := m.Do("k", func() (int, error) { calls++; return 0, fail })
+		if err != fail {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("error was not cached: %d calls", calls)
+	}
+}
+
+func TestFingerprintSeesAllFields(t *testing.T) {
+	type cfg struct {
+		Name string
+		Cap  int
+	}
+	a := Fingerprint(cfg{"x", 8}, "MESI")
+	b := Fingerprint(cfg{"x", 16}, "MESI")
+	if a == b {
+		t.Fatal("fingerprint ignored a non-Name field")
+	}
+	if a != Fingerprint(cfg{"x", 8}, "MESI") {
+		t.Fatal("fingerprint is not stable")
+	}
+}
