@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"warden/internal/bench"
+	"warden/internal/topology"
 )
 
 // stepTiming is one experiment's entry in the -timing report.
@@ -49,7 +50,7 @@ type timingReport struct {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, or all")
+		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, events, or all")
 	size := flag.String("size", "medium", "input size class: small or medium")
 	quiet := flag.Bool("q", false, "suppress progress messages")
 	parallel := flag.Int("parallel", 0,
@@ -106,6 +107,11 @@ func main() {
 		"fig12":       func() error { return bench.Figure12(out, r) },
 		"ablations":   func() error { return bench.Ablations(out, r) },
 		"manysockets": func() error { return bench.ManySockets(out, r) },
+		// events profiles the deep-dive benchmark subset through the Metrics
+		// event sink (latency histograms, sharer distributions, per-block
+		// contention). It is opt-in rather than part of "all": the sink runs
+		// are diagnostic, not paper artifacts.
+		"events": func() error { return bench.EventsReport(out, topology.XeonGold6126(1), sizes, nil, 10) },
 	}
 	if *experiment == "all" {
 		for _, name := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets"} {

@@ -1,10 +1,23 @@
-// Command wardentrace replays a textual memory trace (see internal/trace
-// for the format) through the simulated machine under MESI, WARDen, or
-// both, printing cycles and coherence statistics — a harness-free way to
-// explore the protocols.
+// Command wardentrace records and replays textual memory traces (see
+// internal/trace for the full grammar), closing the record→replay loop:
+// a pbbs benchmark recorded with -record replays to the exact same cycle
+// count and counters.
 //
 //	wardentrace -protocol both path/to/trace.txt
 //	echo '0 W 0x1000 8 7' | wardentrace -
+//	wardentrace -record primes -protocol warden -o primes.trace
+//	wardentrace -protocol warden -check primes.trace
+//
+// Trace lines are "<thread> <kind> <args...>", one event per line:
+//
+//	R <addr> <size>              read (1..4096 bytes)
+//	W <addr> <size> <value>     write; size 9..4096 takes a hex payload
+//	A <addr> <size> <delta>     atomic fetch-add
+//	X <addr> <size> <old> <new> atomic compare-and-swap
+//	C <cycles>                  compute for N cycles
+//	F                           full fence
+//	B <name> <lo> <hi>          begin WARD region (name must not be open)
+//	E <name>                    end region; "E -" ends the null region
 package main
 
 import (
@@ -14,38 +27,31 @@ import (
 	"os"
 	"text/tabwriter"
 
+	"warden/internal/bench"
 	"warden/internal/core"
+	"warden/internal/hlpl"
 	"warden/internal/machine"
+	"warden/internal/pbbs"
 	"warden/internal/topology"
 	"warden/internal/trace"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wardentrace:", err)
+	os.Exit(1)
+}
 
 func main() {
 	protocol := flag.String("protocol", "both", "mesi, warden, or both")
 	sockets := flag.Int("sockets", 1, "socket count")
 	cores := flag.Int("cores", 0, "cores per socket (0 = Table 2 default)")
 	detect := flag.Bool("detect", false, "enable entanglement detection (WARDen)")
+	record := flag.String("record", "", "record a pbbs benchmark run instead of replaying a trace")
+	recordSize := flag.String("record-size", "small", "input size for -record: small or medium")
+	out := flag.String("o", "", "with -record, write the textual trace here (default stdout)")
+	jsonl := flag.String("jsonl", "", "also write the full event stream (both layers) as JSONL")
+	check := flag.Bool("check", false, "run the coherence invariant checker during replay")
 	flag.Parse()
-
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: wardentrace [flags] <trace-file|->")
-		os.Exit(2)
-	}
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
-		f, err := os.Open(name)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wardentrace:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		in = f
-	}
-	tr, err := trace.Parse(in)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wardentrace:", err)
-		os.Exit(1)
-	}
 
 	var protos []core.Protocol
 	switch *protocol {
@@ -59,11 +65,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wardentrace: unknown protocol %q\n", *protocol)
 		os.Exit(2)
 	}
-
 	cfg := topology.XeonGold6126(*sockets)
 	if *cores > 0 {
 		cfg.CoresPerSocket = *cores
 	}
+
+	if *record != "" {
+		if len(protos) != 1 {
+			fmt.Fprintln(os.Stderr, "wardentrace: -record needs a single -protocol (mesi or warden)")
+			os.Exit(2)
+		}
+		runRecord(cfg, protos[0], *record, *recordSize, *out, *jsonl)
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wardentrace [flags] <trace-file|->")
+		fmt.Fprintln(os.Stderr, "       wardentrace -record <benchmark> -protocol <mesi|warden> [-o trace] [-jsonl events]")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	if name := flag.Arg(0); name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	tr, err := trace.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+
+	var jsonlW io.WriteCloser
+	if *jsonl != "" {
+		if len(protos) != 1 {
+			fmt.Fprintln(os.Stderr, "wardentrace: -jsonl needs a single -protocol (mesi or warden)")
+			os.Exit(2)
+		}
+		jsonlW, err = os.Create(*jsonl)
+		if err != nil {
+			fatal(err)
+		}
+		defer jsonlW.Close()
+	}
+
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "protocol\tcycles\tinstructions\tinvalidations\tdowngrades\tward accesses\tmessages")
 	for _, p := range protos {
@@ -71,10 +118,33 @@ func main() {
 		if *detect {
 			m.System().SetEntanglementDetection(true)
 		}
+		var sinks []core.Sink
+		var chk *core.Checker
+		if *check {
+			chk = core.NewChecker(m.System())
+			sinks = append(sinks, chk)
+		}
+		var rec *trace.Recorder
+		if jsonlW != nil {
+			rec = trace.NewRecorder(nil, jsonlW)
+			sinks = append(sinks, rec)
+		}
+		if len(sinks) > 0 {
+			m.System().SetSink(core.Sinks(sinks...))
+		}
 		res, err := trace.Replay(tr, m)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "wardentrace:", err)
-			os.Exit(1)
+			fatal(err)
+		}
+		if chk != nil {
+			if err := chk.Final(); err != nil {
+				fatal(fmt.Errorf("%v: invariant violation: %w", p, err))
+			}
+		}
+		if rec != nil {
+			if err := rec.Err(); err != nil {
+				fatal(err)
+			}
 		}
 		c := m.Counters()
 		fmt.Fprintf(tw, "%v\t%d\t%d\t%d\t%d\t%d\t%d\n",
@@ -87,7 +157,62 @@ func main() {
 				fmt.Println("  ", v)
 			}
 		}
+		if chk != nil {
+			tw.Flush()
+			fmt.Printf("invariant checker: %d events, no violations\n", chk.Events())
+		}
 	}
 	tw.Flush()
 	fmt.Printf("(%d events, %d threads)\n", tr.Events, tr.MaxThread()+1)
+}
+
+// runRecord executes a pbbs benchmark with the trace recorder attached and
+// writes the instruction-level textual trace (replayable by this command)
+// and, optionally, the full two-layer event stream as JSONL.
+func runRecord(cfg topology.Config, proto core.Protocol, name, size, out, jsonl string) {
+	e, err := pbbs.ByName(name)
+	if err != nil {
+		fatal(err)
+	}
+	var n int
+	switch size {
+	case "small":
+		n = e.Small
+	case "medium":
+		n = e.Medium
+	default:
+		fmt.Fprintf(os.Stderr, "wardentrace: unknown -record-size %q (want small or medium)\n", size)
+		os.Exit(2)
+	}
+
+	var textW io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		textW = f
+	}
+	var jsonlW io.Writer
+	if jsonl != "" {
+		f, err := os.Create(jsonl)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		jsonlW = f
+	}
+
+	rec := trace.NewRecorder(textW, jsonlW)
+	res, err := bench.RunOneObserved(cfg, proto, e, n, hlpl.DefaultOptions(),
+		func(*machine.Machine) core.Sink { return rec })
+	if err != nil {
+		fatal(err)
+	}
+	if err := rec.Err(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %s/%v: %d cycles, %d instructions, %d messages\n",
+		name, proto, res.Cycles, res.Counters.Instructions, res.Counters.TotalMsgs())
 }

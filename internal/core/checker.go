@@ -1,0 +1,79 @@
+package core
+
+// Checker is a Sink that validates protocol invariants as the simulation
+// runs. After every protocol-internal event it re-checks the affected block
+// against the full directory/private-cache agreement rules (≤1 M/E holder,
+// sharer bitsets consistent with private states, W only under an active
+// region, write masks only under W copies); periodically, at instruction
+// boundaries, it additionally sweeps the whole system with CheckInvariants.
+//
+// Protocol-internal events are emitted only at points where the *affected
+// block* is consistent (a transaction has completed for its block, an
+// eviction has fully retired its victim), so per-block checks are always
+// safe; whole-system sweeps are restricted to instruction-level events
+// because an EvEvict can fire nested inside a transaction whose own block
+// is still mid-flight.
+
+import "fmt"
+
+// checkSweepInterval is how many instruction-level events pass between
+// whole-system CheckInvariants sweeps.
+const checkSweepInterval = 4096
+
+// Checker validates invariants against the system it observes. Attach with
+// sys.SetSink(core.NewChecker(sys)) — or via Sinks alongside other sinks —
+// and poll Err (or let the next event panic-free run finish and check once).
+type Checker struct {
+	sys    *System
+	err    error
+	instrs uint64 // instruction-level events seen
+	events uint64 // all events seen
+}
+
+// NewChecker returns a Checker bound to sys.
+func NewChecker(sys *System) *Checker { return &Checker{sys: sys} }
+
+// Err returns the first invariant violation observed, annotated with the
+// event it followed, or nil.
+func (c *Checker) Err() error { return c.err }
+
+// Events reports how many events the checker has observed.
+func (c *Checker) Events() uint64 { return c.events }
+
+// Event implements Sink.
+func (c *Checker) Event(ev *Event) {
+	c.events++
+	if c.err != nil {
+		return
+	}
+	switch ev.Kind {
+	case EvTransaction, EvEvict, EvReconcile:
+		if err := c.sys.checkBlockInvariant(ev.Block, c.sys.dir.Lookup(ev.Block)); err != nil {
+			c.fail(ev, err)
+			return
+		}
+	default: // instruction-level: periodically sweep everything
+		c.instrs++
+		if c.instrs%checkSweepInterval == 0 {
+			if err := c.sys.CheckInvariants(); err != nil {
+				c.fail(ev, err)
+				return
+			}
+		}
+	}
+}
+
+// Final runs one last whole-system sweep (call after the run drains) and
+// returns the first violation from the whole run, if any.
+func (c *Checker) Final() error {
+	if c.err == nil {
+		if err := c.sys.CheckInvariants(); err != nil {
+			c.err = fmt.Errorf("final sweep after %d events: %w", c.events, err)
+		}
+	}
+	return c.err
+}
+
+func (c *Checker) fail(ev *Event, err error) {
+	c.err = fmt.Errorf("after event %d (%s, block %#x): %w", ev.Seq, ev.Kind, uint64(ev.Block), err)
+}

@@ -1,0 +1,217 @@
+package core
+
+// Direct unit tests for the evictL2Victim paths: each private-cache state a
+// victim can be in (S, E, M, O, W clean, W dirty) has its own protocol
+// obligations — directory notification, sharer-set maintenance, writeback
+// or reconcile-flush — which these tests pin down one by one using a
+// direct-mapped L2 where conflicting addresses are deterministic.
+
+import (
+	"testing"
+
+	"warden/internal/cache"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// evictSystem builds a system with a tiny direct-mapped hierarchy: 8-set L2
+// (one 64-byte block per set), so a and a+512 always conflict.
+func evictSystem(proto Protocol) (*System, *mem.Memory, *stats.Counters) {
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 4
+	cfg.L1Size = 4 * 64
+	cfg.L1Assoc = 1
+	cfg.L2Size = 8 * 64
+	cfg.L2Assoc = 1
+	m := mem.New(0)
+	ctr := &stats.Counters{}
+	return NewSystem(cfg, proto, m, ctr), m, ctr
+}
+
+const conflictStride = 8 * 64 // L2 sets × block size
+
+func TestEvictSharedKeepsOtherSharers(t *testing.T) {
+	s, m, ctr := evictSystem(MESI)
+	a := m.Alloc(4096, mem.PageSize)
+	b := a + conflictStride
+	read64(s, 0, a) // core 0: E
+	read64(s, 1, a) // downgrade: both S, sharers {0,1}
+
+	read64(s, 0, b) // conflicts with a in core 0's L2: S eviction
+	if ctr.Msgs[stats.PutS] != 1 {
+		t.Fatalf("PutS = %d, want 1", ctr.Msgs[stats.PutS])
+	}
+	e := s.dir.Lookup(a)
+	if e == nil || e.State != cache.Shared {
+		t.Fatalf("entry after first S eviction = %+v, want Shared", e)
+	}
+	if e.Sharers.Has(0) || !e.Sharers.Has(1) {
+		t.Fatalf("sharers = %v, want just core 1", e.Sharers)
+	}
+
+	read64(s, 1, b) // core 1 evicts its S copy too: last sharer leaves
+	if ctr.Msgs[stats.PutS] != 2 {
+		t.Fatalf("PutS = %d, want 2", ctr.Msgs[stats.PutS])
+	}
+	if s.dir.Lookup(a) != nil {
+		t.Fatal("entry must drop when the last sharer evicts")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictExclusiveNotifiesDirectory(t *testing.T) {
+	s, m, ctr := evictSystem(MESI)
+	a := m.Alloc(4096, mem.PageSize)
+	read64(s, 0, a)                // E, clean
+	read64(s, 0, a+conflictStride) // evicts a
+	if ctr.Msgs[stats.PutE] != 1 {
+		t.Fatalf("PutE = %d, want 1", ctr.Msgs[stats.PutE])
+	}
+	if ctr.Msgs[stats.DataDir] != 0 {
+		t.Fatal("clean eviction must not write data back")
+	}
+	if s.dir.Lookup(a) != nil {
+		t.Fatal("entry must drop on E eviction")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictModifiedWritesBack(t *testing.T) {
+	s, m, ctr := evictSystem(MESI)
+	a := m.Alloc(4096, mem.PageSize)
+	write64(s, 0, a, 77)               // M, dirty
+	write64(s, 0, a+conflictStride, 1) // evicts a
+	if ctr.Msgs[stats.PutM] != 1 || ctr.Msgs[stats.DataDir] != 1 {
+		t.Fatalf("PutM = %d, DataDir = %d, want 1 each", ctr.Msgs[stats.PutM], ctr.Msgs[stats.DataDir])
+	}
+	if s.dir.Lookup(a) != nil {
+		t.Fatal("entry must drop on M eviction")
+	}
+	// The writeback lands in the home LLC slice: the next read hits L3.
+	l3Hits := ctr.L3Hits
+	if v, _ := read64(s, 1, a); v != 77 {
+		t.Fatalf("read after writeback = %d", v)
+	}
+	if ctr.L3Hits != l3Hits+1 {
+		t.Fatal("re-fetch after M eviction should hit the LLC")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictOwnedDemotesEntryToShared(t *testing.T) {
+	s, m, ctr := evictSystem(MOESI)
+	a := m.Alloc(4096, mem.PageSize)
+	write64(s, 0, a, 9) // core 0: M
+	read64(s, 1, a)     // MOESI: core 0 → O, core 1 shares
+
+	read64(s, 0, a+conflictStride) // evicts core 0's O copy
+	if ctr.Msgs[stats.PutM] != 1 || ctr.Msgs[stats.DataDir] != 1 {
+		t.Fatalf("PutM = %d, DataDir = %d, want 1 each", ctr.Msgs[stats.PutM], ctr.Msgs[stats.DataDir])
+	}
+	e := s.dir.Lookup(a)
+	if e == nil || e.State != cache.Shared {
+		t.Fatalf("entry after O eviction = %+v, want Shared (core 1 remains)", e)
+	}
+	if !e.Sharers.Has(1) {
+		t.Fatalf("sharers = %v, want core 1", e.Sharers)
+	}
+	if v, _ := read64(s, 2, a); v != 9 {
+		t.Fatalf("value after O eviction = %d", v)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictWardDirtyFlushesMaskedSectors(t *testing.T) {
+	s, m, ctr := evictSystem(WARDen)
+	a := m.Alloc(4096, mem.PageSize)
+	id, _, ok := s.AddRegion(0, a, a+4096)
+	if !ok {
+		t.Fatal("AddRegion failed")
+	}
+	write64(s, 0, a, 123)              // W copy, 8 bytes masked
+	write64(s, 0, a+conflictStride, 1) // evicts the dirty W copy
+
+	if ctr.ReconciledBlocks != 1 {
+		t.Fatalf("ReconciledBlocks = %d, want 1 (proactive flush)", ctr.ReconciledBlocks)
+	}
+	if ctr.ReconciledSectors != 8 {
+		t.Fatalf("ReconciledSectors = %d, want 8 (byte sectoring)", ctr.ReconciledSectors)
+	}
+	if s.dir.Lookup(a) != nil {
+		t.Fatal("entry must drop when the last W holder evicts")
+	}
+	if _, tracked := s.wcopies[0][a]; tracked {
+		t.Fatal("the flushed private copy must be discarded")
+	}
+	if r := s.regions.byID[id]; r != nil {
+		if _, still := r.blocks[a]; still {
+			t.Fatal("region must forget an evicted W block (no double reconcile)")
+		}
+	}
+	// The flushed data is canonical even before RemoveRegion.
+	if got := m.ReadUint(a, 8); got != 123 {
+		t.Fatalf("mem after W flush = %d", got)
+	}
+	s.RemoveRegion(0, id)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictWardCleanIsSilent(t *testing.T) {
+	s, m, ctr := evictSystem(WARDen)
+	a := m.Alloc(4096, mem.PageSize)
+	m.WriteUint(a, 8, 55)
+	id, _, ok := s.AddRegion(0, a, a+4096)
+	if !ok {
+		t.Fatal("AddRegion failed")
+	}
+	read64(s, 0, a)                // W copy, nothing written
+	read64(s, 0, a+conflictStride) // evicts the clean W copy
+	if ctr.ReconciledBlocks != 0 || ctr.ReconciledSectors != 0 {
+		t.Fatalf("clean W eviction flushed: blocks=%d sectors=%d", ctr.ReconciledBlocks, ctr.ReconciledSectors)
+	}
+	if s.dir.Lookup(a) != nil {
+		t.Fatal("entry must drop when the last W holder evicts")
+	}
+	if _, tracked := s.wcopies[0][a]; tracked {
+		t.Fatal("the clean private copy must be discarded")
+	}
+	s.RemoveRegion(0, id)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictWardKeepsRemainingHolders(t *testing.T) {
+	s, m, _ := evictSystem(WARDen)
+	a := m.Alloc(4096, mem.PageSize)
+	id, _, ok := s.AddRegion(0, a, a+4096)
+	if !ok {
+		t.Fatal("AddRegion failed")
+	}
+	write64(s, 0, a, 1) // core 0: W holder
+	write64(s, 1, a, 2) // core 1: W holder too (no invalidation)
+
+	read64(s, 0, a+conflictStride) // core 0 evicts its W copy
+	e := s.dir.Lookup(a)
+	if e == nil || e.State != cache.Ward {
+		t.Fatalf("entry = %+v, want Ward for the remaining holder", e)
+	}
+	if e.Sharers.Has(0) || !e.Sharers.Has(1) {
+		t.Fatalf("holders = %v, want just core 1", e.Sharers)
+	}
+	s.RemoveRegion(0, id)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

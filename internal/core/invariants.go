@@ -1,0 +1,169 @@
+package core
+
+// Protocol invariant checking. CheckInvariants is the whole-system sweep
+// used by the test suite and the end of wardentrace -check runs; the
+// per-block checkBlockInvariant is also called incrementally by the Checker
+// sink (checker.go) after each directory transaction.
+
+import (
+	"fmt"
+	"sort"
+
+	"warden/internal/cache"
+	"warden/internal/coherence"
+	"warden/internal/mem"
+)
+
+// CheckInvariants verifies the protocol's global invariants: single-writer/
+// multiple-reader for MESI states, directory/private-cache agreement, L1⊆L2
+// inclusion, and W-state bookkeeping. It returns the first violation found.
+func (s *System) CheckInvariants() error {
+	// Collect directory entries in address order for determinism.
+	var addrs []mem.Addr
+	s.dir.ForEach(func(a mem.Addr, _ *coherence.Entry) { addrs = append(addrs, a) })
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+
+	for _, a := range addrs {
+		if err := s.checkBlockInvariant(a, s.dir.Lookup(a)); err != nil {
+			return err
+		}
+	}
+	// Inclusion and reverse-mapping: every valid private line is tracked.
+	for c := range s.l1 {
+		var err error
+		s.l1[c].ForEach(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			l2ln := s.l2[c].Peek(ln.Addr)
+			if l2ln == nil {
+				err = fmt.Errorf("core %d: L1 holds %#x but L2 does not (inclusion)", c, uint64(ln.Addr))
+			} else if l2ln.State != ln.State {
+				err = fmt.Errorf("core %d: L1 state %v != L2 state %v for %#x", c, ln.State, l2ln.State, uint64(ln.Addr))
+			}
+		})
+		if err != nil {
+			return err
+		}
+		s.l2[c].ForEach(func(ln *cache.Line) {
+			if err != nil {
+				return
+			}
+			if s.dir.Lookup(ln.Addr) == nil {
+				err = fmt.Errorf("core %d: L2 holds %#x with no directory entry", c, uint64(ln.Addr))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkBlockInvariant verifies the directory entry e for block a against
+// every private cache: at most one M/E holder, sharer bitsets consistent
+// with private-cache states, W entries only under the WARDen protocol and
+// only while their region is active, and write masks present only under W
+// copies. e may be nil (no entry), in which case the only requirement is
+// that no write masks linger.
+func (s *System) checkBlockInvariant(a mem.Addr, e *coherence.Entry) error {
+	if e == nil {
+		for c := range s.wcopies {
+			if wc, ok := s.wcopies[c][a]; ok && wc.mask != 0 {
+				return fmt.Errorf("core %d holds a write mask for %#x with no directory entry", c, uint64(a))
+			}
+		}
+		return nil
+	}
+	switch e.State {
+	case cache.Exclusive:
+		ln := s.l2[e.Owner].Peek(a)
+		if ln == nil || (ln.State != cache.Exclusive && ln.State != cache.Modified) {
+			return fmt.Errorf("dir says core %d owns %#x but its L2 has %v", e.Owner, uint64(a), lnState(ln))
+		}
+		for c := range s.l2 {
+			if c != e.Owner && s.l2[c].Peek(a) != nil {
+				return fmt.Errorf("block %#x owned by core %d also valid in core %d", uint64(a), e.Owner, c)
+			}
+		}
+	case cache.Owned:
+		ln := s.l2[e.Owner].Peek(a)
+		if ln == nil || ln.State != cache.Owned {
+			return fmt.Errorf("dir says core %d owns %#x (O) but its L2 has %v", e.Owner, uint64(a), lnState(ln))
+		}
+		for c := range s.l2 {
+			if c == e.Owner {
+				continue
+			}
+			l := s.l2[c].Peek(a)
+			if e.Sharers.Has(c) {
+				if l == nil || l.State != cache.Shared {
+					return fmt.Errorf("dir says core %d shares O-block %#x but its L2 has %v", c, uint64(a), lnState(l))
+				}
+			} else if l != nil {
+				return fmt.Errorf("core %d holds O-block %#x (%v) but is not a sharer", c, uint64(a), l.State)
+			}
+		}
+	case cache.Shared:
+		if e.Sharers.Empty() {
+			return fmt.Errorf("shared block %#x with empty sharer set", uint64(a))
+		}
+		for c := range s.l2 {
+			ln := s.l2[c].Peek(a)
+			if e.Sharers.Has(c) {
+				if ln == nil || ln.State != cache.Shared {
+					return fmt.Errorf("dir says core %d shares %#x but its L2 has %v", c, uint64(a), lnState(ln))
+				}
+			} else if ln != nil {
+				return fmt.Errorf("core %d holds %#x (%v) but is not in sharer set", c, uint64(a), ln.State)
+			}
+		}
+	case cache.Ward:
+		if s.proto != WARDen {
+			return fmt.Errorf("block %#x in W state under %v", uint64(a), s.proto)
+		}
+		if !s.regionActive(RegionID(e.Region)) {
+			return fmt.Errorf("W block %#x belongs to region %d, which is not active", uint64(a), e.Region)
+		}
+		for c := range s.l2 {
+			ln := s.l2[c].Peek(a)
+			if e.Sharers.Has(c) {
+				if ln == nil || (ln.State != cache.Ward && ln.State != cache.Shared) {
+					return fmt.Errorf("dir says core %d holds W block %#x but its L2 has %v", c, uint64(a), lnState(ln))
+				}
+			} else if ln != nil {
+				return fmt.Errorf("core %d holds W block %#x but is not in holder set", c, uint64(a))
+			}
+		}
+	default:
+		return fmt.Errorf("directory entry for %#x in state %v", uint64(a), e.State)
+	}
+	// Write masks may exist only under a W entry, and only at holders whose
+	// private line is actually in the W state.
+	for c := range s.wcopies {
+		wc, ok := s.wcopies[c][a]
+		if !ok || wc.mask == 0 {
+			continue
+		}
+		if e.State != cache.Ward {
+			return fmt.Errorf("core %d holds a write mask for %#x but the directory entry is %v", c, uint64(a), e.State)
+		}
+		if ln := s.l2[c].Peek(a); ln == nil || ln.State != cache.Ward {
+			return fmt.Errorf("core %d holds a write mask for W block %#x but its L2 has %v", c, uint64(a), lnState(s.l2[c].Peek(a)))
+		}
+	}
+	return nil
+}
+
+// regionActive reports whether region id is currently registered.
+func (s *System) regionActive(id RegionID) bool {
+	_, ok := s.regions.byID[id]
+	return ok
+}
+
+func lnState(ln *cache.Line) cache.State {
+	if ln == nil {
+		return cache.Invalid
+	}
+	return ln.State
+}

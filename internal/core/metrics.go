@@ -1,0 +1,140 @@
+package core
+
+// Metrics is a Sink that aggregates the event stream into the distribution
+// views the paper's analysis uses (§7.2): latency histograms per operation
+// kind, sharer-set-size distributions at transaction time, and a per-block
+// contention table that surfaces the most-fought-over cache blocks.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"warden/internal/mem"
+	"warden/internal/stats"
+)
+
+// blockStats aggregates per-block contention indicators.
+type blockStats struct {
+	Transactions  uint64
+	Invalidations uint64
+	Downgrades    uint64
+	Evictions     uint64
+	Reconciles    uint64
+}
+
+// contention ranks blocks by coherence damage caused (invalidations +
+// downgrades), then by transaction count.
+func (b blockStats) contention() uint64 { return b.Invalidations + b.Downgrades }
+
+// Metrics aggregates events; attach with sys.SetSink(m) and render with
+// WriteReport. The zero value is not ready — use NewMetrics.
+type Metrics struct {
+	LoadLat    stats.Histogram    // latency of load instructions
+	StoreLat   stats.Histogram    // latency of store instructions
+	AtomicLat  stats.Histogram    // latency of atomic RMWs
+	TransLat   stats.Histogram    // latency of directory transactions
+	Sharers    stats.Distribution // sharer-set size seen by each transaction
+	ReconWrite stats.Distribution // writers merged per reconciliation
+
+	Events uint64
+	Msgs   [stats.NumMsgTypes]uint64
+
+	blocks map[mem.Addr]*blockStats
+}
+
+// NewMetrics returns an empty metrics sink.
+func NewMetrics() *Metrics { return &Metrics{blocks: make(map[mem.Addr]*blockStats)} }
+
+// Event implements Sink.
+func (m *Metrics) Event(ev *Event) {
+	m.Events++
+	for i, n := range ev.Ctrs.Msgs {
+		// Internal events nest inside instruction events; count message
+		// traffic only at the instruction level so nothing is double-counted.
+		if ev.Kind.Instruction() {
+			m.Msgs[i] += n
+		}
+	}
+	switch ev.Kind {
+	case EvLoad:
+		m.LoadLat.Observe(ev.Latency)
+	case EvStore:
+		m.StoreLat.Observe(ev.Latency)
+	case EvAtomic:
+		m.AtomicLat.Observe(ev.Latency)
+	case EvTransaction:
+		m.TransLat.Observe(ev.Latency)
+		m.Sharers.Observe(ev.SharersBefore.Count())
+		b := m.block(ev.Block)
+		b.Transactions++
+		b.Invalidations += ev.Ctrs.Invalidations
+		b.Downgrades += ev.Ctrs.Downgrades
+	case EvEvict:
+		m.block(ev.Block).Evictions++
+	case EvReconcile:
+		m.block(ev.Block).Reconciles++
+		m.ReconWrite.Observe(int(ev.Arg1))
+	}
+}
+
+func (m *Metrics) block(a mem.Addr) *blockStats {
+	b, ok := m.blocks[a]
+	if !ok {
+		b = &blockStats{}
+		m.blocks[a] = b
+	}
+	return b
+}
+
+// HotBlocks returns the topN most contended blocks (by invalidations +
+// downgrades, then transactions, then address — fully deterministic).
+func (m *Metrics) HotBlocks(topN int) []mem.Addr {
+	addrs := make([]mem.Addr, 0, len(m.blocks))
+	for a := range m.blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool {
+		bi, bj := m.blocks[addrs[i]], m.blocks[addrs[j]]
+		if ci, cj := bi.contention(), bj.contention(); ci != cj {
+			return ci > cj
+		}
+		if bi.Transactions != bj.Transactions {
+			return bi.Transactions > bj.Transactions
+		}
+		return addrs[i] < addrs[j]
+	})
+	if topN >= 0 && len(addrs) > topN {
+		addrs = addrs[:topN]
+	}
+	return addrs
+}
+
+// WriteReport renders the aggregated metrics deterministically: latency
+// histograms, the sharer distribution, and the topN contention table.
+func (m *Metrics) WriteReport(w io.Writer, topN int) {
+	fmt.Fprintf(w, "events: %d\n", m.Events)
+	fmt.Fprintf(w, "load latency (cycles):\n")
+	m.LoadLat.Render(w, "  ")
+	fmt.Fprintf(w, "store latency (cycles):\n")
+	m.StoreLat.Render(w, "  ")
+	if m.AtomicLat.Count > 0 {
+		fmt.Fprintf(w, "atomic latency (cycles):\n")
+		m.AtomicLat.Render(w, "  ")
+	}
+	fmt.Fprintf(w, "directory transaction latency (cycles):\n")
+	m.TransLat.Render(w, "  ")
+	fmt.Fprintf(w, "sharers at transaction time:\n")
+	m.Sharers.Render(w, "  ")
+	if m.ReconWrite.N > 0 {
+		fmt.Fprintf(w, "writers per reconciliation:\n")
+		m.ReconWrite.Render(w, "  ")
+	}
+	fmt.Fprintf(w, "hottest blocks (top %d of %d):\n", topN, len(m.blocks))
+	fmt.Fprintf(w, "  %-12s %8s %8s %8s %8s %8s\n", "block", "trans", "inv", "downg", "evict", "recon")
+	for _, a := range m.HotBlocks(topN) {
+		b := m.blocks[a]
+		fmt.Fprintf(w, "  %#-12x %8d %8d %8d %8d %8d\n",
+			uint64(a), b.Transactions, b.Invalidations, b.Downgrades, b.Evictions, b.Reconciles)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"warden/internal/cache"
 	"warden/internal/coherence"
@@ -72,6 +71,12 @@ const (
 // per-socket shared L3 slices, a full-map directory per the configured
 // protocol, and the interconnect fabric. All methods are single-threaded;
 // the simulation engine serializes cores.
+//
+// The implementation is layered across three files: this one holds the
+// access paths (the instruction-facing API), protocol.go holds the
+// directory transactions and private-cache maintenance (the protocol state
+// machines), and event.go holds the structured event stream that observers
+// subscribe to via SetSink.
 type System struct {
 	cfg    topology.Config
 	proto  Protocol
@@ -89,6 +94,12 @@ type System struct {
 
 	detectEntangle bool
 	violations     []Violation
+
+	// Event stream (see event.go). sink == nil is the fast path: no
+	// snapshots are taken and no events are built.
+	sink     Sink
+	evSeq    uint64
+	evThread int // hardware thread driving the current op (-1 when unknown)
 }
 
 // NewSystem builds a memory system for the given machine and protocol over
@@ -112,6 +123,7 @@ func NewSystem(cfg topology.Config, proto Protocol, m *mem.Memory, ctr *stats.Co
 		dir:        coherence.NewDirectory(),
 		regions:    newRegionTable(cfg.WardRegionCapacity),
 		sectorSize: 1,
+		evThread:   -1,
 	}
 	for c := 0; c < cfg.Cores(); c++ {
 		s.l1 = append(s.l1, cache.New(fmt.Sprintf("L1-%d", c), cfg.L1Size, cfg.L1Assoc, cfg.BlockSize))
@@ -152,13 +164,28 @@ func (s *System) PrivateCaches() (l1, l2 []*cache.Cache) { return s.l1, s.l2 }
 // ---------------------------------------------------------------------------
 // Access paths
 
-type accessMode int
+// AccessMode classifies what permission an access needs from the memory
+// system. It is exported so event-stream consumers can tell event kinds
+// apart without string matching.
+type AccessMode int
 
 const (
-	modeRead accessMode = iota
-	modeWrite
-	modeAtomic // write permission, but never via the W state
+	ModeRead AccessMode = iota
+	ModeWrite
+	ModeAtomic // write permission, but never via the W state
 )
+
+// String names the access mode.
+func (m AccessMode) String() string {
+	switch m {
+	case ModeWrite:
+		return "write"
+	case ModeAtomic:
+		return "atomic"
+	default:
+		return "read"
+	}
+}
 
 // Read performs a load of len(buf) bytes at a (which must not cross a cache
 // block boundary) by core, fills buf, and returns the access latency in
@@ -166,7 +193,7 @@ const (
 func (s *System) Read(core int, a mem.Addr, buf []byte) uint64 {
 	s.checkSpan(a, len(buf))
 	block := a.Block(s.cfg.BlockSize)
-	st, lat := s.acquire(core, block, modeRead)
+	st, lat := s.acquire(core, block, ModeRead)
 	if st == cache.Ward {
 		s.ctr.WardAccesses++
 		wc := s.wcopy(core, block)
@@ -188,7 +215,7 @@ func (s *System) Read(core int, a mem.Addr, buf []byte) uint64 {
 func (s *System) Write(core int, a mem.Addr, src []byte) uint64 {
 	s.checkSpan(a, len(src))
 	block := a.Block(s.cfg.BlockSize)
-	st, lat := s.acquire(core, block, modeWrite)
+	st, lat := s.acquire(core, block, ModeWrite)
 	if st == cache.Ward {
 		s.ctr.WardAccesses++
 		wc := s.wcopy(core, block)
@@ -209,7 +236,7 @@ func (s *System) Write(core int, a mem.Addr, src []byte) uint64 {
 func (s *System) RMW(core int, a mem.Addr, size int, fn func(old uint64) uint64) (old uint64, lat uint64) {
 	s.checkSpan(a, size)
 	block := a.Block(s.cfg.BlockSize)
-	st, lat := s.acquire(core, block, modeAtomic)
+	st, lat := s.acquire(core, block, ModeAtomic)
 	if st == cache.Ward {
 		panic("core: atomic acquired a Ward line")
 	}
@@ -237,7 +264,7 @@ func (s *System) wcopy(core int, block mem.Addr) *wardCopy {
 // acquire obtains block at core with permissions for the given mode and
 // returns the line's resulting state and the latency. On return the block is
 // present in the core's L1 and L2.
-func (s *System) acquire(core int, block mem.Addr, mode accessMode) (cache.State, uint64) {
+func (s *System) acquire(core int, block mem.Addr, mode AccessMode) (cache.State, uint64) {
 	lat := s.cfg.L1Latency
 	s.ctr.L1Accesses++
 	if ln := s.l1[core].Lookup(block); ln != nil {
@@ -268,11 +295,11 @@ func (s *System) acquire(core int, block mem.Addr, mode accessMode) (cache.State
 // privHit decides whether a privately cached line in state st satisfies the
 // access without a directory transaction, returning the (possibly silently
 // upgraded) state.
-func (s *System) privHit(core int, block mem.Addr, st cache.State, mode accessMode) (bool, cache.State) {
+func (s *System) privHit(core int, block mem.Addr, st cache.State, mode AccessMode) (bool, cache.State) {
 	switch mode {
-	case modeRead:
+	case ModeRead:
 		return true, st
-	case modeWrite:
+	case ModeWrite:
 		switch st {
 		case cache.Modified, cache.Ward:
 			return true, st
@@ -283,7 +310,7 @@ func (s *System) privHit(core int, block mem.Addr, st cache.State, mode accessMo
 			return true, cache.Modified
 		}
 		return false, st // S needs an upgrade
-	case modeAtomic:
+	case ModeAtomic:
 		switch st {
 		case cache.Modified:
 			return true, st
@@ -297,385 +324,7 @@ func (s *System) privHit(core int, block mem.Addr, st cache.State, mode accessMo
 }
 
 // ---------------------------------------------------------------------------
-// Directory transactions
-
-// dirTransaction performs a full coherence transaction at block's home
-// directory on behalf of core. Because the simulation engine serializes
-// cores, the transaction runs atomically; latency and messages accumulate
-// as if the message sequence executed on the fabric.
-func (s *System) dirTransaction(core int, block mem.Addr, mode accessMode) (cache.State, uint64) {
-	req := stats.GetS
-	if mode != modeRead {
-		req = stats.GetM
-	}
-	lat := s.fabric.CoreToHome(req, core, block)
-	s.ctr.DirAccesses++
-	lat += s.cfg.L3Latency // directory + LLC slice access
-	e := s.dir.Ensure(block)
-
-	// WARDen: in-region blocks take the W path, which never invalidates or
-	// downgrades anyone (§5.1). Atomics are exempt.
-	if s.proto == WARDen && mode != modeAtomic {
-		if rid, ok := s.regions.lookup(block); ok {
-			return cache.Ward, lat + s.wardGrant(core, block, e, rid)
-		}
-	}
-	// A W block reached by an atomic, or whose region disappeared without
-	// removal (defensive): reconcile it on the spot, then continue as MESI.
-	if e.State == cache.Ward {
-		s.reconcileBlock(block, e, true)
-		lat += forcedReconcileCycles
-	}
-
-	switch mode {
-	case modeRead:
-		return s.mesiGetS(core, block, e, &lat), lat
-	default:
-		return s.mesiGetM(core, block, e, &lat), lat
-	}
-}
-
-// mesiGetS is the MESI read-miss transaction.
-func (s *System) mesiGetS(core int, block mem.Addr, e *coherence.Entry, lat *uint64) cache.State {
-	switch e.State {
-	case cache.Invalid:
-		// No cached copies: fetch from LLC/DRAM and grant Exclusive (the
-		// MESI E optimization for unshared data).
-		*lat += s.llcFetch(block)
-		*lat += s.fabric.HomeToCore(stats.Data, block, core)
-		e.State = cache.Exclusive
-		e.Owner = core
-		e.Sharers = 0
-		s.installPrivate(core, block, cache.Exclusive)
-		return cache.Exclusive
-
-	case cache.Exclusive:
-		if e.Owner == core {
-			panic("core: GetS from the recorded owner (private state out of sync)")
-		}
-		// Forward to the owner, who downgrades and sends the requester the
-		// data. Under MESI a dirty owner also writes back to the LLC and
-		// everyone ends Shared; under MOESI a dirty owner keeps the block
-		// in Owned and remains responsible for sourcing it.
-		owner := e.Owner
-		*lat += s.fabric.HomeToCore(stats.FwdGetS, block, owner)
-		*lat += s.cfg.L2Latency // owner's private lookup
-		ownerLine := s.l2[owner].Peek(block)
-		dirty := ownerLine != nil && ownerLine.State == cache.Modified
-		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
-		if s.proto == MOESI && dirty {
-			s.downgradePrivateTo(owner, block, cache.Owned)
-			e.State = cache.Owned
-			e.Owner = owner
-			e.Sharers = coherence.Bitset(0).Add(core)
-		} else {
-			s.downgradePrivate(owner, block)
-			if dirty {
-				s.fabric.CoreToHome(stats.DataDir, owner, block) // writeback, off critical path
-			}
-			e.State = cache.Shared
-			e.Sharers = coherence.Bitset(0).Add(owner).Add(core)
-		}
-		s.installPrivate(core, block, cache.Shared)
-		return cache.Shared
-
-	case cache.Owned:
-		// MOESI: the owner sources the data; no LLC involvement, no
-		// writeback, no state change at the owner.
-		owner := e.Owner
-		*lat += s.fabric.HomeToCore(stats.FwdGetS, block, owner)
-		*lat += s.cfg.L2Latency
-		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
-		e.Sharers = e.Sharers.Add(core)
-		s.installPrivate(core, block, cache.Shared)
-		return cache.Shared
-
-	case cache.Shared:
-		*lat += s.llcFetch(block)
-		*lat += s.fabric.HomeToCore(stats.Data, block, core)
-		e.Sharers = e.Sharers.Add(core)
-		s.installPrivate(core, block, cache.Shared)
-		return cache.Shared
-	}
-	panic(fmt.Sprintf("core: GetS with directory in state %v", e.State))
-}
-
-// mesiGetM is the MESI write-miss/upgrade transaction.
-func (s *System) mesiGetM(core int, block mem.Addr, e *coherence.Entry, lat *uint64) cache.State {
-	switch e.State {
-	case cache.Invalid:
-		*lat += s.llcFetch(block)
-		*lat += s.fabric.HomeToCore(stats.Data, block, core)
-
-	case cache.Exclusive:
-		if e.Owner == core {
-			panic("core: GetM from the recorded owner (private state out of sync)")
-		}
-		owner := e.Owner
-		*lat += s.fabric.HomeToCore(stats.FwdGetM, block, owner)
-		*lat += s.cfg.L2Latency
-		s.invalidatePrivate(owner, block, true)
-		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
-
-	case cache.Owned:
-		// MOESI: invalidate the sharers; the owner supplies data (or just
-		// upgrades in place if the requester is the owner).
-		owner := e.Owner
-		var worst uint64
-		e.Sharers.ForEach(func(sh int) {
-			if sh == core {
-				return
-			}
-			l := s.fabric.HomeToCore(stats.Inv, block, sh)
-			s.invalidatePrivate(sh, block, true)
-			l += s.fabric.CoreToCore(stats.InvAck, sh, core)
-			if l > worst {
-				worst = l
-			}
-		})
-		*lat += worst
-		if owner != core {
-			*lat += s.fabric.HomeToCore(stats.FwdGetM, block, owner)
-			*lat += s.cfg.L2Latency
-			s.invalidatePrivate(owner, block, true)
-			*lat += s.fabric.CoreToCore(stats.Data, owner, core)
-		}
-
-	case cache.Shared:
-		// Invalidate every other sharer; invalidations proceed in parallel,
-		// so latency is the slowest inv+ack round.
-		upgrade := e.Sharers.Has(core)
-		var worst uint64
-		e.Sharers.ForEach(func(sh int) {
-			if sh == core {
-				return
-			}
-			l := s.fabric.HomeToCore(stats.Inv, block, sh)
-			s.invalidatePrivate(sh, block, true)
-			l += s.fabric.CoreToCore(stats.InvAck, sh, core)
-			if l > worst {
-				worst = l
-			}
-		})
-		*lat += worst
-		if !upgrade {
-			*lat += s.llcFetch(block)
-			*lat += s.fabric.HomeToCore(stats.Data, block, core)
-		}
-	default:
-		panic(fmt.Sprintf("core: GetM with directory in state %v", e.State))
-	}
-	e.State = cache.Exclusive
-	e.Owner = core
-	e.Sharers = 0
-	s.installPrivate(core, block, cache.Modified)
-	return cache.Modified
-}
-
-// wardGrant serves a request for a block inside an active WARD region: the
-// directory moves the block to W (if not already), adds the requester to the
-// holder set, and furnishes a copy without invalidating or downgrading any
-// other holder (§5.1).
-func (s *System) wardGrant(core int, block mem.Addr, e *coherence.Entry, rid RegionID) uint64 {
-	var lat uint64
-	if e.State != cache.Ward {
-		switch e.State {
-		case cache.Exclusive:
-			// The previous owner keeps its copy, now as a W line with a
-			// fresh private snapshot. No invalidation, no downgrade.
-			owner := e.Owner
-			e.Sharers = coherence.Bitset(0).Add(owner)
-			s.setPrivState(owner, block, cache.Ward)
-			s.wcopy(owner, block)
-		case cache.Shared:
-			// Existing S holders keep their (clean, still-valid) S lines.
-		case cache.Invalid:
-			e.Sharers = 0
-		}
-		e.State = cache.Ward
-		e.Region = uint32(rid)
-		s.regions.noteBlock(rid, block)
-	}
-	already := e.Sharers.Has(core) && s.l2[core].Peek(block) != nil
-	e.Sharers = e.Sharers.Add(core)
-	if !already {
-		lat += s.llcFetch(block)
-		lat += s.fabric.HomeToCore(stats.Data, block, core)
-	}
-	s.installPrivate(core, block, cache.Ward)
-	s.wcopy(core, block)
-	return lat
-}
-
-// llcFetch reads block at its home LLC slice, falling back to DRAM on miss,
-// and returns the latency beyond the already-charged L3 access.
-func (s *System) llcFetch(block mem.Addr) uint64 {
-	home := s.fabric.HomeSocket(block)
-	s.ctr.L3Accesses++
-	l3 := s.l3[home]
-	if l3.Lookup(block) != nil {
-		l3.Hits++
-		s.ctr.L3Hits++
-		return 0
-	}
-	l3.Misses++
-	s.ctr.DRAMAccesses++
-	l3.Insert(block, cache.Shared) // LLC victim drops silently (non-inclusive LLC)
-	return s.cfg.DRAMLatency
-}
-
-// ---------------------------------------------------------------------------
-// Private-cache maintenance
-
-// fillL1 installs block into L1 after an L2 hit (inclusion holds; the L1
-// victim needs no action).
-func (s *System) fillL1(core int, block mem.Addr, st cache.State) {
-	s.l1[core].Insert(block, st)
-}
-
-// installPrivate installs block into the core's L2 then L1, handling the L2
-// capacity victim's protocol actions.
-func (s *System) installPrivate(core int, block mem.Addr, st cache.State) {
-	if ev, ok := s.l2[core].Insert(block, st); ok {
-		s.evictL2Victim(core, ev)
-	}
-	s.l1[core].Insert(block, st)
-}
-
-// setPrivState updates block's state in the core's L1 and L2 where present.
-func (s *System) setPrivState(core int, block mem.Addr, st cache.State) {
-	if ln := s.l2[core].Peek(block); ln != nil {
-		ln.State = st
-	}
-	if ln := s.l1[core].Peek(block); ln != nil {
-		ln.State = st
-	}
-}
-
-// invalidatePrivate removes block from the core's private caches; when
-// coherence is true the removals are counted as coherence invalidations
-// (one per cache holding the block, matching the paper's per-cache counts).
-func (s *System) invalidatePrivate(core int, block mem.Addr, coherenceInv bool) {
-	if st := s.l1[core].Invalidate(block); st != cache.Invalid && coherenceInv {
-		s.l1[core].CountInvalidation()
-		s.ctr.Invalidations++
-	}
-	if st := s.l2[core].Invalidate(block); st != cache.Invalid && coherenceInv {
-		s.l2[core].CountInvalidation()
-		s.ctr.Invalidations++
-	}
-}
-
-// downgradePrivate moves block to S in the core's private caches, counting a
-// coherence downgrade per cache holding it.
-func (s *System) downgradePrivate(core int, block mem.Addr) {
-	s.downgradePrivateTo(core, block, cache.Shared)
-}
-
-// downgradePrivateTo moves block to the given (less privileged) state in the
-// core's private caches, counting a coherence downgrade per cache holding it.
-func (s *System) downgradePrivateTo(core int, block mem.Addr, st cache.State) {
-	if ln := s.l1[core].Peek(block); ln != nil {
-		ln.State = st
-		s.l1[core].CountDowngrade()
-		s.ctr.Downgrades++
-	}
-	if ln := s.l2[core].Peek(block); ln != nil {
-		ln.State = st
-		s.l2[core].CountDowngrade()
-		s.ctr.Downgrades++
-	}
-}
-
-// evictL2Victim performs the protocol actions for a block displaced from a
-// private L2: maintain inclusion, notify the directory, and write back or
-// reconcile-flush dirty data. Writebacks are posted (they do not stall the
-// evicting core) but their traffic is charged.
-func (s *System) evictL2Victim(core int, ev cache.Eviction) {
-	// Inclusion: the L1 copy (if any) must go too. Not a coherence inv.
-	s.l1[core].Invalidate(ev.Addr)
-
-	e := s.dir.Lookup(ev.Addr)
-	if e == nil {
-		panic(fmt.Sprintf("core: evicting %#x with no directory entry", uint64(ev.Addr)))
-	}
-	switch ev.State {
-	case cache.Shared:
-		s.fabric.CoreToHome(stats.PutS, core, ev.Addr)
-		e.Sharers = e.Sharers.Remove(core)
-		if e.State == cache.Shared && e.Sharers.Empty() {
-			s.dir.Drop(ev.Addr)
-		}
-		// Under an Owned entry, sharers come and go while the owner keeps
-		// the block; nothing more to do.
-		// Under a Ward directory entry an S holder may evict; the entry
-		// stays W for the remaining holders.
-		if e.State == cache.Ward && e.Sharers.Empty() {
-			s.regions.forgetBlock(RegionID(e.Region), ev.Addr)
-			s.dir.Drop(ev.Addr)
-		}
-	case cache.Owned:
-		// The dirty sourcing copy leaves: write back to the LLC; remaining
-		// sharers (if any) keep clean S copies served by the LLC.
-		s.fabric.CoreToHome(stats.PutM, core, ev.Addr)
-		s.fabric.CoreToHome(stats.DataDir, core, ev.Addr)
-		s.l3[s.fabric.HomeSocket(ev.Addr)].Insert(ev.Addr, cache.Shared)
-		if e.Sharers.Empty() {
-			s.dir.Drop(ev.Addr)
-		} else {
-			e.State = cache.Shared
-			e.Owner = 0
-		}
-	case cache.Exclusive:
-		s.fabric.CoreToHome(stats.PutE, core, ev.Addr)
-		s.dir.Drop(ev.Addr)
-	case cache.Modified:
-		s.fabric.CoreToHome(stats.PutM, core, ev.Addr)
-		s.fabric.CoreToHome(stats.DataDir, core, ev.Addr)
-		s.dir.Drop(ev.Addr)
-	case cache.Ward:
-		// Proactive flush: merge this core's written sectors into the LLC
-		// now, off the critical path (§5.3's overlap benefit).
-		s.flushWardCopy(core, ev.Addr)
-		e.Sharers = e.Sharers.Remove(core)
-		if e.Sharers.Empty() {
-			s.regions.forgetBlock(RegionID(e.Region), ev.Addr)
-			s.dir.Drop(ev.Addr)
-		}
-	default:
-		panic(fmt.Sprintf("core: evicting line in state %v", ev.State))
-	}
-}
-
-// flushWardCopy merges core's private copy of block into the canonical
-// store (masked sectors only) and discards the copy.
-func (s *System) flushWardCopy(core int, block mem.Addr) {
-	wc, ok := s.wcopies[core][block]
-	if !ok {
-		return
-	}
-	if wc.mask != 0 {
-		s.applyMask(block, wc)
-		s.fabric.FlushToHome(core, block, uint64(wc.mask.Count())*s.sectorSize)
-		s.ctr.ReconciledBlocks++
-		s.ctr.ReconciledSectors += uint64(wc.mask.Count())
-		s.l3[s.fabric.HomeSocket(block)].Insert(block, cache.Shared)
-	}
-	delete(s.wcopies[core], block)
-}
-
-func (s *System) applyMask(block mem.Addr, wc *wardCopy) {
-	sectors := uint(s.cfg.BlockSize / s.sectorSize)
-	for i := uint(0); i < sectors; i++ {
-		if wc.mask.Has(i) {
-			off := mem.Addr(uint64(i) * s.sectorSize)
-			s.mem.Write(block+off, wc.data[uint64(i)*s.sectorSize:(uint64(i)+1)*s.sectorSize])
-		}
-	}
-}
-
-// ---------------------------------------------------------------------------
-// WARD region instructions and reconciliation
+// WARD region instructions
 
 // AddRegion executes the "Add Region" instruction for [lo, hi) on behalf of
 // core. Under MESI (legacy hardware) it is a cheap no-op. It returns the
@@ -729,247 +378,4 @@ func (s *System) RemoveRegion(core int, id RegionID) uint64 {
 		}
 	}
 	return regionOpCycles + uint64(len(blocks))/reconcileBlocksPerCycle
-}
-
-// reconcileBlock returns one W block to a coherent state following the
-// §6.1 implementation (and the paper's prototype, per its footnote): every
-// private W copy is flushed — written sectors merge into the LLC in
-// ascending core order ("the final value of each sector is taken from
-// whichever copy is processed last"; any order is correct by the WARD
-// property, and ascending order keeps the simulation deterministic) — and
-// invalidated. The merged block lands in its home LLC slice, which is what
-// makes the §5.3 proactive flush pay off: the next consumer takes an LLC
-// hit instead of a forward-and-downgrade round to the producer's private
-// cache. Clean S holders under the W entry keep their (still valid) lines.
-// forgetRegion also detaches the block from its region's index (used on the
-// forced-reconcile path; RemoveRegion has already discarded the index).
-func (s *System) reconcileBlock(block mem.Addr, e *coherence.Entry, forgetRegion bool) {
-	holders := e.Sharers
-	var totalMask cache.SectorMask
-	writers := 0
-	lastWriter := -1
-	overlap := false
-	var remaining coherence.Bitset // holders keeping valid S lines
-
-	// First pass: merge every written sector into the canonical store.
-	holders.ForEach(func(c int) {
-		ln := s.l2[c].Peek(block)
-		if ln == nil || ln.State != cache.Ward {
-			return
-		}
-		wc, ok := s.wcopies[c][block]
-		if ok && wc.mask != 0 {
-			if wc.mask.Overlaps(totalMask) {
-				overlap = true
-			}
-			totalMask |= wc.mask
-			writers++
-			lastWriter = c
-			s.applyMask(block, wc)
-			s.fabric.FlushToHome(c, block, uint64(wc.mask.Count())*s.sectorSize)
-			s.ctr.ReconciledSectors += uint64(wc.mask.Count())
-		}
-	})
-	// Second pass: dispose of the private copies. A copy that provably
-	// equals the merged block — any copy when nothing was written, or the
-	// sole writer's own copy — converts to a clean S line in place;
-	// every other copy is stale and is flushed-and-invalidated (§6.1).
-	// These invalidations are not coherence invalidations: no Inv messages
-	// travel, the holders volunteered their blocks.
-	holders.ForEach(func(c int) {
-		ln := s.l2[c].Peek(block)
-		if ln == nil {
-			return
-		}
-		if ln.State != cache.Ward {
-			remaining = remaining.Add(c) // clean S holder under a W entry
-			return
-		}
-		delete(s.wcopies[c], block)
-		if totalMask == 0 || (writers == 1 && c == lastWriter) {
-			s.setPrivState(c, block, cache.Shared)
-			remaining = remaining.Add(c)
-			return
-		}
-		s.l1[c].Invalidate(block)
-		s.l2[c].Invalidate(block)
-	})
-	s.ctr.ReconciledBlocks++
-	if writers > 0 && holders.Count() > 1 {
-		if overlap {
-			s.ctr.TrueShareMerges++
-		} else {
-			s.ctr.FalseShareMerges++
-		}
-	}
-	// The merged data now lives in the home LLC slice.
-	s.l3[s.fabric.HomeSocket(block)].Insert(block, cache.Shared)
-	if remaining.Empty() {
-		s.dir.Drop(block)
-	} else {
-		e.State = cache.Shared
-		e.Owner = 0
-		e.Sharers = remaining
-	}
-	if forgetRegion {
-		s.regions.forgetBlock(RegionID(e.Region), block)
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Invariant checking (used heavily by the test suite)
-
-// CheckInvariants verifies the protocol's global invariants: single-writer/
-// multiple-reader for MESI states, directory/private-cache agreement, L1⊆L2
-// inclusion, and W-state bookkeeping. It returns the first violation found.
-func (s *System) CheckInvariants() error {
-	// Collect directory entries in address order for determinism.
-	var addrs []mem.Addr
-	s.dir.ForEach(func(a mem.Addr, _ *coherence.Entry) { addrs = append(addrs, a) })
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-
-	for _, a := range addrs {
-		e := s.dir.Lookup(a)
-		switch e.State {
-		case cache.Exclusive:
-			ln := s.l2[e.Owner].Peek(a)
-			if ln == nil || (ln.State != cache.Exclusive && ln.State != cache.Modified) {
-				return fmt.Errorf("dir says core %d owns %#x but its L2 has %v", e.Owner, uint64(a), lnState(ln))
-			}
-			for c := range s.l2 {
-				if c != e.Owner && s.l2[c].Peek(a) != nil {
-					return fmt.Errorf("block %#x owned by core %d also valid in core %d", uint64(a), e.Owner, c)
-				}
-			}
-		case cache.Owned:
-			ln := s.l2[e.Owner].Peek(a)
-			if ln == nil || ln.State != cache.Owned {
-				return fmt.Errorf("dir says core %d owns %#x (O) but its L2 has %v", e.Owner, uint64(a), lnState(ln))
-			}
-			for c := range s.l2 {
-				if c == e.Owner {
-					continue
-				}
-				l := s.l2[c].Peek(a)
-				if e.Sharers.Has(c) {
-					if l == nil || l.State != cache.Shared {
-						return fmt.Errorf("dir says core %d shares O-block %#x but its L2 has %v", c, uint64(a), lnState(l))
-					}
-				} else if l != nil {
-					return fmt.Errorf("core %d holds O-block %#x (%v) but is not a sharer", c, uint64(a), l.State)
-				}
-			}
-		case cache.Shared:
-			if e.Sharers.Empty() {
-				return fmt.Errorf("shared block %#x with empty sharer set", uint64(a))
-			}
-			for c := range s.l2 {
-				ln := s.l2[c].Peek(a)
-				if e.Sharers.Has(c) {
-					if ln == nil || ln.State != cache.Shared {
-						return fmt.Errorf("dir says core %d shares %#x but its L2 has %v", c, uint64(a), lnState(ln))
-					}
-				} else if ln != nil {
-					return fmt.Errorf("core %d holds %#x (%v) but is not in sharer set", c, uint64(a), ln.State)
-				}
-			}
-		case cache.Ward:
-			if s.proto != WARDen {
-				return fmt.Errorf("block %#x in W state under MESI", uint64(a))
-			}
-			for c := range s.l2 {
-				ln := s.l2[c].Peek(a)
-				if e.Sharers.Has(c) {
-					if ln == nil || (ln.State != cache.Ward && ln.State != cache.Shared) {
-						return fmt.Errorf("dir says core %d holds W block %#x but its L2 has %v", c, uint64(a), lnState(ln))
-					}
-				} else if ln != nil {
-					return fmt.Errorf("core %d holds W block %#x but is not in holder set", c, uint64(a))
-				}
-			}
-		default:
-			return fmt.Errorf("directory entry for %#x in state %v", uint64(a), e.State)
-		}
-	}
-	// Inclusion and reverse-mapping: every valid private line is tracked.
-	for c := range s.l1 {
-		var err error
-		s.l1[c].ForEach(func(ln *cache.Line) {
-			if err != nil {
-				return
-			}
-			l2ln := s.l2[c].Peek(ln.Addr)
-			if l2ln == nil {
-				err = fmt.Errorf("core %d: L1 holds %#x but L2 does not (inclusion)", c, uint64(ln.Addr))
-			} else if l2ln.State != ln.State {
-				err = fmt.Errorf("core %d: L1 state %v != L2 state %v for %#x", c, ln.State, l2ln.State, uint64(ln.Addr))
-			}
-		})
-		if err != nil {
-			return err
-		}
-		s.l2[c].ForEach(func(ln *cache.Line) {
-			if err != nil {
-				return
-			}
-			if s.dir.Lookup(ln.Addr) == nil {
-				err = fmt.Errorf("core %d: L2 holds %#x with no directory entry", c, uint64(ln.Addr))
-			}
-		})
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func lnState(ln *cache.Line) cache.State {
-	if ln == nil {
-		return cache.Invalid
-	}
-	return ln.State
-}
-
-// DrainAll flushes every private cache back to a coherent state; used at
-// the end of a run so final memory contents can be verified. It reconciles
-// all W blocks and writes back every dirty MESI block (counting the
-// writeback traffic), so the two protocols are charged comparably for data
-// that must eventually reach shared memory.
-func (s *System) DrainAll() {
-	var wards, dirty []mem.Addr
-	s.dir.ForEach(func(a mem.Addr, e *coherence.Entry) {
-		switch e.State {
-		case cache.Ward:
-			wards = append(wards, a)
-		case cache.Exclusive, cache.Owned:
-			if ln := s.l2[e.Owner].Peek(a); ln != nil && (ln.State == cache.Modified || ln.State == cache.Owned) {
-				dirty = append(dirty, a)
-			}
-		}
-	})
-	sort.Slice(wards, func(i, j int) bool { return wards[i] < wards[j] })
-	for _, a := range wards {
-		if e := s.dir.Lookup(a); e != nil && e.State == cache.Ward {
-			s.reconcileBlock(a, e, true)
-		}
-	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
-	for _, a := range dirty {
-		e := s.dir.Lookup(a)
-		if e == nil || (e.State != cache.Exclusive && e.State != cache.Owned) {
-			continue
-		}
-		owner := e.Owner
-		s.fabric.CoreToHome(stats.PutM, owner, a)
-		s.fabric.CoreToHome(stats.DataDir, owner, a)
-		s.l3[s.fabric.HomeSocket(a)].Insert(a, cache.Shared)
-		if e.State == cache.Owned {
-			s.setPrivState(owner, a, cache.Shared) // clean, still shared
-			e.State = cache.Shared
-			e.Sharers = e.Sharers.Add(owner)
-			e.Owner = 0
-		} else {
-			s.setPrivState(owner, a, cache.Exclusive) // now clean
-		}
-	}
 }

@@ -92,7 +92,16 @@ func (m *Machine) Run(bodies []func(*Ctx)) (uint64, error) {
 	if err != nil {
 		return cycles, err
 	}
-	m.sys.DrainAll()
+	if m.sys.Sink() != nil {
+		// The drain is system activity, not any thread's: attribute its
+		// reconciliations, writebacks, and traffic to one EvDrain event.
+		m.sys.SetEventThread(-1)
+		before := m.ctr.Snap()
+		m.sys.DrainAll()
+		m.sys.Emit(&core.Event{Kind: core.EvDrain, Thread: -1, Core: -1, Ctrs: m.ctr.Snap().Sub(before)})
+	} else {
+		m.sys.DrainAll()
+	}
 	return cycles, nil
 }
 
@@ -107,6 +116,7 @@ type loadOp struct {
 type storeOp struct {
 	addr mem.Addr
 	data []byte
+	lat  uint64 // memory-system latency (the buffer hides it from the core)
 }
 
 type rmwOp struct {
@@ -114,6 +124,10 @@ type rmwOp struct {
 	size int
 	fn   func(uint64) uint64
 	old  uint64
+
+	kind core.RMWKind // which atomic this is, for the event stream
+	a, b uint64       // CAS: expected/new; FetchAdd: delta in a
+	lat  uint64       // memory-system latency (excludes the drain stall)
 }
 
 // superscalarWidth is how many ALU instructions retire per cycle.
@@ -132,8 +146,81 @@ type addRegionOp struct {
 type removeRegionOp struct{ id core.RegionID }
 
 // exec is the engine handler: it executes one op and returns the clock
-// advance for the issuing thread.
+// advance for the issuing thread. With a sink attached it also emits one
+// instruction-level event per op (execObserved); without one, the only
+// overhead versus the pre-event-stream machine is this nil check.
 func (m *Machine) exec(t *engine.Thread, op engine.Op) uint64 {
+	if m.sys.Sink() == nil {
+		return m.execOp(t, op)
+	}
+	return m.execObserved(t, op)
+}
+
+// execObserved wraps execOp with instruction-level event emission: it
+// attributes the op to its hardware thread, snapshots the counters around
+// it, and emits the matching event carrying operands and deltas.
+func (m *Machine) execObserved(t *engine.Thread, op engine.Op) uint64 {
+	m.sys.SetEventThread(t.ID())
+	before := m.ctr.Snap()
+	adv := m.execOp(t, op)
+	ev := core.Event{
+		Thread:  t.ID(),
+		Core:    m.cfg.CoreOf(t.ID()),
+		Latency: adv,
+		Ctrs:    m.ctr.Snap().Sub(before),
+	}
+	switch o := op.(type) {
+	case *loadOp:
+		ev.Kind = core.EvLoad
+		ev.Addr = o.addr
+		ev.Block = o.addr.Block(m.cfg.BlockSize)
+		ev.Size = len(o.buf)
+		ev.Mode = core.ModeRead
+	case *storeOp:
+		ev.Kind = core.EvStore
+		ev.Addr = o.addr
+		ev.Block = o.addr.Block(m.cfg.BlockSize)
+		ev.Size = len(o.data)
+		ev.Mode = core.ModeWrite
+		ev.Latency = o.lat
+		if len(o.data) <= 8 {
+			for i := len(o.data) - 1; i >= 0; i-- {
+				ev.Arg1 = ev.Arg1<<8 | uint64(o.data[i])
+			}
+		} else {
+			ev.Data = o.data // borrowed: valid only during the sink call
+		}
+	case *rmwOp:
+		ev.Kind = core.EvAtomic
+		ev.Addr = o.addr
+		ev.Block = o.addr.Block(m.cfg.BlockSize)
+		ev.Size = o.size
+		ev.Mode = core.ModeAtomic
+		ev.RMW = o.kind
+		ev.Arg1 = o.a
+		ev.Arg2 = o.b
+		ev.Latency = o.lat
+	case *computeOp:
+		ev.Kind = core.EvCompute
+		ev.Arg1 = o.cycles
+	case *fenceOp:
+		ev.Kind = core.EvFence
+	case *addRegionOp:
+		ev.Kind = core.EvRegionAdd
+		ev.Lo, ev.Hi = o.lo, o.hi
+		ev.Region = o.id
+		ev.RegionOK = o.ok
+	case *removeRegionOp:
+		ev.Kind = core.EvRegionRemove
+		ev.Region = o.id
+	}
+	m.sys.Emit(&ev)
+	m.sys.SetEventThread(-1)
+	return adv
+}
+
+// execOp executes one op against the memory system.
+func (m *Machine) execOp(t *engine.Thread, op engine.Op) uint64 {
 	switch o := op.(type) {
 	case *loadOp:
 		m.ctr.Instructions++
@@ -152,6 +239,7 @@ func (m *Machine) exec(t *engine.Thread, op engine.Op) uint64 {
 		forEachBlockSpan(o.addr, len(o.data), m.cfg.BlockSize, func(a mem.Addr, off, n int) {
 			lat += m.sys.Write(m.cfg.CoreOf(t.ID()), a, o.data[off:off+n])
 		})
+		o.lat = lat
 		// The store's state change is visible now; its latency drains
 		// through the store buffer. The core advances by the issue cost
 		// plus any stall the full buffer imposes.
@@ -169,6 +257,7 @@ func (m *Machine) exec(t *engine.Thread, op engine.Op) uint64 {
 		lat := m.sbufs[t.ID()].drain(t.Now())
 		old, alat := m.sys.RMW(m.cfg.CoreOf(t.ID()), o.addr, o.size, o.fn)
 		o.old = old
+		o.lat = alat
 		m.ctr.AtomicCycles += lat + alat
 		return lat + alat
 
@@ -377,6 +466,8 @@ func (c *Ctx) Fence() {
 func (c *Ctx) CAS(a mem.Addr, size int, old, new uint64) bool {
 	c.rmw.addr = a
 	c.rmw.size = size
+	c.rmw.kind = core.RMWCAS
+	c.rmw.a, c.rmw.b = old, new
 	c.rmw.fn = func(cur uint64) uint64 {
 		if cur == old {
 			return new
@@ -393,6 +484,8 @@ func (c *Ctx) CAS(a mem.Addr, size int, old, new uint64) bool {
 func (c *Ctx) FetchAdd(a mem.Addr, size int, delta uint64) uint64 {
 	c.rmw.addr = a
 	c.rmw.size = size
+	c.rmw.kind = core.RMWFetchAdd
+	c.rmw.a, c.rmw.b = delta, 0
 	c.rmw.fn = func(cur uint64) uint64 { return cur + delta }
 	c.t.Call(&c.rmw)
 	c.rmw.fn = nil

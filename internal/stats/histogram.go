@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+)
+
+// Histogram is a power-of-two-bucketed histogram of uint64 samples (latency
+// in cycles, sectors per flush, ...). Bucket 0 counts the value 0; bucket i
+// (i >= 1) counts values in [2^(i-1), 2^i). The zero value is ready to use.
+type Histogram struct {
+	Buckets [65]uint64
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+}
+
+func bucketOf(v uint64) int {
+	if v == 0 {
+		return 0
+	}
+	return bits.Len64(v)
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.Buckets[bucketOf(v)]++
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+}
+
+// Mean returns the arithmetic mean of the observed samples.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
+// exclusive upper edge of the bucket holding the q-th sample.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	if target >= h.Count {
+		target = h.Count - 1
+	}
+	var seen uint64
+	for i, n := range h.Buckets {
+		seen += n
+		if seen > target {
+			if i == 0 {
+				return 0
+			}
+			return uint64(1) << uint(i)
+		}
+	}
+	return h.Max
+}
+
+// Render writes a deterministic textual view of the histogram: one line per
+// non-empty bucket with a proportional bar, plus a summary line.
+func (h *Histogram) Render(w io.Writer, indent string) {
+	if h.Count == 0 {
+		fmt.Fprintf(w, "%s(no samples)\n", indent)
+		return
+	}
+	var peak uint64
+	for _, n := range h.Buckets {
+		if n > peak {
+			peak = n
+		}
+	}
+	for i, n := range h.Buckets {
+		if n == 0 {
+			continue
+		}
+		lo, hi := uint64(0), uint64(0)
+		if i > 0 {
+			lo = uint64(1) << uint(i-1)
+			hi = uint64(1)<<uint(i) - 1
+		}
+		bar := strings.Repeat("#", int(1+n*39/peak))
+		fmt.Fprintf(w, "%s[%8d..%8d] %10d %s\n", indent, lo, hi, n, bar)
+	}
+	fmt.Fprintf(w, "%ssamples=%d mean=%.1f p50<=%d p99<=%d max=%d\n",
+		indent, h.Count, h.Mean(), h.Quantile(0.50), h.Quantile(0.99), h.Max)
+}
+
+// Distribution counts small non-negative integer samples exactly (sharer-set
+// sizes, writers per reconcile). Samples beyond the last slot are clamped
+// into it. The zero value is ready to use.
+type Distribution struct {
+	Counts [65]uint64
+	N      uint64
+}
+
+// Observe records one sample.
+func (d *Distribution) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(d.Counts) {
+		v = len(d.Counts) - 1
+	}
+	d.Counts[v]++
+	d.N++
+}
+
+// Mean returns the arithmetic mean of the observed samples.
+func (d *Distribution) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	var sum uint64
+	for v, n := range d.Counts {
+		sum += uint64(v) * n
+	}
+	return float64(sum) / float64(d.N)
+}
+
+// Render writes one line per non-empty value with a proportional bar.
+func (d *Distribution) Render(w io.Writer, indent string) {
+	if d.N == 0 {
+		fmt.Fprintf(w, "%s(no samples)\n", indent)
+		return
+	}
+	var peak uint64
+	for _, n := range d.Counts {
+		if n > peak {
+			peak = n
+		}
+	}
+	for v, n := range d.Counts {
+		if n == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(1+n*39/peak))
+		fmt.Fprintf(w, "%s%4d %10d %s\n", indent, v, n, bar)
+	}
+	fmt.Fprintf(w, "%ssamples=%d mean=%.2f\n", indent, d.N, d.Mean())
+}

@@ -1,0 +1,87 @@
+package stats
+
+// Snapshot is the subset of Counters that event-stream consumers care about.
+// The event layer in internal/core and internal/machine snapshots the
+// counters around each instruction or coherence transaction and attaches the
+// difference to the emitted Event, so sinks see exactly which cache
+// accesses, coherence damage, and interconnect traffic each event caused
+// without the hot path maintaining any per-event state of its own.
+type Snapshot struct {
+	L1Accesses, L1Hits uint64
+	L2Accesses, L2Hits uint64
+	L3Accesses, L3Hits uint64
+	DirAccesses        uint64
+	DRAMAccesses       uint64
+
+	Invalidations uint64
+	Downgrades    uint64
+
+	Msgs             [NumMsgTypes]uint64
+	NoCFlitHops      uint64
+	IntersocketFlits uint64
+
+	WardAccesses      uint64
+	ReconciledBlocks  uint64
+	ReconciledSectors uint64
+}
+
+// Snap captures the current values of the snapshot-tracked counters.
+func (c *Counters) Snap() Snapshot {
+	s := Snapshot{
+		L1Accesses:        c.L1Accesses,
+		L1Hits:            c.L1Hits,
+		L2Accesses:        c.L2Accesses,
+		L2Hits:            c.L2Hits,
+		L3Accesses:        c.L3Accesses,
+		L3Hits:            c.L3Hits,
+		DirAccesses:       c.DirAccesses,
+		DRAMAccesses:      c.DRAMAccesses,
+		Invalidations:     c.Invalidations,
+		Downgrades:        c.Downgrades,
+		NoCFlitHops:       c.NoCFlitHops,
+		IntersocketFlits:  c.IntersocketFlits,
+		WardAccesses:      c.WardAccesses,
+		ReconciledBlocks:  c.ReconciledBlocks,
+		ReconciledSectors: c.ReconciledSectors,
+	}
+	s.Msgs = c.Msgs
+	return s
+}
+
+// Sub returns the component-wise difference s - o. The counters only ever
+// increase, so with o taken before s every field is a true event count.
+func (s Snapshot) Sub(o Snapshot) Snapshot {
+	d := Snapshot{
+		L1Accesses:        s.L1Accesses - o.L1Accesses,
+		L1Hits:            s.L1Hits - o.L1Hits,
+		L2Accesses:        s.L2Accesses - o.L2Accesses,
+		L2Hits:            s.L2Hits - o.L2Hits,
+		L3Accesses:        s.L3Accesses - o.L3Accesses,
+		L3Hits:            s.L3Hits - o.L3Hits,
+		DirAccesses:       s.DirAccesses - o.DirAccesses,
+		DRAMAccesses:      s.DRAMAccesses - o.DRAMAccesses,
+		Invalidations:     s.Invalidations - o.Invalidations,
+		Downgrades:        s.Downgrades - o.Downgrades,
+		NoCFlitHops:       s.NoCFlitHops - o.NoCFlitHops,
+		IntersocketFlits:  s.IntersocketFlits - o.IntersocketFlits,
+		WardAccesses:      s.WardAccesses - o.WardAccesses,
+		ReconciledBlocks:  s.ReconciledBlocks - o.ReconciledBlocks,
+		ReconciledSectors: s.ReconciledSectors - o.ReconciledSectors,
+	}
+	for i := range d.Msgs {
+		d.Msgs[i] = s.Msgs[i] - o.Msgs[i]
+	}
+	return d
+}
+
+// TotalMsgs sums the snapshot's message counts across all types.
+func (s Snapshot) TotalMsgs() uint64 {
+	var n uint64
+	for _, v := range s.Msgs {
+		n += v
+	}
+	return n
+}
+
+// IsZero reports whether the snapshot records no activity at all.
+func (s Snapshot) IsZero() bool { return s == Snapshot{} }

@@ -46,17 +46,122 @@ func TestParseBasics(t *testing.T) {
 }
 
 func TestParseErrors(t *testing.T) {
-	for _, src := range []string{
-		"x W 0x0 8 1",     // bad thread
-		"0 Q 0x0 8",       // unknown kind
-		"0 W 0x0 8",       // missing value
-		"0 R 0x0 16",      // bad size
-		"0 B r 0x10 0x10", // empty region
-		"0",               // too short
-		"0 C zz",          // bad number
-	} {
-		if _, err := Parse(strings.NewReader(src)); err == nil {
-			t.Errorf("Parse(%q) succeeded", src)
+	tests := []struct {
+		name string
+		src  string
+		line string // line number the error must name
+		want string // substring the error must contain
+	}{
+		{"bad thread", "x W 0x0 8 1", "line 1", "bad thread id"},
+		{"unknown kind", "0 Q 0x0 8", "line 1", "unknown event kind"},
+		{"missing value", "0 W 0x0 8", "line 1", "want 5 fields"},
+		{"oversized read", "0 R 0x0 5000", "line 1", "bad size"},
+		{"oversized cas", "0 X 0x0 16 1 2", "line 1", "bad size"},
+		{"empty region", "0 B r 0x10 0x10", "line 1", "bad region bounds"},
+		{"too short", "0", "line 1", "too few fields"},
+		{"bad number", "0 C zz", "line 1", "malformed compute cycles"},
+		{"malformed hex addr", "0 C 1\n0 R 0xzz 8", "line 2", "malformed address"},
+		{"malformed store value", "0 W 0x0 8 0xgg", "line 1", "malformed store value"},
+		{"malformed cas new", "0 X 0x0 8 1 0x..", "line 1", "malformed CAS new value"},
+		{"short wide payload", "0 W 0x0 16 ffff", "line 1", "malformed wide-store payload"},
+		{"odd wide payload", "0 W 0x0 9 ffffffffffffffffff0", "line 1", "malformed wide-store payload"},
+		{"mismatched end", "0 C 1\n0 C 1\n0 E nope", "line 3", `end of region "nope" with no matching begin`},
+		{"end after end", "0 B r 0x0 0x40\n0 E r\n0 E r", "line 3", `end of region "r" with no matching begin`},
+		{"duplicate open region", "0 B r 0x0 0x40\n1 B r 0x40 0x80", "line 2", `region "r" already open (begun at line 1)`},
+		{"reserved null name", "0 B - 0x0 0x40", "line 1", "reserved"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(tc.src))
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.line) || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error %q, want %q at %q", tc.src, err, tc.want, tc.line)
+			}
+		})
+	}
+}
+
+func TestParseReopenedRegionName(t *testing.T) {
+	// A name may be reused once its region is closed.
+	src := "0 B r 0x0 0x40\n0 E r\n0 B r 0x40 0x80\n0 E r\n"
+	if _, err := Parse(strings.NewReader(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCAS(t *testing.T) {
+	tr, err := Parse(strings.NewReader("0 X 0x100 8 0x2a 43"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := tr.PerThread[0][0]
+	if ev.Kind != CAS || ev.Addr != 0x100 || ev.Size != 8 || ev.Value != 42 || ev.Value2 != 43 {
+		t.Fatalf("CAS event = %+v", ev)
+	}
+}
+
+func TestReplayCAS(t *testing.T) {
+	// A CAS that hits (0->1) and one that misses (7 != 1): memory must end
+	// at the value only the successful swap stored.
+	src := `
+0 W 0x100 8 0
+0 X 0x100 8 0 1
+0 X 0x100 8 7 9
+`
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(core.MESI)
+	if _, err := Replay(tr, m); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Mem().ReadUint(0x100, 8); got != 1 {
+		t.Fatalf("mem after CAS pair = %d, want 1", got)
+	}
+	if m.Counters().Atomics != 2 {
+		t.Fatalf("atomics = %d, want 2", m.Counters().Atomics)
+	}
+}
+
+func TestReplayWideStore(t *testing.T) {
+	// A 16-byte store carries its payload as hex; replay must land every
+	// byte (the store spans one block here).
+	src := "0 W 0x1000 16 000102030405060708090a0b0c0d0e0f\n0 R 0x1000 16\n"
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine(core.MESI)
+	if _, err := Replay(tr, m); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	m.Mem().Read(0x1000, buf)
+	for i, b := range buf {
+		if int(b) != i {
+			t.Fatalf("mem[0x1000+%d] = %d, want %d", i, b, i)
+		}
+	}
+}
+
+func TestReplayNullRegionEnd(t *testing.T) {
+	// "E -" removes the null region: legal under both protocols, a no-op
+	// beyond the instruction cost.
+	src := "0 E -\n0 W 0x100 8 1\n"
+	tr, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		m := testMachine(proto)
+		if _, err := Replay(tr, m); err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if got := m.Mem().ReadUint(0x100, 8); got != 1 {
+			t.Fatalf("%v: mem = %d", proto, got)
 		}
 	}
 }
@@ -121,9 +226,11 @@ func TestReplayRegions(t *testing.T) {
 }
 
 func TestReplayUnknownRegionFails(t *testing.T) {
-	tr, err := Parse(strings.NewReader("0 E nope"))
-	if err != nil {
-		t.Fatal(err)
+	// The parser rejects file-order mismatches, but a hand-built Trace can
+	// still end a region no thread ever began; replay must catch it.
+	tr := &Trace{
+		PerThread: map[int][]Event{0: {{Thread: 0, Kind: EndRegion, Name: "nope"}}},
+		Events:    1,
 	}
 	if _, err := Replay(tr, testMachine(core.WARDen)); err == nil {
 		t.Fatal("ending an unknown region must fail")
