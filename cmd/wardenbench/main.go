@@ -69,6 +69,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wardenbench: unknown size class %q\n", *size)
 		os.Exit(2)
 	}
+	if *parallel < 0 {
+		fmt.Fprintf(os.Stderr, "wardenbench: -parallel must be non-negative, got %d\n", *parallel)
+		os.Exit(2)
+	}
+	if *timing != "" {
+		// Fail on an unwritable -timing path before simulating for minutes,
+		// not after.
+		f, err := os.Create(*timing)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenbench: -timing: %v\n", err)
+			os.Exit(2)
+		}
+		f.Close()
+	}
 	r := bench.NewRunner(sizes)
 	r.SetParallel(*parallel)
 	if !*quiet {

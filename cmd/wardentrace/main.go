@@ -41,6 +41,13 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// usageErr reports a bad flag combination and exits 2 before any output is
+// produced.
+func usageErr(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "wardentrace: "+format+"\n", args...)
+	os.Exit(2)
+}
+
 func main() {
 	protocol := flag.String("protocol", "both", "mesi, warden, or both")
 	sockets := flag.Int("sockets", 1, "socket count")
@@ -62,23 +69,39 @@ func main() {
 	case "both":
 		protos = []core.Protocol{core.MESI, core.WARDen}
 	default:
-		fmt.Fprintf(os.Stderr, "wardentrace: unknown protocol %q\n", *protocol)
-		os.Exit(2)
+		usageErr("unknown protocol %q (want mesi, warden, or both)", *protocol)
+	}
+	// Validate the machine shape before any simulation or output: a bad
+	// -sockets/-cores value must be a one-line diagnostic and exit 2, not a
+	// panic or a partial table.
+	if *sockets < 1 {
+		usageErr("-sockets must be positive, got %d", *sockets)
+	}
+	if *cores < 0 {
+		usageErr("-cores must be non-negative (0 = Table 2 default), got %d", *cores)
 	}
 	cfg := topology.XeonGold6126(*sockets)
 	if *cores > 0 {
 		cfg.CoresPerSocket = *cores
 	}
+	if err := cfg.Validate(); err != nil {
+		usageErr("%v", err)
+	}
 
 	if *record != "" {
 		if len(protos) != 1 {
-			fmt.Fprintln(os.Stderr, "wardentrace: -record needs a single -protocol (mesi or warden)")
-			os.Exit(2)
+			usageErr("-record needs a single -protocol (mesi or warden)")
+		}
+		if flag.NArg() != 0 {
+			usageErr("-record runs a benchmark; unexpected trace argument %q", flag.Arg(0))
 		}
 		runRecord(cfg, protos[0], *record, *recordSize, *out, *jsonl)
 		return
 	}
 
+	if *out != "" {
+		usageErr("-o is only meaningful with -record")
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wardentrace [flags] <trace-file|->")
 		fmt.Fprintln(os.Stderr, "       wardentrace -record <benchmark> -protocol <mesi|warden> [-o trace] [-jsonl events]")
@@ -172,7 +195,7 @@ func main() {
 func runRecord(cfg topology.Config, proto core.Protocol, name, size, out, jsonl string) {
 	e, err := pbbs.ByName(name)
 	if err != nil {
-		fatal(err)
+		usageErr("%v", err)
 	}
 	var n int
 	switch size {
@@ -181,8 +204,7 @@ func runRecord(cfg topology.Config, proto core.Protocol, name, size, out, jsonl 
 	case "medium":
 		n = e.Medium
 	default:
-		fmt.Fprintf(os.Stderr, "wardentrace: unknown -record-size %q (want small or medium)\n", size)
-		os.Exit(2)
+		usageErr("unknown -record-size %q (want small or medium)", size)
 	}
 
 	var textW io.Writer = os.Stdout

@@ -12,6 +12,7 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"warden/internal/mem"
 )
@@ -243,6 +244,31 @@ func (c *Cache) ForEach(fn func(*Line)) {
 			fn(&c.sets[i])
 		}
 	}
+}
+
+// Recency returns copies of every valid line, set-major with each set's
+// lines ordered most-recently-used first. The absolute LRU clock is not
+// included (the returned lines have a zero clock): two caches with equal
+// Recency respond identically to any future access sequence, which is
+// exactly the replacement-relevant state canonical hashing needs
+// (internal/modelcheck).
+func (c *Cache) Recency() []Line {
+	out := make([]Line, 0, c.assoc)
+	for s := uint64(0); s < c.numSets; s++ {
+		set := c.sets[s*uint64(c.assoc) : (s+1)*uint64(c.assoc)]
+		start := len(out)
+		for i := range set {
+			if set[i].State != Invalid {
+				out = append(out, set[i])
+			}
+		}
+		lines := out[start:]
+		sort.Slice(lines, func(i, j int) bool { return lines[i].lru > lines[j].lru })
+		for i := range lines {
+			lines[i].lru = 0
+		}
+	}
+	return out
 }
 
 // ValidLines reports the number of valid lines, for occupancy assertions.

@@ -1,0 +1,88 @@
+package coherence
+
+// Direct tests for the full-map directory container. The protocol-level
+// race windows over these entries (upgrade vs eviction, reconcile vs
+// remote write) are pinned in internal/core's race_windows_test.go; here
+// we pin the container semantics those sequences rely on: entry identity
+// across Ensure calls, Drop removing state entirely, and Holders merging
+// the owner/sharer views.
+
+import (
+	"testing"
+
+	"warden/internal/cache"
+	"warden/internal/mem"
+)
+
+func TestDirectoryEnsureLookupDrop(t *testing.T) {
+	d := NewDirectory()
+	const blk mem.Addr = 0x1000
+	if d.Lookup(blk) != nil || d.Len() != 0 {
+		t.Fatal("fresh directory not empty")
+	}
+	e := d.Ensure(blk)
+	if e.State != cache.Invalid {
+		t.Fatalf("new entry state = %v, want Invalid", e.State)
+	}
+	if d.Ensure(blk) != e || d.Lookup(blk) != e {
+		t.Fatal("Ensure/Lookup must return the same entry, not a copy")
+	}
+	// Mutations through one alias are visible through the other — the
+	// upgrade path mutates the Lookup result in place.
+	e.State = cache.Shared
+	e.Sharers = Bitset(0).Add(0).Add(1)
+	if got := d.Lookup(blk); got.State != cache.Shared || got.Sharers.Count() != 2 {
+		t.Fatalf("aliased mutation lost: %+v", got)
+	}
+	d.Drop(blk)
+	if d.Lookup(blk) != nil || d.Len() != 0 {
+		t.Fatal("Drop left the entry behind")
+	}
+	// A re-Ensured block starts from scratch: no sharer bits survive Drop.
+	if e2 := d.Ensure(blk); e2.State != cache.Invalid || !e2.Sharers.Empty() {
+		t.Fatalf("re-ensured entry carries stale state: %+v", e2)
+	}
+}
+
+func TestDirectoryHolders(t *testing.T) {
+	cases := []struct {
+		name string
+		e    Entry
+		want Bitset
+	}{
+		{"exclusive", Entry{State: cache.Exclusive, Owner: 3}, Bitset(0).Add(3)},
+		{"shared", Entry{State: cache.Shared, Sharers: Bitset(0).Add(0).Add(2)}, Bitset(0).Add(0).Add(2)},
+		{"ward", Entry{State: cache.Ward, Sharers: Bitset(0).Add(1).Add(2), Region: 7}, Bitset(0).Add(1).Add(2)},
+		{"invalid", Entry{State: cache.Invalid}, Bitset(0)},
+	}
+	for _, c := range cases {
+		if got := c.e.Holders(); got != c.want {
+			t.Errorf("%s: Holders() = %b, want %b", c.name, got, c.want)
+		}
+	}
+	// Exclusive ignores a stale sharer bitset: Owner is authoritative. The
+	// upgrade path relies on this when it flips S→E without clearing bits
+	// one by one.
+	e := Entry{State: cache.Exclusive, Owner: 0, Sharers: Bitset(0).Add(0).Add(1)}
+	if got := e.Holders(); got != Bitset(0).Add(0) {
+		t.Errorf("Exclusive Holders() = %b, want just the owner", got)
+	}
+}
+
+func TestDirectoryForEachVisitsAll(t *testing.T) {
+	d := NewDirectory()
+	blocks := []mem.Addr{0x0, 0x40, 0x1000, 0xffc0}
+	for i, b := range blocks {
+		d.Ensure(b).Owner = i
+	}
+	seen := map[mem.Addr]int{}
+	d.ForEach(func(b mem.Addr, e *Entry) { seen[b] = e.Owner })
+	if len(seen) != len(blocks) {
+		t.Fatalf("ForEach visited %d entries, want %d", len(seen), len(blocks))
+	}
+	for i, b := range blocks {
+		if seen[b] != i {
+			t.Fatalf("block %#x visited with owner %d, want %d", uint64(b), seen[b], i)
+		}
+	}
+}

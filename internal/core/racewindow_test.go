@@ -1,0 +1,188 @@
+package core
+
+// Race-window tests: the cross-core interleavings the explicit-state model
+// checker (internal/modelcheck) explores, pinned here as direct unit tests
+// so they run even when the exhaustive checker is skipped under -short.
+// Each test drives both orders of the racing pair through a real System
+// and asserts the directory bookkeeping, the invariant sweep, and the
+// final memory image.
+
+import (
+	"testing"
+
+	"warden/internal/cache"
+	"warden/internal/mem"
+)
+
+// TestRaceUpgradeVsSharerEviction: core 0's S→M upgrade races core 1's
+// eviction of its shared copy (a conflicting fill in a direct-mapped L2).
+// Whichever side goes first, the directory must end with core 0 as the
+// sole owner and no stale sharer bit for core 1.
+func TestRaceUpgradeVsSharerEviction(t *testing.T) {
+	for _, order := range []string{"evict-first", "upgrade-first"} {
+		t.Run(order, func(t *testing.T) {
+			s, m, ctr := evictSystem(MESI)
+			a := m.Alloc(4096, mem.PageSize)
+			b := a + conflictStride
+			read64(s, 0, a) // core 0: E
+			read64(s, 1, a) // downgrade: both S, sharers {0,1}
+
+			if order == "evict-first" {
+				read64(s, 1, b)     // core 1's S copy of a evicts (PutS)
+				write64(s, 0, a, 7) // upgrade finds core 0 the only holder
+				if ctr.Invalidations != 0 {
+					t.Fatalf("invalidations = %d, want 0: the evicted sharer must not be re-invalidated", ctr.Invalidations)
+				}
+			} else {
+				write64(s, 0, a, 7) // upgrade invalidates core 1 (L1 + L2)
+				if ctr.Invalidations == 0 {
+					t.Fatal("upgrade past a live sharer must invalidate it")
+				}
+				read64(s, 1, b) // core 1's line is already I; eviction is a no-op for a
+			}
+
+			e := s.dir.Lookup(a)
+			if e == nil || e.State != cache.Exclusive || e.Owner != 0 {
+				t.Fatalf("entry after race = %+v, want Exclusive owner 0", e)
+			}
+			if l1, l2 := s.PrivLines(1, a); l1 != cache.Invalid || l2 != cache.Invalid {
+				t.Fatalf("core 1 still holds a: L1=%v L2=%v", l1, l2)
+			}
+			if v, _ := read64(s, 1, a); v != 7 {
+				t.Fatalf("core 1 reads %d after the race, want 7", v)
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRaceReconcileVsRemoteWrite: a remote ward write lands just before or
+// just after the region owner's RemoveRegion. Before: the write joins the
+// W sharer set and reconciliation must merge it. After: the write sees a
+// coherent (post-reconcile) block and takes normal MESI ownership. Either
+// way no write may be lost. The three writes hit disjoint sectors so the
+// merged image is unique.
+func TestRaceReconcileVsRemoteWrite(t *testing.T) {
+	for _, order := range []string{"write-first", "reconcile-first"} {
+		t.Run(order, func(t *testing.T) {
+			s, m, _ := evictSystem(WARDen)
+			a := m.Alloc(4096, mem.PageSize)
+			id, _, ok := s.AddRegion(0, a, a+64)
+			if !ok {
+				t.Fatal("AddRegion failed")
+			}
+			write64(s, 0, a, 0x11)   // sector 0, core 0's W copy
+			write64(s, 1, a+8, 0x22) // sector 1, core 1's W copy
+			if e := s.dir.Lookup(a); e == nil || e.State != cache.Ward ||
+				!e.Sharers.Has(0) || !e.Sharers.Has(1) {
+				t.Fatalf("entry with two ward writers = %+v, want Ward sharers {0,1}", e)
+			}
+
+			if order == "write-first" {
+				write64(s, 1, a+16, 0x33) // still warded: a third W sector
+				s.RemoveRegion(0, id)
+			} else {
+				s.RemoveRegion(0, id)
+				write64(s, 1, a+16, 0x33) // post-reconcile: coherent write
+				if e := s.dir.Lookup(a); e == nil || e.State != cache.Exclusive || e.Owner != 1 {
+					t.Fatalf("entry after post-reconcile write = %+v, want Exclusive owner 1", e)
+				}
+			}
+
+			if s.regionActive(id) {
+				t.Fatal("region still active after RemoveRegion")
+			}
+			if e := s.dir.Lookup(a); e != nil && e.State == cache.Ward {
+				t.Fatalf("entry still Ward after reconcile: %+v", e)
+			}
+			for core := 0; core < 2; core++ {
+				if _, _, ok := s.WardCopyView(core, a); ok {
+					t.Fatalf("core %d keeps a W copy after reconcile", core)
+				}
+			}
+			// All three sectors survive, whichever side of the reconcile
+			// the last write landed on.
+			for _, want := range []struct {
+				off mem.Addr
+				v   uint64
+			}{{0, 0x11}, {8, 0x22}, {16, 0x33}} {
+				if v, _ := read64(s, 0, a+want.off); v != want.v {
+					t.Fatalf("sector at +%d reads %#x, want %#x", want.off, v, want.v)
+				}
+			}
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRaceEvictionFlushThenReconcile pins the merge order the model
+// checker's ghost memory had to learn: when two cores ward-write the same
+// sector and one copy is flushed early by an eviction, the copy applied by
+// the later reconcile wins. (This is the counterexample schedule that
+// falsified a simple "highest core merges last" ghost model.)
+func TestRaceEvictionFlushThenReconcile(t *testing.T) {
+	s, m, _ := evictSystem(WARDen)
+	a := m.Alloc(4096, mem.PageSize)
+	b := a + conflictStride
+	id, _, ok := s.AddRegion(0, a, a+64)
+	if !ok {
+		t.Fatal("AddRegion failed")
+	}
+	write64(s, 0, a, 0x11) // both cores ward-write the SAME sector
+	write64(s, 1, a, 0x21)
+
+	read64(s, 1, b) // evicts core 1's W copy: proactive flush writes 0x21
+	e := s.dir.Lookup(a)
+	if e == nil || e.State != cache.Ward || e.Sharers.Has(1) || !e.Sharers.Has(0) {
+		t.Fatalf("entry after W eviction = %+v, want Ward sharers {0}", e)
+	}
+	if _, _, ok := s.WardCopyView(1, a); ok {
+		t.Fatal("core 1's W copy must be discarded by the eviction flush")
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	s.RemoveRegion(0, id) // reconcile applies core 0's surviving copy last
+	if v, _ := read64(s, 0, a); v != 0x11 {
+		t.Fatalf("final value %#x, want 0x11 (reconcile overwrites the early eviction flush)", v)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceWardUpgradeVsEviction: under WARDen a conflicting fill evicts a
+// block whose directory entry is mid-tenure while the other core keeps
+// writing. Interleaving writes with evictions must leave directory and
+// private tags agreeing after every step.
+func TestRaceWardWriteStormWithEvictions(t *testing.T) {
+	s, m, _ := evictSystem(WARDen)
+	a := m.Alloc(4096, mem.PageSize)
+	b := a + conflictStride
+	id, _, ok := s.AddRegion(0, a, a+64)
+	if !ok {
+		t.Fatal("AddRegion failed")
+	}
+	for i := 0; i < 3; i++ {
+		write64(s, 0, a, uint64(0x10+i))
+		read64(s, 0, b) // evict own W copy (flush), refill next iteration
+		write64(s, 1, a, uint64(0x20+i))
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	s.RemoveRegion(0, id)
+	// Core 1's copy is the only one live at the end (core 0's last write
+	// was flushed by its own eviction before core 1 wrote).
+	if v, _ := read64(s, 1, a); v != 0x22 {
+		t.Fatalf("final value %#x, want 0x22", v)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

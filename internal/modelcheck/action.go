@@ -1,0 +1,125 @@
+package modelcheck
+
+import "fmt"
+
+// ActionKind enumerates the abstract machine's transitions. Each maps to
+// one core.ProtocolStep call (ActStore under a buffered model maps to a
+// deferred call performed by the matching ActCommit).
+type ActionKind int
+
+const (
+	// ActLoad reads Size bytes at Blocks[Block]+Off.
+	ActLoad ActionKind = iota
+	// ActStore writes Size bytes at Blocks[Block]+Off. The value is chosen
+	// by the execution (per-core rotation, see Config.ValueMod), not by
+	// the action, so that the value domain stays canonical.
+	ActStore
+	// ActFetchAdd atomically adds Value at Blocks[Block]+Off.
+	ActFetchAdd
+	// ActCommit retires the oldest buffered store of Core. It is
+	// model-internal: exploration schedules it whenever Core's buffer is
+	// non-empty; it never appears in alphabets or programs.
+	ActCommit
+	// ActFence orders the store buffer; it is enabled only once Core's
+	// buffer has drained (i.e. after the commits it would wait for).
+	ActFence
+	// ActBegin executes Add Region for Regions[Slot].
+	ActBegin
+	// ActEnd executes Remove Region for the id Slot currently holds.
+	ActEnd
+)
+
+// String names the kind.
+func (k ActionKind) String() string {
+	switch k {
+	case ActLoad:
+		return "load"
+	case ActStore:
+		return "store"
+	case ActFetchAdd:
+		return "fetch_add"
+	case ActCommit:
+		return "commit"
+	case ActFence:
+		return "fence"
+	case ActBegin:
+		return "begin"
+	case ActEnd:
+		return "end"
+	}
+	return fmt.Sprintf("ActionKind(%d)", int(k))
+}
+
+// Action is one transition of the abstract machine.
+type Action struct {
+	Core  int
+	Kind  ActionKind
+	Block int // index into Config.Blocks (accesses)
+	Off   int // byte offset within the block
+	Size  int // access size in bytes (1..8)
+	Value uint64
+	Slot  int // index into Config.Regions (Begin/End)
+}
+
+// String renders the action for diagnostics.
+func (a Action) String() string {
+	switch a.Kind {
+	case ActLoad, ActStore, ActFetchAdd:
+		s := fmt.Sprintf("c%d %s b%d+%d/%d", a.Core, a.Kind, a.Block, a.Off, a.Size)
+		if a.Kind == ActFetchAdd {
+			s += fmt.Sprintf(" +%d", a.Value)
+		}
+		return s
+	case ActBegin, ActEnd:
+		return fmt.Sprintf("c%d %s r%d", a.Core, a.Kind, a.Slot)
+	default:
+		return fmt.Sprintf("c%d %s", a.Core, a.Kind)
+	}
+}
+
+// Convenience constructors for litmus programs and alphabets.
+
+// Ld is a load of size bytes at block blk offset off by core c.
+func Ld(c, blk, off, size int) Action {
+	return Action{Core: c, Kind: ActLoad, Block: blk, Off: off, Size: size}
+}
+
+// St is a store of size bytes at block blk offset off by core c.
+func St(c, blk, off, size int) Action {
+	return Action{Core: c, Kind: ActStore, Block: blk, Off: off, Size: size}
+}
+
+// FA is an atomic fetch-add of delta at block blk offset off by core c.
+func FA(c, blk, off, size int, delta uint64) Action {
+	return Action{Core: c, Kind: ActFetchAdd, Block: blk, Off: off, Size: size, Value: delta}
+}
+
+// Begin opens region slot by core c.
+func Begin(c, slot int) Action { return Action{Core: c, Kind: ActBegin, Slot: slot} }
+
+// End closes region slot by core c.
+func End(c, slot int) Action { return Action{Core: c, Kind: ActEnd, Slot: slot} }
+
+// Fence is a store-buffer fence by core c.
+func Fence(c int) Action { return Action{Core: c, Kind: ActFence} }
+
+// WordAlphabet builds the standard free-mode alphabet: for every core and
+// every tracked block, an 8-byte load, an 8-byte store, and (if atomics is
+// true) an 8-byte fetch-add at offset 0, plus Begin/End for every region
+// slot by core 0. It is the alphabet the exhaustive CI configuration and
+// the fuzzer both use.
+func WordAlphabet(cores, blocks, slots int, atomics bool) []Action {
+	var out []Action
+	for c := 0; c < cores; c++ {
+		for b := 0; b < blocks; b++ {
+			out = append(out, Ld(c, b, 0, 8), St(c, b, 0, 8))
+			if atomics {
+				out = append(out, FA(c, b, 0, 8, 1))
+			}
+		}
+	}
+	for s := 0; s < slots; s++ {
+		out = append(out, Begin(0, s), End(0, s))
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package modelcheck
+
+import (
+	"encoding/binary"
+
+	"warden/internal/cache"
+	"warden/internal/core"
+)
+
+// canon returns the canonical encoding of the current state: two executions
+// with equal encodings behave identically under every future action
+// sequence, so the encoding is the visited-set key (the full encoding is
+// the key — no lossy hashing, so collisions cannot merge distinct states).
+//
+// Included, because future behaviour depends on it: directory entries (with
+// region ids normalized to region-slot indices — raw ids are allocation
+// order, which is path-dependent but behaviourally opaque), tracked-block
+// bytes in the backing store, per-core W-state private copies (mask and
+// data), the ghost model (values, racy flags, tenure writers), each core's
+// L2 content in recency order (the complete replacement-relevant state; see
+// core.DirState.L2Recency for why L1/L3 are excluded), region-slot
+// occupancy, store-buffer contents, per-core store counters modulo
+// ValueMod, and litmus program counters.
+//
+// Excluded, because future behaviour does not depend on it: latencies and
+// statistics counters, LRU clock absolute values, raw RegionID values and
+// the allocator's next id, and L1/L3 tag contents.
+func (e *exec) canon() string {
+	var b []byte
+	u64 := func(v uint64) { b = binary.LittleEndian.AppendUint64(b, v) }
+	bs := e.bs
+	var tmp [64]byte
+	for i, blk := range e.cfg.Blocks {
+		ent, ok := e.sut.DirEntry(blk)
+		if !ok {
+			b = append(b, 0xff)
+		} else {
+			slot := byte(0xfe)
+			if ent.State == cache.Ward {
+				slot = byte(e.slotOf(ent.Region))
+			}
+			b = append(b, byte(ent.State), byte(ent.Owner), slot)
+			u64(uint64(ent.Sharers))
+		}
+		e.sut.Mem().Read(blk, tmp[:bs])
+		b = append(b, tmp[:bs]...)
+		for c := 0; c < e.cfg.Cores; c++ {
+			mask, data, ok := e.sut.WardCopyView(c, blk)
+			if !ok {
+				b = append(b, 0)
+				continue
+			}
+			b = append(b, 1)
+			u64(uint64(mask))
+			b = append(b, data[:bs]...)
+		}
+		g := &e.ghost[i]
+		b = append(b, g.val[:bs]...)
+		for j := 0; j < bs; j++ {
+			f := byte(g.writer[j] + 1) // -1..cores-1 -> 0..cores (≤ 15)
+			if g.multi[j] {
+				f |= 0x40
+			}
+			if g.racy[j] {
+				f |= 0x80
+			}
+			b = append(b, f)
+		}
+	}
+	for c := 0; c < e.cfg.Cores; c++ {
+		b = append(b, 0xfd) // separator: recency lists vary in length
+		for _, ln := range e.sut.L2Recency(c) {
+			u64(uint64(ln.Addr))
+			b = append(b, byte(ln.State))
+		}
+	}
+	b = append(b, e.slotOpen...)
+	for c := 0; c < e.cfg.Cores; c++ {
+		b = append(b, byte(e.storeSeq[c]%e.cfg.ValueMod))
+		b = append(b, byte(len(e.bufs[c])))
+		for _, ent := range e.bufs[c] {
+			b = append(b, byte(ent.block), byte(ent.off), byte(ent.size))
+			u64(ent.val)
+		}
+	}
+	for _, pc := range e.pcs {
+		b = append(b, byte(pc))
+	}
+	return string(b)
+}
+
+// slotOf maps an active region id to its model slot index.
+func (e *exec) slotOf(id core.RegionID) int {
+	for s, sid := range e.slots {
+		if sid == id && id != core.NullRegion {
+			return s
+		}
+	}
+	return 0xfd // not slot-tracked (cannot happen for checker-opened regions)
+}

@@ -1,0 +1,184 @@
+package modelcheck
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"warden/internal/core"
+	"warden/internal/mem"
+	"warden/internal/trace"
+)
+
+// padSlot is the compute padding per global action slot when a
+// counterexample is rendered with padding: large enough to dwarf any
+// memory-system latency, so the replay engine schedules the threads in the
+// counterexample's interleaving.
+const padSlot = 1_000_000
+
+// Counterexample is a violating execution: the exact action path that was
+// stepped (including any drain-phase actions appended by the terminal
+// check) and the invariant that failed. It renders as an internal/trace
+// text trace, so `wardentrace -protocol <p> <file>` replays it directly.
+type Counterexample struct {
+	Protocol core.Protocol
+	// Path holds every action stepped, in order. Unless the violation is a
+	// terminal (drain) one, the last action is the violating transition.
+	Path []Action
+	// FinalStart is the index in Path where the terminal-check drain
+	// actions begin (len(Path) when the violation is mid-path).
+	FinalStart int
+	// Err is the violated invariant.
+	Err error
+
+	cfg     *Config
+	beginOK []bool
+}
+
+func newCounterexample(cfg *Config, path []Action, finalStart int, beginOK []bool, err error) *Counterexample {
+	return &Counterexample{
+		Protocol:   cfg.Protocol,
+		Path:       path,
+		FinalStart: finalStart,
+		Err:        err,
+		cfg:        cfg,
+		beginOK:    beginOK,
+	}
+}
+
+// Error implements error.
+func (cx *Counterexample) Error() string {
+	return fmt.Sprintf("%s: %v (after %d actions)", cx.Protocol, cx.Err, len(cx.Path))
+}
+
+// String renders the action path and the violation for humans.
+func (cx *Counterexample) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "counterexample (%s, %d actions):\n", cx.Protocol, len(cx.Path))
+	for i, a := range cx.Path {
+		marker := "  "
+		if i >= cx.FinalStart {
+			marker = " *" // drain-phase action appended by the terminal check
+		}
+		fmt.Fprintf(&sb, "%s%3d: %v\n", marker, i, a)
+	}
+	fmt.Fprintf(&sb, "violation: %v\n", cx.Err)
+	return sb.String()
+}
+
+// Events lowers the action path to trace events. Model-internal actions
+// that perform no memory-system call (forwarded loads, buffered store
+// issues) are elided; a buffered store surfaces as a W line at its commit.
+// With padded set, compute lines space the events ~padSlot cycles apart so
+// a timed replay schedules the threads in the counterexample's
+// interleaving; without it the trace is minimal (replayable, but the
+// engine picks its own interleaving).
+func (cx *Counterexample) Events(padded bool) ([]trace.Event, error) {
+	m := newModel(cx.cfg)
+	names := make([]string, len(cx.cfg.Regions)) // open trace name per slot
+	nextName, begins := 0, 0
+	pos := make([]int, cx.cfg.Cores) // next global slot per thread (padding)
+	var out []trace.Event
+
+	emit := func(slot int, ev trace.Event) {
+		if padded {
+			if lag := slot - pos[ev.Thread]; lag > 0 {
+				out = append(out, trace.Event{Thread: ev.Thread, Kind: trace.Compute,
+					Value: uint64(2 * padSlot * lag)})
+			}
+			pos[ev.Thread] = slot + 1
+		}
+		out = append(out, ev)
+	}
+
+	for i, a := range cx.Path {
+		switch a.Kind {
+		case ActLoad:
+			if m.forwardIdx(a) >= 0 {
+				break // served from the core's own buffer; no memory-system call
+			}
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.Read,
+				Addr: cx.cfg.Blocks[a.Block] + mem.Addr(a.Off), Size: a.Size})
+		case ActStore:
+			if cx.cfg.StoreBufferDepth > 0 {
+				break // surfaces at its ActCommit
+			}
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.Write, Size: a.Size,
+				Addr:  cx.cfg.Blocks[a.Block] + mem.Addr(a.Off),
+				Value: truncVal(m.storeVal(a.Core, m.storeSeq[a.Core]), a.Size)})
+		case ActCommit:
+			e := m.bufs[a.Core][0]
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.Write, Size: e.size,
+				Addr:  cx.cfg.Blocks[e.block] + mem.Addr(e.off),
+				Value: truncVal(e.val, e.size)})
+		case ActFetchAdd:
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.Atomic, Size: a.Size,
+				Addr: cx.cfg.Blocks[a.Block] + mem.Addr(a.Off), Value: a.Value})
+		case ActFence:
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.Fence})
+		case ActBegin:
+			// Recorder convention: every Begin gets a fresh unique name,
+			// including rejected ones; only accepted ones are referenced by
+			// a later E line (a rejected pair ends the null region, "E -").
+			name := fmt.Sprintf("r%d", nextName)
+			nextName++
+			if begins < len(cx.beginOK) && cx.beginOK[begins] {
+				names[a.Slot] = name
+			}
+			begins++
+			r := cx.cfg.Regions[a.Slot]
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.BeginRegion,
+				Name: name, Addr: r.Lo, Hi: r.Hi})
+		case ActEnd:
+			name := names[a.Slot]
+			names[a.Slot] = ""
+			if name == "" {
+				name = trace.NullRegionName
+			}
+			emit(i, trace.Event{Thread: a.Core, Kind: trace.EndRegion, Name: name})
+		}
+		m.apply(a)
+	}
+	return out, nil
+}
+
+// truncVal keeps the low size bytes of a store value, matching what the
+// memory system writes.
+func truncVal(v uint64, size int) uint64 {
+	if size >= 8 {
+		return v
+	}
+	return v & (1<<(8*size) - 1)
+}
+
+// WriteTrace writes the counterexample as a replayable text trace, headed
+// by comment lines describing the violation.
+func (cx *Counterexample) WriteTrace(w io.Writer, padded bool) error {
+	evs, err := cx.Events(padded)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "# modelcheck counterexample (%s): %v\n# %d actions; replay: wardentrace -protocol %s <this file>\n",
+		cx.Protocol, cx.Err, len(cx.Path), strings.ToLower(cx.Protocol.String())); err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		line, err := trace.FormatEvent(ev)
+		if err != nil {
+			return fmt.Errorf("modelcheck: unrenderable counterexample event: %w", err)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TraceText renders the counterexample trace to a string.
+func (cx *Counterexample) TraceText(padded bool) (string, error) {
+	var sb strings.Builder
+	if err := cx.WriteTrace(&sb, padded); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

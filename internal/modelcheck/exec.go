@@ -1,0 +1,471 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"warden/internal/cache"
+	"warden/internal/core"
+	"warden/internal/mem"
+)
+
+// bufEntry is one pending store in the modelled (functional) store buffer.
+type bufEntry struct {
+	block, off, size int
+	val              uint64 // little-endian byte pattern, size bytes significant
+}
+
+// model is the SUT-independent half of the execution: program counters,
+// region-slot occupancy, store-buffer contents and per-core store sequence
+// numbers. Enabledness is a pure function of this state — never of SUT
+// state — so exploration can compute the successor actions of a visited
+// state without replaying the system under test.
+type model struct {
+	cfg      *Config
+	slotOpen []uint8 // 0 closed, 1 open but AddRegion rejected, 2 open
+	bufs     [][]bufEntry
+	pcs      []int // litmus mode only
+	storeSeq []int // stores issued per core (value rotation counter)
+}
+
+func newModel(cfg *Config) *model {
+	m := &model{
+		cfg:      cfg,
+		slotOpen: make([]uint8, len(cfg.Regions)),
+		bufs:     make([][]bufEntry, cfg.Cores),
+		storeSeq: make([]int, cfg.Cores),
+	}
+	if cfg.Programs != nil {
+		m.pcs = make([]int, cfg.Cores)
+	}
+	return m
+}
+
+// storeVal returns the byte value core c's k-th store writes into every byte
+// it touches: a per-core nibble plus a rotating sequence nibble, so stale
+// values are distinguishable from fresh ones up to ValueMod stores deep
+// while the value domain stays finite.
+func (m *model) storeVal(c, k int) uint64 {
+	b := uint64(16*(c+1) + k%m.cfg.ValueMod + 1)
+	v := uint64(0)
+	for i := 0; i < 8; i++ {
+		v = v<<8 | b
+	}
+	return v
+}
+
+// feasible reports whether a may fire in the current model state. It is the
+// single definition of enabledness shared by exploration, the random walk
+// and the drain phase.
+func (m *model) feasible(a Action) bool {
+	switch a.Kind {
+	case ActLoad:
+		return true
+	case ActStore:
+		return m.cfg.StoreBufferDepth == 0 || len(m.bufs[a.Core]) < m.cfg.StoreBufferDepth
+	case ActFetchAdd, ActFence:
+		// Atomics and fences drain the issuing core's buffer first; they
+		// become enabled once the commits they would wait for have fired.
+		return len(m.bufs[a.Core]) == 0
+	case ActCommit:
+		return len(m.bufs[a.Core]) > 0
+	case ActBegin:
+		return m.slotOpen[a.Slot] == 0
+	case ActEnd:
+		return m.slotOpen[a.Slot] != 0
+	}
+	return false
+}
+
+// enabledActions returns every action that may fire next, in a fixed
+// deterministic order: pending commits first, then the alphabet (free mode)
+// or each core's next program instruction (litmus mode).
+func (m *model) enabledActions() []Action {
+	var out []Action
+	for c := range m.bufs {
+		if len(m.bufs[c]) > 0 {
+			out = append(out, Action{Core: c, Kind: ActCommit})
+		}
+	}
+	if m.cfg.Programs != nil {
+		for c, prog := range m.cfg.Programs {
+			if pc := m.pcs[c]; pc < len(prog) && m.feasible(prog[pc]) {
+				out = append(out, prog[pc])
+			}
+		}
+		return out
+	}
+	for _, a := range m.cfg.Alphabet {
+		if m.feasible(a) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// done reports whether every litmus program has retired all instructions
+// and drained its buffer. Free mode has no completion notion.
+func (m *model) done() bool {
+	if m.pcs == nil {
+		return false
+	}
+	for c := range m.pcs {
+		if m.pcs[c] < len(m.cfg.Programs[c]) || len(m.bufs[c]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// forwardIdx returns the buffer index a load forwards from: the newest
+// pending store of the same core with the exact same footprint (TSO
+// same-address forwarding). It returns -2 when an older overlapping but
+// non-identical footprint would make forwarding partial, which the model
+// does not support (configs use aligned same-size accesses).
+func (m *model) forwardIdx(a Action) int {
+	buf := m.bufs[a.Core]
+	for i := len(buf) - 1; i >= 0; i-- {
+		e := buf[i]
+		if e.block != a.Block {
+			continue
+		}
+		if e.off == a.Off && e.size == a.Size {
+			return i
+		}
+		if e.off < a.Off+a.Size && a.Off < e.off+e.size {
+			return -2
+		}
+	}
+	return -1
+}
+
+// apply updates the model state for a. The value pushed for a buffered
+// store is returned so exec emits the identical bytes at commit.
+func (m *model) apply(a Action) {
+	if m.pcs != nil && a.Kind != ActCommit {
+		if pc := m.pcs[a.Core]; pc < len(m.cfg.Programs[a.Core]) && m.cfg.Programs[a.Core][pc] == a {
+			m.pcs[a.Core] = pc + 1
+		}
+	}
+	switch a.Kind {
+	case ActStore:
+		v := m.storeVal(a.Core, m.storeSeq[a.Core])
+		m.storeSeq[a.Core]++
+		if m.cfg.StoreBufferDepth > 0 {
+			m.bufs[a.Core] = append(m.bufs[a.Core], bufEntry{block: a.Block, off: a.Off, size: a.Size, val: v})
+		}
+	case ActCommit:
+		m.bufs[a.Core] = m.bufs[a.Core][1:]
+	case ActBegin:
+		// exec overrides 1 with 2 when AddRegion accepted the interval.
+		m.slotOpen[a.Slot] = 1
+	case ActEnd:
+		m.slotOpen[a.Slot] = 0
+	}
+}
+
+// finalActions returns the canonical drain sequence from the current model
+// state: every pending store committed (core-major, FIFO), then every open
+// region slot closed. Stepping these before DrainAll turns any state into a
+// terminal one.
+func (m *model) finalActions() []Action {
+	var out []Action
+	for c := range m.bufs {
+		for range m.bufs[c] {
+			out = append(out, Action{Core: c, Kind: ActCommit})
+		}
+	}
+	for s, open := range m.slotOpen {
+		if open != 0 {
+			out = append(out, End(0, s))
+		}
+	}
+	return out
+}
+
+// ghostBlock is the checker's per-block ghost state: a sequentially
+// consistent shadow of the block's data plus per-byte race bookkeeping for
+// WARD's sanctioned relaxation.
+type ghostBlock struct {
+	val [64]byte
+	// racy marks bytes whose final value is order-dependent: two distinct
+	// cores ward-wrote the byte during one W tenure. Reconciliation merges
+	// copies in ascending core order, but a mid-tenure eviction flushes its
+	// victim's copy early, so with two writers *any* of their last values
+	// can win — the byte stays racy until a coherent (non-W) store or an
+	// atomic re-serializes it, or a new tenure with a sole writer
+	// deterministically overwrites it.
+	racy [64]bool
+	// writer is the last core to ward-write the byte in the current W
+	// tenure (-1 outside a tenure); multi records that a second distinct
+	// core wrote it this tenure. Both reset when the tenure ends.
+	writer [64]int8
+	multi  [64]bool
+}
+
+// exec drives one SUT along one action path, maintaining the ghost model
+// and checking every invariant after every transition.
+type exec struct {
+	*model
+	sut     SUT
+	slots   []core.RegionID // region id per open slot (NullRegion: rejected)
+	beginOK []bool          // per ActBegin stepped, whether AddRegion accepted
+	ghost   []ghostBlock
+	bs      int // block size in bytes
+}
+
+func newExec(cfg *Config) *exec {
+	e := &exec{
+		model: newModel(cfg),
+		sut:   cfg.newSUT(),
+		slots: make([]core.RegionID, len(cfg.Regions)),
+		ghost: make([]ghostBlock, len(cfg.Blocks)),
+		bs:    int(cfg.Topology.BlockSize),
+	}
+	for i := range e.ghost {
+		for j := range e.ghost[i].writer {
+			e.ghost[i].writer[j] = -1
+		}
+	}
+	return e
+}
+
+// addr returns the concrete address of an access action.
+func (e *exec) addr(a Action) mem.Addr {
+	return e.cfg.Blocks[a.Block] + mem.Addr(a.Off)
+}
+
+// step fires one transition: the SUT call, the ghost update, and the
+// post-transition checks. A non-nil error is an invariant violation (or an
+// internal inconsistency) at this action.
+func (e *exec) step(a Action) error {
+	if !e.feasible(a) {
+		return fmt.Errorf("internal: action %v stepped while not enabled", a)
+	}
+	var err error
+	switch a.Kind {
+	case ActLoad:
+		err = e.doLoad(a)
+	case ActStore:
+		if e.cfg.StoreBufferDepth == 0 {
+			err = e.commitStore(a.Core, bufEntry{block: a.Block, off: a.Off, size: a.Size,
+				val: e.storeVal(a.Core, e.storeSeq[a.Core])})
+		}
+		// Buffered stores touch only model state until their ActCommit.
+	case ActCommit:
+		err = e.commitStore(a.Core, e.bufs[a.Core][0])
+	case ActFetchAdd:
+		err = e.doFetchAdd(a)
+	case ActFence:
+		// A fence is pure ordering; with the buffer already drained
+		// (feasibility) it is a no-op for both the SUT and the ghost.
+	case ActBegin:
+		err = e.doBegin(a)
+	case ActEnd:
+		err = e.doEnd(a)
+	}
+	if err != nil {
+		return err
+	}
+	e.apply(a)
+	if a.Kind == ActBegin && e.beginOK[len(e.beginOK)-1] {
+		e.slotOpen[a.Slot] = 2
+	}
+	e.syncTenures()
+	if ierr := e.sut.CheckInvariants(); ierr != nil {
+		return fmt.Errorf("after %v: %w", a, ierr)
+	}
+	return nil
+}
+
+func (e *exec) doLoad(a Action) error {
+	switch e.forwardIdx(a) {
+	case -2:
+		return fmt.Errorf("config: load %v partially overlaps a pending store (unsupported footprint mix)", a)
+	case -1:
+	default:
+		// Forwarded from the core's own buffer: no memory-system call, and
+		// the value is the buffered one by construction.
+		return nil
+	}
+	buf := make([]byte, a.Size)
+	e.sut.Read(a.Core, e.addr(a), buf)
+	ent, ok := e.sut.DirEntry(e.cfg.Blocks[a.Block])
+	wardOpen := ok && ent.State == cache.Ward && e.sut.RegionIsActive(ent.Region)
+	if wardOpen {
+		// The one sanctioned relaxation: inside an open WARD region a
+		// W-state block's reads may return any tenure-local value.
+		return nil
+	}
+	g := &e.ghost[a.Block]
+	for i := 0; i < a.Size; i++ {
+		bi := a.Off + i
+		if g.racy[bi] {
+			continue
+		}
+		if buf[i] != g.val[bi] {
+			return fmt.Errorf("data-value violation: %v returned %#02x at block byte %d, want %#02x (last coherent store); dir=%s",
+				a, buf[i], bi, g.val[bi], dirDesc(ent, ok))
+		}
+	}
+	return nil
+}
+
+// commitStore makes one store visible to the memory system and advances the
+// ghost. For ward-state destinations it maintains the per-byte race
+// bookkeeping that scopes the data-value check.
+func (e *exec) commitStore(c int, ent bufEntry) error {
+	var b [8]byte
+	v := ent.val
+	for i := 0; i < ent.size; i++ {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	e.sut.Write(c, e.cfg.Blocks[ent.block]+mem.Addr(ent.off), b[:ent.size])
+	_, l2 := e.sut.PrivLines(c, e.cfg.Blocks[ent.block])
+	ward := l2 == cache.Ward
+	g := &e.ghost[ent.block]
+	for i := 0; i < ent.size; i++ {
+		bi := ent.off + i
+		g.val[bi] = b[i]
+		if !ward {
+			g.racy[bi] = false
+			continue
+		}
+		if w := g.writer[bi]; w >= 0 && w != int8(c) {
+			g.multi[bi] = true
+		}
+		g.writer[bi] = int8(c)
+		// Sole ward writer so far this tenure: the merge (reconcile or
+		// eviction flush) applies exactly this core's masked bytes, so the
+		// outcome is this value and the byte is deterministic again even if
+		// it was racy before. With two distinct writers it stays racy for
+		// the rest of the tenure and beyond (see ghostBlock).
+		g.racy[bi] = g.multi[bi]
+	}
+	return nil
+}
+
+func (e *exec) doFetchAdd(a Action) error {
+	old, _ := e.sut.RMW(a.Core, e.addr(a), a.Size, func(o uint64) uint64 { return o + a.Value })
+	blk := e.cfg.Blocks[a.Block]
+	if ent, ok := e.sut.DirEntry(blk); ok && ent.State == cache.Ward {
+		return fmt.Errorf("atomicity violation: %v left block %d in W (atomics must force reconciliation)", a, a.Block)
+	}
+	g := &e.ghost[a.Block]
+	anyRacy := false
+	want := uint64(0)
+	for i := a.Size - 1; i >= 0; i-- {
+		bi := a.Off + i
+		anyRacy = anyRacy || g.racy[bi]
+		want = want<<8 | uint64(g.val[bi])
+	}
+	if !anyRacy && old != want {
+		return fmt.Errorf("data-value violation: %v read old=%#x, want %#x (last coherent store)", a, old, want)
+	}
+	// The atomic re-serializes the bytes it touches: ghost follows the
+	// SUT-observed old value so subsequent checks stay anchored.
+	nv := old + a.Value
+	for i := 0; i < a.Size; i++ {
+		bi := a.Off + i
+		g.val[bi] = byte(nv)
+		g.racy[bi] = false
+		nv >>= 8
+	}
+	return nil
+}
+
+func (e *exec) doBegin(a Action) error {
+	r := e.cfg.Regions[a.Slot]
+	id, _, ok := e.sut.AddRegion(a.Core, r.Lo, r.Hi)
+	if ok && id == core.NullRegion {
+		return fmt.Errorf("protocol bug: AddRegion reported ok with the null region id")
+	}
+	if !ok {
+		id = core.NullRegion
+	}
+	e.slots[a.Slot] = id
+	e.beginOK = append(e.beginOK, ok)
+	return nil
+}
+
+func (e *exec) doEnd(a Action) error {
+	id := e.slots[a.Slot]
+	e.slots[a.Slot] = core.NullRegion
+	e.sut.RemoveRegion(a.Core, id)
+	if id == core.NullRegion {
+		return nil
+	}
+	// Reconcile termination: removing a region must leave no tracked block
+	// warded under it, and the id must be gone from the region table.
+	for i, b := range e.cfg.Blocks {
+		if ent, ok := e.sut.DirEntry(b); ok && ent.State == cache.Ward && ent.Region == id {
+			return fmt.Errorf("reconcile violation: block %d (%#x) still W under removed region %d", i, uint64(b), id)
+		}
+	}
+	if e.sut.RegionIsActive(id) {
+		return fmt.Errorf("reconcile violation: region %d still registered after RemoveRegion", id)
+	}
+	return nil
+}
+
+// syncTenures closes ghost W tenures for blocks that are no longer
+// directory-W (tenures end inside transitions: reconciliation, forced
+// reconcile on atomics, eviction of the sole holder).
+func (e *exec) syncTenures() {
+	for i, b := range e.cfg.Blocks {
+		if ent, ok := e.sut.DirEntry(b); ok && ent.State == cache.Ward {
+			continue
+		}
+		g := &e.ghost[i]
+		for j := range g.writer {
+			g.writer[j] = -1
+			g.multi[j] = false
+		}
+	}
+}
+
+// finish drives the state to termination (commit every pending store, close
+// every open slot) and runs the terminal checks: DrainAll must restore full
+// coherence and exact ghost/memory agreement outside racy bytes.
+func (e *exec) finish() ([]Action, error) {
+	fin := e.finalActions()
+	for i, a := range fin {
+		if err := e.step(a); err != nil {
+			return fin[:i+1], err
+		}
+	}
+	return fin, e.drainCheck()
+}
+
+func (e *exec) drainCheck() error {
+	e.sut.DrainAll()
+	if err := e.sut.CheckInvariants(); err != nil {
+		return fmt.Errorf("after DrainAll: %w", err)
+	}
+	var buf [64]byte
+	for i, b := range e.cfg.Blocks {
+		if ent, ok := e.sut.DirEntry(b); ok && ent.State == cache.Ward {
+			return fmt.Errorf("drain violation: block %d still W after DrainAll (region %d)", i, ent.Region)
+		}
+		e.sut.Mem().Read(b, buf[:e.bs])
+		g := &e.ghost[i]
+		for j := 0; j < e.bs; j++ {
+			if g.racy[j] {
+				continue
+			}
+			if buf[j] != g.val[j] {
+				return fmt.Errorf("drain violation: block %d byte %d drained to %#02x, want %#02x (last coherent store)",
+					i, j, buf[j], g.val[j])
+			}
+		}
+	}
+	return nil
+}
+
+// dirDesc renders a directory entry for diagnostics.
+func dirDesc(ent core.DirEntryView, ok bool) string {
+	if !ok {
+		return "uncached"
+	}
+	return fmt.Sprintf("{%s owner=%d sharers=%v region=%d}", ent.State, ent.Owner, ent.Sharers, ent.Region)
+}

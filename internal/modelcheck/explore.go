@@ -1,0 +1,132 @@
+package modelcheck
+
+import (
+	"fmt"
+
+	"warden/internal/core"
+)
+
+// Result summarizes one exhaustive exploration.
+type Result struct {
+	Protocol core.Protocol
+	// States is the number of distinct canonical states reached (including
+	// the initial state); Transitions counts explored edges.
+	States, Transitions int
+	// Depth is the longest action path explored.
+	Depth int
+	// DepthBounded reports that free-mode exploration cut off paths at
+	// Config.MaxDepth; when false, the reachable state space closed on its
+	// own and the run is exhaustive for the configured alphabet.
+	DepthBounded bool
+	// Violation is the shortest counterexample found, or nil. (BFS order
+	// guarantees no shorter violating path exists.)
+	Violation *Counterexample
+}
+
+// Explore runs breadth-first search over all interleavings of cfg,
+// checking every invariant after every transition and the terminal drain
+// checks once per newly reached state. It returns the first (shortest)
+// violation in Result.Violation; the error return is reserved for unusable
+// configurations and the MaxStates runaway guard.
+func Explore(cfg Config) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Protocol: cfg.Protocol}
+
+	root := newExec(&cfg)
+	visited := map[string]struct{}{root.canon(): {}}
+	res.States = 1
+	if v := finishCheck(&cfg, nil, root); v != nil {
+		res.Violation = v
+		return res, nil
+	}
+	queue := [][]Action{nil}
+
+	for len(queue) > 0 {
+		path := queue[0]
+		queue = queue[1:]
+		if len(path) > res.Depth {
+			res.Depth = len(path)
+		}
+		// Enabledness is a pure function of model state, so successor
+		// actions come from a cheap SUT-free replay.
+		m := newModel(&cfg)
+		for _, a := range path {
+			m.apply(a)
+		}
+		acts := m.enabledActions()
+		if cfg.Programs != nil && len(acts) == 0 {
+			if !m.done() {
+				e, v := runPath(&cfg, path)
+				if v == nil {
+					v = newCounterexample(&cfg, path, len(path),
+						e.beginOK, fmt.Errorf("deadlock: programs unfinished (pcs %v) but no action is enabled", m.pcs))
+				}
+				res.Violation = v
+				return res, nil
+			}
+			continue // all programs retired; terminal checks already ran
+		}
+		if cfg.Programs == nil && len(path) >= cfg.MaxDepth {
+			res.DepthBounded = true
+			continue
+		}
+		for _, a := range acts {
+			res.Transitions++
+			next := make([]Action, len(path)+1)
+			copy(next, path)
+			next[len(path)] = a
+			e, v := runPath(&cfg, next)
+			if v != nil {
+				res.Violation = v
+				return res, nil
+			}
+			key := e.canon()
+			if _, seen := visited[key]; seen {
+				continue
+			}
+			visited[key] = struct{}{}
+			res.States++
+			if res.States > cfg.MaxStates {
+				return res, fmt.Errorf("modelcheck: state count exceeded MaxStates=%d (runaway guard)", cfg.MaxStates)
+			}
+			// Terminal check once per new state: drive it to completion
+			// (consuming e, which is not otherwise reused) and drain.
+			if v := finishCheck(&cfg, next, e); v != nil {
+				res.Violation = v
+				return res, nil
+			}
+			queue = append(queue, next)
+		}
+	}
+	return res, nil
+}
+
+// runPath replays path on a fresh SUT, returning the execution or the
+// counterexample at the first violating action.
+func runPath(cfg *Config, path []Action) (*exec, *Counterexample) {
+	e := newExec(cfg)
+	for i, a := range path {
+		if err := e.step(a); err != nil {
+			pfx := make([]Action, i+1)
+			copy(pfx, path[:i+1])
+			return e, newCounterexample(cfg, pfx, i+1, e.beginOK, err)
+		}
+	}
+	return e, nil
+}
+
+// finishCheck drives e to termination and runs the drain checks, returning
+// a counterexample whose path extends path with the drain-phase actions.
+// It consumes e.
+func finishCheck(cfg *Config, path []Action, e *exec) *Counterexample {
+	fin, err := e.finish()
+	if err == nil {
+		return nil
+	}
+	full := make([]Action, 0, len(path)+len(fin))
+	full = append(full, path...)
+	full = append(full, fin...)
+	return newCounterexample(cfg, full, len(path), e.beginOK, err)
+}

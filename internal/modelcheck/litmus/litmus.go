@@ -1,0 +1,268 @@
+// Package litmus is the named-scenario suite for the protocol model
+// checker: each scenario is a small fixed multi-core program whose *every*
+// interleaving internal/modelcheck explores against the real protocol
+// implementation, checking the full invariant set (SWMR, directory/cache
+// agreement, data-value coherence with the WARD relaxation, reconcile
+// termination, deadlock freedom, terminal drain equivalence).
+//
+// Unlike classic litmus testing, a scenario does not assert one
+// forbidden/required final outcome: the checker's ghost model already pins
+// every load and the drained memory image to the strongest claim the
+// protocol makes (sequential consistency outside WARD regions, bounded
+// divergence inside). A scenario therefore "passes" when no interleaving
+// violates any invariant, and the suite's value is choosing programs that
+// steer exploration through the interesting transition arcs —
+// store-buffer commits, message races, W-state tenures, mid-tenure
+// evictions, dirty writebacks, forced reconciliations. PROTOCOL.md links
+// each transition arc to the scenario that covers it.
+package litmus
+
+import (
+	"fmt"
+
+	"warden/internal/core"
+	"warden/internal/mem"
+	"warden/internal/modelcheck"
+)
+
+// Scenario is one named litmus program.
+type Scenario struct {
+	Name string
+	// Doc says what the scenario steers exploration through.
+	Doc string
+	// Protocols are the protocols the scenario runs under.
+	Protocols []core.Protocol
+	// Build returns the checker configuration for one protocol.
+	Build func(p core.Protocol) modelcheck.Config
+}
+
+// Run explores every interleaving of the scenario under protocol p.
+func (s Scenario) Run(p core.Protocol) (modelcheck.Result, error) {
+	return modelcheck.Explore(s.Build(p))
+}
+
+var both = []core.Protocol{core.MESI, core.WARDen}
+
+// base returns a scenario topology/addressing skeleton: cores cores whose
+// L1/L2 hold l2Lines lines (1 makes distinct blocks conflict), blocks
+// tracked blocks, and one region slot per given span.
+func base(p core.Protocol, cores, l2Lines, blocks int, regions ...modelcheck.RegionSpan) modelcheck.Config {
+	top := modelcheck.TinyTopology(cores, l2Lines, 2)
+	return modelcheck.Config{
+		Protocol: p,
+		Topology: top,
+		Cores:    cores,
+		Blocks:   modelcheck.DefaultBlocks(blocks, top.BlockSize),
+		Regions:  regions,
+	}
+}
+
+// span covers tracked blocks [lo, hi] (inclusive) of a 64-byte-block
+// machine rooted at modelcheck.BlockBase.
+func span(lo, hi int) modelcheck.RegionSpan {
+	return modelcheck.RegionSpan{
+		Lo: modelcheck.BlockBase + mem.Addr(lo*64),
+		Hi: modelcheck.BlockBase + mem.Addr((hi+1)*64),
+	}
+}
+
+// Scenarios returns the suite.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{
+			Name: "store-buffering",
+			Doc: "Classic SB shape (c0: St x; Ld y ‖ c1: St y; Ld x) under the " +
+				"functional store-buffer model: issue and commit interleave as " +
+				"separate transitions with TSO same-address forwarding, so the " +
+				"checker sees every buffered/committed combination.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 2)
+				cfg.StoreBufferDepth = 2
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.St(0, 0, 0, 8), modelcheck.Ld(0, 1, 0, 8)},
+					{modelcheck.St(1, 1, 0, 8), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "message-passing",
+			Doc: "MP shape (c0: St data; St flag ‖ c1: Ld flag; Ld data): the " +
+				"message race between the flag's invalidation and the data's " +
+				"GetS — every load must still return the last committed store.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 2)
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.St(0, 0, 0, 8), modelcheck.St(0, 1, 0, 8)},
+					{modelcheck.Ld(1, 1, 0, 8), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "ward-stale-read",
+			Doc: "One core ward-writes a block while the other reads it: inside " +
+				"the open region the reader may see a stale value (the sanctioned " +
+				"relaxation); the moment the region ends, reads must be coherent " +
+				"again. Under MESI the region is a no-op and every read is strict.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 1, span(0, 0))
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Begin(0, 0), modelcheck.St(0, 0, 0, 8), modelcheck.End(0, 0)},
+					{modelcheck.Ld(1, 0, 0, 8), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "ward-false-sharing",
+			Doc: "Two cores write disjoint halves of one block under a WARD " +
+				"region — the paper's target pattern. Reconciliation's sector " +
+				"masks must merge both halves exactly; the drain check requires " +
+				"the final block to carry each core's bytes (no lost update).",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 1, span(0, 0))
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Begin(0, 0), modelcheck.St(0, 0, 0, 4), modelcheck.End(0, 0)},
+					{modelcheck.St(1, 0, 4, 4)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "ward-true-sharing",
+			Doc: "Two cores write the *same* bytes under a WARD region — outside " +
+				"the language's WAR-only guarantee. The merge result is " +
+				"order-dependent (reconcile order vs. mid-tenure eviction " +
+				"flushes), which the ghost model tolerates via per-byte race " +
+				"tracking, but every structural invariant must still hold.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 1, span(0, 0))
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Begin(0, 0), modelcheck.St(0, 0, 0, 8), modelcheck.End(0, 0)},
+					{modelcheck.St(1, 0, 0, 8), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "evict-during-reconcile",
+			Doc: "A ward writer touches a conflicting block (single-set L2), " +
+				"evicting its own W line mid-tenure: the proactive flush applies " +
+				"its sector mask early, and the later region end must reconcile " +
+				"the remaining copies without resurrecting flushed state.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 1, 2, span(0, 1))
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Begin(0, 0), modelcheck.St(0, 0, 0, 8), modelcheck.End(0, 0)},
+					{modelcheck.St(1, 0, 0, 8), modelcheck.Ld(1, 1, 0, 8), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "w-dirty-writeback-race",
+			Doc: "A block is dirty (M) at one core when a region opens and " +
+				"another core ward-writes it: granting W must not lose the dirty " +
+				"data, and the eventual writeback/reconcile must land both the " +
+				"pre-region value and the warded writes correctly.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 1, span(0, 0))
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.St(0, 0, 0, 4), modelcheck.Begin(0, 0), modelcheck.End(0, 0)},
+					{modelcheck.St(1, 0, 4, 4), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "atomic-forces-reconcile",
+			Doc: "An atomic hits a ward-written block inside an open region: " +
+				"WARDen must force an early reconciliation — the RMW's old value " +
+				"must be the last committed store and the block must not remain W.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 1, span(0, 0))
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Begin(0, 0), modelcheck.St(0, 0, 0, 8), modelcheck.End(0, 0)},
+					{modelcheck.FA(1, 0, 0, 8, 1)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "upgrade-eviction",
+			Doc: "S→M upgrade racing a sharer's silent eviction (single-set L2): " +
+				"the directory's sharer set must stay conservative — the upgrade " +
+				"invalidates a possibly-already-evicted copy without wedging " +
+				"either core.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 1, 2)
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Ld(0, 0, 0, 8), modelcheck.St(0, 0, 0, 8)},
+					{modelcheck.Ld(1, 0, 0, 8), modelcheck.Ld(1, 1, 0, 8), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "moesi-owned-sourcing",
+			Doc: "MOESI's O state: a dirty block is downgraded to Owned by a " +
+				"reader and sourced from the owner, then written again — the " +
+				"owner transition must keep exactly one writable copy and the " +
+				"dirty data must survive the O→M/I arcs.",
+			Protocols: []core.Protocol{core.MOESI},
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 1)
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.St(0, 0, 0, 8), modelcheck.Ld(0, 0, 0, 8)},
+					{modelcheck.Ld(1, 0, 0, 8), modelcheck.St(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
+			Name: "region-overflow",
+			Doc: "Opening more regions than the table holds (capacity 1, two " +
+				"slots): the second Add Region is rejected, its End removes the " +
+				"null region, and accesses under the rejected region stay fully " +
+				"coherent — the fallback the paper requires when hardware " +
+				"resources run out.",
+			Protocols: both,
+			Build: func(p core.Protocol) modelcheck.Config {
+				top := modelcheck.TinyTopology(2, 2, 1)
+				cfg := modelcheck.Config{
+					Protocol: p,
+					Topology: top,
+					Cores:    2,
+					Blocks:   modelcheck.DefaultBlocks(2, top.BlockSize),
+					Regions:  []modelcheck.RegionSpan{span(0, 0), span(1, 1)},
+				}
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.Begin(0, 0), modelcheck.Begin(0, 1), modelcheck.St(0, 1, 0, 8),
+						modelcheck.End(0, 1), modelcheck.End(0, 0)},
+					{modelcheck.St(1, 1, 0, 8)},
+				}
+				return cfg
+			},
+		},
+	}
+}
+
+// ByName returns the named scenario.
+func ByName(name string) (Scenario, error) {
+	for _, s := range Scenarios() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("litmus: unknown scenario %q", name)
+}

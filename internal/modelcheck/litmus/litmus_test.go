@@ -1,0 +1,87 @@
+package litmus
+
+import (
+	"testing"
+
+	"warden/internal/core"
+)
+
+// TestScenarios explores every interleaving of every scenario under each
+// of its protocols. This is the suite CI runs; it must stay fast (each
+// scenario is a handful of instructions, so state counts are small).
+func TestScenarios(t *testing.T) {
+	for _, s := range Scenarios() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			for _, p := range s.Protocols {
+				res, err := s.Run(p)
+				if err != nil {
+					t.Fatalf("%s: %v", p, err)
+				}
+				if res.Violation != nil {
+					trace, terr := res.Violation.TraceText(true)
+					if terr != nil {
+						trace = "(trace render failed: " + terr.Error() + ")"
+					}
+					t.Fatalf("%s violation:\n%s\ntrace:\n%s", p, res.Violation.String(), trace)
+				}
+				t.Logf("%s: %d states, %d transitions, depth %d",
+					p, res.States, res.Transitions, res.Depth)
+			}
+		})
+	}
+}
+
+// TestSuiteShape pins the suite's advertised coverage: the scenario set is
+// referenced by name from PROTOCOL.md, so renames/removals must be
+// deliberate.
+func TestSuiteShape(t *testing.T) {
+	want := []string{
+		"store-buffering", "message-passing", "ward-stale-read",
+		"ward-false-sharing", "ward-true-sharing", "evict-during-reconcile",
+		"w-dirty-writeback-race", "atomic-forces-reconcile",
+		"upgrade-eviction", "moesi-owned-sourcing", "region-overflow",
+	}
+	got := Scenarios()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d scenarios, want %d", len(got), len(want))
+	}
+	for i, s := range got {
+		if s.Name != want[i] {
+			t.Errorf("scenario %d named %q, want %q", i, s.Name, want[i])
+		}
+		if s.Doc == "" || len(s.Protocols) == 0 {
+			t.Errorf("scenario %q missing doc or protocols", s.Name)
+		}
+		if _, err := ByName(s.Name); err != nil {
+			t.Errorf("ByName(%q): %v", s.Name, err)
+		}
+	}
+	if _, err := ByName("no-such-scenario"); err == nil {
+		t.Error("ByName accepted an unknown name")
+	}
+}
+
+// TestWardScenariosReachW sanity-checks that the WARD scenarios actually
+// drive the protocol into W-state territory: their WARDen state spaces
+// must be strictly larger than MESI's (where regions are no-ops).
+func TestWardScenariosReachW(t *testing.T) {
+	for _, name := range []string{"ward-stale-read", "ward-false-sharing", "ward-true-sharing"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rm, err := s.Run(core.MESI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := s.Run(core.WARDen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rw.States <= rm.States {
+			t.Errorf("%s: WARDen explored %d states vs MESI %d — W arcs not exercised",
+				name, rw.States, rm.States)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package modelcheck is a Murphi-style explicit-state model checker for the
+// coherence protocols in internal/core. It explores *all* interleavings of
+// a small abstract machine — 2–3 cores, 1–2 cache blocks, optional bounded
+// store buffers — where every transition is a call into the real protocol
+// implementation through the core.ProtocolStep interface; nothing here
+// re-implements a transition table.
+//
+// The abstract machine is untimed: an action is one atomic memory-system
+// call (the simulation engine serializes cores, so this matches the
+// simulator's own granularity), and returned latencies are ignored. Two
+// exploration modes share one execution model:
+//
+//   - Explore performs breadth-first search over canonical states with a
+//     visited set, either over a free action alphabet (any core may issue
+//     any action at every step, bounded by Config.MaxDepth) or over fixed
+//     per-core programs (litmus mode: all interleavings of the programs).
+//     BFS makes the first counterexample a shortest one.
+//   - Walk performs a seeded random walk for configurations too big to
+//     exhaust, optionally running MESI and WARDen in lockstep and requiring
+//     their final memories to agree outside WARD-racy bytes.
+//
+// Both modes check, after every transition: the whole-system protocol
+// invariants (single-writer/multiple-reader, directory/private-cache
+// agreement, inclusion — core.DirState.CheckInvariants), data-value
+// coherence against a ghost sequentially-consistent memory (each load must
+// return the last committed store, with the single WARD-scoped relaxation
+// that a W-state block under an active region may disagree), reconcile
+// termination (no block stays W under a removed region), and — in litmus
+// mode — deadlock freedom (an unfinished state must have an enabled
+// action) plus terminal drain checks (DrainAll restores exact ghost/memory
+// agreement except bytes subject to a true-sharing WARD merge).
+//
+// Violations are reported as a Counterexample whose action path renders in
+// the internal/trace text format, so it replays directly under wardentrace.
+package modelcheck
+
+import (
+	"fmt"
+
+	"warden/internal/core"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+)
+
+// SUT (system under test) is what the checker drives: the mutating
+// transition surface plus the read-only inspection surface. *core.System
+// implements it; mutation tests wrap one and corrupt a method.
+type SUT interface {
+	core.ProtocolStep
+	core.DirState
+}
+
+// RegionSpan is one region slot the model may open and close: a fixed
+// [Lo, Hi) interval. Slots are model-level names; each Begin maps a slot to
+// a fresh core.RegionID.
+type RegionSpan struct {
+	Lo, Hi mem.Addr
+}
+
+// Config describes one abstract machine to explore.
+type Config struct {
+	// Protocol is the coherence protocol under test.
+	Protocol core.Protocol
+	// Topology is the simulated machine; use TinyTopology for checking.
+	Topology topology.Config
+	// Cores is how many cores issue actions (≤ Topology.Cores()).
+	Cores int
+	// Blocks are the tracked cache-block addresses every access targets.
+	Blocks []mem.Addr
+	// Regions are the region slots available to Begin/End actions.
+	Regions []RegionSpan
+
+	// Alphabet is the free-mode action set (any enabled action at every
+	// step, depth-bounded by MaxDepth). Exactly one of Alphabet and
+	// Programs must be set.
+	Alphabet []Action
+	// Programs is the litmus-mode per-core instruction sequence; the
+	// checker explores every interleaving and runs terminal drain checks
+	// when all programs finish.
+	Programs [][]Action
+
+	// StoreBufferDepth > 0 splits each store into an issue (into a
+	// bounded per-core FIFO, with TSO same-address load forwarding) and a
+	// separate commit transition, modelling the relaxed store visibility a
+	// hardware store buffer would add. 0 commits stores at issue, which is
+	// what the simulator's timing-only buffer does.
+	StoreBufferDepth int
+
+	// MaxDepth bounds free-mode path length (default 8). Litmus mode is
+	// bounded by the programs themselves.
+	MaxDepth int
+	// MaxStates aborts exploration beyond this many canonical states
+	// (default 1 << 20), a runaway guard rather than a tuning knob.
+	MaxStates int
+	// ValueMod is the per-core store-value rotation period (default 8):
+	// core c's k-th store writes byte value 16*(c+1)+(k mod ValueMod)+1 in
+	// every byte it touches. The rotation keeps the value domain — and
+	// with it the canonical state space — finite while still detecting
+	// stale reads up to ValueMod stores deep.
+	ValueMod int
+
+	// New builds the system under test (nil: a real core.System).
+	New func(p core.Protocol, cfg topology.Config) SUT
+}
+
+// TinyTopology returns a minimal machine for model checking: cores cores on
+// one socket, direct-mapped L1/L2 tag arrays of l2Lines 64-byte lines each
+// (l2Lines must be a power of two; 1 makes every distinct block conflict,
+// which is how eviction litmus tests force victims), a one-line LLC slice,
+// and regionCap WARD region table entries.
+func TinyTopology(cores, l2Lines, regionCap int) topology.Config {
+	if l2Lines <= 0 || l2Lines&(l2Lines-1) != 0 {
+		panic(fmt.Sprintf("modelcheck: l2Lines must be a power of two, got %d", l2Lines))
+	}
+	return topology.Config{
+		Name:               fmt.Sprintf("modelcheck-%dc-%dl", cores, l2Lines),
+		Sockets:            1,
+		CoresPerSocket:     cores,
+		ThreadsPerCore:     1,
+		BlockSize:          64,
+		L1Size:             uint64(l2Lines) * 64,
+		L1Assoc:            1,
+		L2Size:             uint64(l2Lines) * 64,
+		L2Assoc:            1,
+		L3SizePerCore:      64,
+		L3Assoc:            1,
+		L1Latency:          1,
+		L2Latency:          2,
+		L3Latency:          4,
+		DRAMLatency:        8,
+		InterSocketLatency: 16,
+		NoCHopLatency:      1,
+		AvgNoCHops:         1,
+		FrequencyGHz:       1,
+		StoreBufferEntries: 4,
+		WardRegionCapacity: regionCap,
+	}
+}
+
+// BlockBase is where tracked blocks live by default (any block-aligned
+// address works; the backing store is sparse).
+const BlockBase mem.Addr = 0x10000
+
+// DefaultBlocks returns n tracked block addresses. With a direct-mapped
+// single-set L2 (TinyTopology l2Lines=1) they all conflict; with l2Lines ≥
+// n they cohabit.
+func DefaultBlocks(n int, blockSize uint64) []mem.Addr {
+	out := make([]mem.Addr, n)
+	for i := range out {
+		out[i] = BlockBase + mem.Addr(uint64(i)*blockSize)
+	}
+	return out
+}
+
+// newSUT builds the system under test for cfg.
+func (c *Config) newSUT() SUT {
+	if c.New != nil {
+		return c.New(c.Protocol, c.Topology)
+	}
+	return core.NewSystem(c.Topology, c.Protocol, mem.New(0), &stats.Counters{})
+}
+
+// validate normalizes defaults and rejects unusable configurations.
+func (c *Config) validate() error {
+	if c.Cores < 1 || c.Cores > c.Topology.Cores() {
+		return fmt.Errorf("modelcheck: %d cores outside machine's %d", c.Cores, c.Topology.Cores())
+	}
+	if len(c.Blocks) == 0 {
+		return fmt.Errorf("modelcheck: no tracked blocks")
+	}
+	bs := c.Topology.BlockSize
+	if bs > 64 {
+		return fmt.Errorf("modelcheck: block size %d exceeds the 64-byte ghost granularity", bs)
+	}
+	for _, b := range c.Blocks {
+		if b.Block(bs) != b {
+			return fmt.Errorf("modelcheck: tracked block %#x not block-aligned", uint64(b))
+		}
+	}
+	if (c.Alphabet == nil) == (c.Programs == nil) {
+		return fmt.Errorf("modelcheck: exactly one of Alphabet and Programs must be set")
+	}
+	if c.Programs != nil && len(c.Programs) != c.Cores {
+		return fmt.Errorf("modelcheck: %d programs for %d cores", len(c.Programs), c.Cores)
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 8
+	}
+	if c.MaxStates == 0 {
+		c.MaxStates = 1 << 20
+	}
+	if c.ValueMod == 0 {
+		c.ValueMod = 8
+	}
+	if c.ValueMod > 15 {
+		return fmt.Errorf("modelcheck: ValueMod %d overflows the byte value encoding", c.ValueMod)
+	}
+	check := func(a Action, where string) error {
+		if a.Core < 0 || a.Core >= c.Cores {
+			return fmt.Errorf("modelcheck: %s: core %d out of range", where, a.Core)
+		}
+		switch a.Kind {
+		case ActLoad, ActStore, ActFetchAdd:
+			if a.Block < 0 || a.Block >= len(c.Blocks) {
+				return fmt.Errorf("modelcheck: %s: block %d out of range", where, a.Block)
+			}
+			if a.Size < 1 || a.Size > 8 || a.Off < 0 || a.Off+a.Size > int(bs) {
+				return fmt.Errorf("modelcheck: %s: access [%d,%d) outside block", where, a.Off, a.Off+a.Size)
+			}
+		case ActBegin, ActEnd:
+			if a.Slot < 0 || a.Slot >= len(c.Regions) {
+				return fmt.Errorf("modelcheck: %s: region slot %d out of range", where, a.Slot)
+			}
+		case ActFence:
+		case ActCommit:
+			return fmt.Errorf("modelcheck: %s: ActCommit is model-internal and cannot appear in inputs", where)
+		default:
+			return fmt.Errorf("modelcheck: %s: unknown action kind %d", where, a.Kind)
+		}
+		return nil
+	}
+	for i, a := range c.Alphabet {
+		if err := check(a, fmt.Sprintf("alphabet[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for ci, prog := range c.Programs {
+		for i, a := range prog {
+			if a.Core != ci {
+				return fmt.Errorf("modelcheck: programs[%d][%d]: action names core %d", ci, i, a.Core)
+			}
+			if err := check(a, fmt.Sprintf("programs[%d][%d]", ci, i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package modelcheck
+
+import (
+	"strings"
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/machine"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+	"warden/internal/trace"
+)
+
+// twoCoreOneBlock is the reference exhaustive configuration: 2 cores, one
+// tracked block, one region slot covering it, the full word alphabet with
+// atomics. It is what the CI modelcheck job runs for both protocols.
+func twoCoreOneBlock(p core.Protocol) Config {
+	top := TinyTopology(2, 1, 2)
+	blocks := DefaultBlocks(1, top.BlockSize)
+	return Config{
+		Protocol: p,
+		Topology: top,
+		Cores:    2,
+		Blocks:   blocks,
+		Regions:  []RegionSpan{{Lo: blocks[0], Hi: blocks[0] + mem.Addr(top.BlockSize)}},
+		Alphabet: WordAlphabet(2, 1, 1, true),
+		MaxDepth: 8,
+	}
+}
+
+func TestExhaustiveTwoCoreOneBlock(t *testing.T) {
+	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+		p := p
+		t.Run(p.String(), func(t *testing.T) {
+			res, err := Explore(twoCoreOneBlock(p))
+			if err != nil {
+				t.Fatalf("Explore: %v", err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("violation:\n%s", res.Violation)
+			}
+			t.Logf("%s: %d reachable states, %d transitions, depth %d (depth-bounded=%v)",
+				p, res.States, res.Transitions, res.Depth, res.DepthBounded)
+			if res.States < 10 {
+				t.Fatalf("implausibly small state space: %d states", res.States)
+			}
+		})
+	}
+}
+
+// TestExhaustiveStoreBuffer turns on the functional store-buffer model, so
+// store issue and commit interleave as separate transitions (store
+// buffering litmus behaviour, TSO forwarding).
+func TestExhaustiveStoreBuffer(t *testing.T) {
+	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+		cfg := twoCoreOneBlock(p)
+		cfg.StoreBufferDepth = 2
+		cfg.MaxDepth = 5
+		res, err := Explore(cfg)
+		if err != nil {
+			t.Fatalf("%s: Explore: %v", p, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: violation:\n%s", p, res.Violation)
+		}
+		t.Logf("%s+SB: %d reachable states, %d transitions", p, res.States, res.Transitions)
+	}
+}
+
+// TestExhaustiveTwoBlocksConflict tracks two blocks that collide in a
+// single-set L2, so every second access evicts — including W-state victims
+// (proactive flush) and dirty writebacks.
+func TestExhaustiveTwoBlocksConflict(t *testing.T) {
+	if testing.Short() {
+		t.Skip("larger alphabet; covered by the full run and CI")
+	}
+	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+		top := TinyTopology(2, 1, 2)
+		blocks := DefaultBlocks(2, top.BlockSize)
+		cfg := Config{
+			Protocol: p,
+			Topology: top,
+			Cores:    2,
+			Blocks:   blocks,
+			Regions:  []RegionSpan{{Lo: blocks[0], Hi: blocks[1] + mem.Addr(top.BlockSize)}},
+			Alphabet: WordAlphabet(2, 2, 1, false),
+			MaxDepth: 5,
+		}
+		res, err := Explore(cfg)
+		if err != nil {
+			t.Fatalf("%s: Explore: %v", p, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("%s: violation:\n%s", p, res.Violation)
+		}
+		t.Logf("%s 2-block: %d reachable states, %d transitions", p, res.States, res.Transitions)
+	}
+}
+
+// --- mutation testing: the checker must catch injected transition bugs ---
+
+// mutantSUT wraps a real system and corrupts one ProtocolStep method.
+type mutantSUT struct {
+	SUT
+	dropWritesBy  int // core whose Writes are silently dropped (-1: none)
+	corruptWrites bool
+	skipRemove    bool
+}
+
+func (m *mutantSUT) Write(c int, a mem.Addr, src []byte) uint64 {
+	if m.dropWritesBy == c {
+		return 0
+	}
+	if m.corruptWrites {
+		bad := make([]byte, len(src))
+		copy(bad, src)
+		bad[0] ^= 0x40
+		return m.SUT.Write(c, a, bad)
+	}
+	return m.SUT.Write(c, a, src)
+}
+
+func (m *mutantSUT) RemoveRegion(c int, id core.RegionID) uint64 {
+	if m.skipRemove {
+		return 0
+	}
+	return m.SUT.RemoveRegion(c, id)
+}
+
+func mutantFactory(mutate func(*mutantSUT)) func(core.Protocol, topology.Config) SUT {
+	return func(p core.Protocol, cfg topology.Config) SUT {
+		m := &mutantSUT{
+			SUT:          core.NewSystem(cfg, p, mem.New(0), &stats.Counters{}),
+			dropWritesBy: -1,
+		}
+		mutate(m)
+		return m
+	}
+}
+
+func TestMutationsCaught(t *testing.T) {
+	cases := []struct {
+		name   string
+		proto  core.Protocol
+		mutate func(*mutantSUT)
+	}{
+		{"dropped-write", core.MESI, func(m *mutantSUT) { m.dropWritesBy = 1 }},
+		{"corrupted-write", core.WARDen, func(m *mutantSUT) { m.corruptWrites = true }},
+		{"skipped-reconcile", core.WARDen, func(m *mutantSUT) { m.skipRemove = true }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := twoCoreOneBlock(tc.proto)
+			cfg.New = mutantFactory(tc.mutate)
+			res, err := Explore(cfg)
+			if err != nil {
+				t.Fatalf("Explore: %v", err)
+			}
+			if res.Violation == nil {
+				t.Fatalf("injected %s bug not caught (%d states explored)", tc.name, res.States)
+			}
+			t.Logf("caught after %d actions: %v", len(res.Violation.Path), res.Violation.Err)
+			assertReplayable(t, res.Violation)
+		})
+	}
+}
+
+// assertReplayable renders the counterexample as a text trace and runs it
+// through the real parser and a timed replay — exactly what `wardentrace
+// <file>` does — for both padded and minimal renderings.
+func assertReplayable(t *testing.T, cx *Counterexample) {
+	t.Helper()
+	for _, padded := range []bool{false, true} {
+		text, err := cx.TraceText(padded)
+		if err != nil {
+			t.Fatalf("TraceText(padded=%v): %v", padded, err)
+		}
+		tr, err := trace.Parse(strings.NewReader(text))
+		if err != nil {
+			t.Fatalf("counterexample trace rejected by parser (padded=%v): %v\n%s", padded, err, text)
+		}
+		if _, err := trace.Replay(tr, machine.New(topology.XeonGold6126(1), cx.Protocol)); err != nil {
+			t.Fatalf("counterexample trace rejected by replay (padded=%v): %v\n%s", padded, err, text)
+		}
+	}
+}
+
+// TestWalkClean runs seeded walks well past the exhaustive depth bound.
+func TestWalkClean(t *testing.T) {
+	steps := 400
+	if testing.Short() {
+		steps = 100
+	}
+	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+		for seed := int64(1); seed <= 3; seed++ {
+			res, err := Walk(twoCoreOneBlock(p), seed, steps)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", p, seed, err)
+			}
+			if res.Violation != nil {
+				t.Fatalf("%s seed %d violation:\n%s", p, seed, res.Violation)
+			}
+		}
+	}
+}
+
+// TestDiffWalkClean checks MESI/WARDen final-memory equivalence outside
+// racy bytes on deep differential walks.
+func TestDiffWalkClean(t *testing.T) {
+	steps := 300
+	if testing.Short() {
+		steps = 80
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := DiffWalk(twoCoreOneBlock(core.WARDen), seed, steps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d violation:\n%s", seed, res.Violation)
+		}
+	}
+}
+
+// TestDiffWalkAtomicOverRacyByte pins the divergence-taint rule on the
+// configuration that exposed it: 3 cores, 2 conflicting blocks, atomics
+// in the alphabet. A fetch-add that consumes a multi-writer ward byte
+// bakes the order-dependent merge result into memory; the comparison must
+// exempt that byte until a plain store re-serializes it, and still hold
+// everywhere else.
+func TestDiffWalkAtomicOverRacyByte(t *testing.T) {
+	steps := 300
+	seeds := int64(8)
+	if testing.Short() {
+		steps, seeds = 100, 3
+	}
+	top := TinyTopology(3, 1, 2)
+	bl := DefaultBlocks(2, top.BlockSize)
+	cfg := Config{
+		Protocol: core.WARDen,
+		Topology: top,
+		Cores:    3,
+		Blocks:   bl,
+		Regions:  []RegionSpan{{Lo: bl[0], Hi: bl[1] + mem.Addr(top.BlockSize)}},
+		Alphabet: WordAlphabet(3, 2, 1, true),
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		res, err := DiffWalk(cfg, seed, steps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Violation != nil {
+			t.Fatalf("seed %d violation:\n%s", seed, res.Violation.String())
+		}
+	}
+}
+
+// TestWalkCatchesMutant: the fuzzer must also catch an injected bug.
+func TestWalkCatchesMutant(t *testing.T) {
+	cfg := twoCoreOneBlock(core.MESI)
+	cfg.New = mutantFactory(func(m *mutantSUT) { m.dropWritesBy = 1 })
+	for seed := int64(1); seed <= 20; seed++ {
+		res, err := Walk(cfg, seed, 200)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Violation != nil {
+			assertReplayable(t, res.Violation)
+			return
+		}
+	}
+	t.Fatal("20 seeded walks of 200 steps missed a dropped-write bug")
+}

@@ -1,0 +1,173 @@
+package modelcheck
+
+import (
+	"fmt"
+	"math/rand"
+
+	"warden/internal/core"
+)
+
+// WalkResult summarizes one random walk.
+type WalkResult struct {
+	Protocol core.Protocol
+	Seed     int64
+	// Steps is how many actions were stepped before stopping (the walk
+	// stops early at a violation).
+	Steps int
+	// Violation is the failing execution, or nil.
+	Violation *Counterexample
+}
+
+// Walk runs one seeded random walk of up to steps actions over cfg's free
+// alphabet, checking every invariant after every transition, then drives
+// the state to termination and runs the drain checks. Walks reach depths
+// exhaustive search cannot; the price is that a found violation is not
+// minimal (its path is the whole walk).
+func Walk(cfg Config, seed int64, steps int) (WalkResult, error) {
+	if cfg.Alphabet == nil {
+		return WalkResult{}, fmt.Errorf("modelcheck: Walk needs a free alphabet (litmus programs are for Explore)")
+	}
+	if err := cfg.validate(); err != nil {
+		return WalkResult{}, err
+	}
+	res := WalkResult{Protocol: cfg.Protocol, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	e := newExec(&cfg)
+	var path []Action
+	for i := 0; i < steps; i++ {
+		acts := e.enabledActions()
+		a := acts[rng.Intn(len(acts))]
+		path = append(path, a)
+		if err := e.step(a); err != nil {
+			res.Steps = len(path)
+			res.Violation = newCounterexample(&cfg, path, len(path), e.beginOK, err)
+			return res, nil
+		}
+	}
+	res.Steps = len(path)
+	res.Violation = finishCheck(&cfg, path, e)
+	return res, nil
+}
+
+// DiffWalk runs the same seeded random walk on WARDen and MESI in
+// lockstep (the action schedule is a function of model state only, which
+// the two executions share) and additionally requires the two final
+// memories to agree on every tracked byte not affected by a true-sharing
+// WARD merge — the paper's contract that WARDen is observationally
+// equivalent to MESI outside WARD regions. "Affected" is transitive
+// through atomics: a fetch-add that consumes a racy byte bakes the
+// (order-dependent) merge outcome into its result, so the byte stays
+// exempt from the comparison until a plain store — whose value both
+// protocols agree on — overwrites it. cfg.Protocol is ignored.
+func DiffWalk(cfg Config, seed int64, steps int) (WalkResult, error) {
+	if cfg.Alphabet == nil {
+		return WalkResult{}, fmt.Errorf("modelcheck: DiffWalk needs a free alphabet")
+	}
+	wcfg, mcfg := cfg, cfg
+	wcfg.Protocol, mcfg.Protocol = core.WARDen, core.MESI
+	if err := wcfg.validate(); err != nil {
+		return WalkResult{}, err
+	}
+	if err := mcfg.validate(); err != nil {
+		return WalkResult{}, err
+	}
+	res := WalkResult{Protocol: core.WARDen, Seed: seed}
+	rng := rand.New(rand.NewSource(seed))
+	ew, em := newExec(&wcfg), newExec(&mcfg)
+	// div marks bytes whose WARDen value may legitimately differ from
+	// MESI's: an atomic read a racy byte, and nothing deterministic has
+	// overwritten the result yet.
+	div := make([][64]bool, len(cfg.Blocks))
+	// updateDiv inspects ew *before* the action executes (an atomic
+	// clears the racy flags it consumes; a commit pops the buffer entry
+	// it retires).
+	updateDiv := func(a Action) {
+		switch a.Kind {
+		case ActFetchAdd:
+			g := &ew.ghost[a.Block]
+			tainted := false
+			for j := a.Off; j < a.Off+a.Size; j++ {
+				if g.racy[j] || div[a.Block][j] {
+					tainted = true
+				}
+			}
+			if tainted {
+				for j := a.Off; j < a.Off+a.Size; j++ {
+					div[a.Block][j] = true
+				}
+			}
+		case ActStore:
+			if cfg.StoreBufferDepth == 0 {
+				for j := a.Off; j < a.Off+a.Size; j++ {
+					div[a.Block][j] = false
+				}
+			}
+		case ActCommit:
+			ent := ew.bufs[a.Core][0]
+			for j := ent.off; j < ent.off+ent.size; j++ {
+				div[ent.block][j] = false
+			}
+		}
+	}
+	var path []Action
+	for i := 0; i < steps; i++ {
+		acts := ew.enabledActions()
+		a := acts[rng.Intn(len(acts))]
+		path = append(path, a)
+		updateDiv(a)
+		if err := ew.step(a); err != nil {
+			res.Steps = len(path)
+			res.Violation = newCounterexample(&wcfg, path, len(path), ew.beginOK, err)
+			return res, nil
+		}
+		if err := em.step(a); err != nil {
+			res.Steps = len(path)
+			res.Violation = newCounterexample(&mcfg, path, len(path), em.beginOK, err)
+			return res, nil
+		}
+	}
+	res.Steps = len(path)
+	// Drain by hand (rather than via finish) so the divergence
+	// bookkeeping sees the drain's buffered-store commits too.
+	finW := ew.finalActions()
+	for i, a := range finW {
+		updateDiv(a)
+		if err := ew.step(a); err != nil {
+			res.Violation = newCounterexample(&wcfg, appendPath(path, finW[:i+1]), len(path), ew.beginOK, err)
+			return res, nil
+		}
+	}
+	if err := ew.drainCheck(); err != nil {
+		res.Violation = newCounterexample(&wcfg, appendPath(path, finW), len(path), ew.beginOK, err)
+		return res, nil
+	}
+	finM, errM := em.finish()
+	if errM != nil {
+		res.Violation = newCounterexample(&mcfg, appendPath(path, finM), len(path), em.beginOK, errM)
+		return res, nil
+	}
+	bs := int(cfg.Topology.BlockSize)
+	var bw, bm [64]byte
+	for i, blk := range cfg.Blocks {
+		ew.sut.Mem().Read(blk, bw[:bs])
+		em.sut.Mem().Read(blk, bm[:bs])
+		for j := 0; j < bs; j++ {
+			if ew.ghost[i].racy[j] || div[i][j] {
+				continue // true-sharing WARD merge: order-dependent by design
+			}
+			if bw[j] != bm[j] {
+				res.Violation = newCounterexample(&wcfg, appendPath(path, finW), len(path), ew.beginOK,
+					fmt.Errorf("differential violation: block %d byte %d drains to %#02x under WARDen but %#02x under MESI",
+						i, j, bw[j], bm[j]))
+				return res, nil
+			}
+		}
+	}
+	return res, nil
+}
+
+func appendPath(path, fin []Action) []Action {
+	out := make([]Action, 0, len(path)+len(fin))
+	out = append(out, path...)
+	return append(out, fin...)
+}

@@ -1,0 +1,95 @@
+package trace
+
+// FormatEvent is Parse's inverse for a single event: it renders the trace
+// line the parser would read back as an equal Event. It exists so clients
+// that synthesize traces — the model checker's counterexample printer, the
+// fuzzer — emit the exact grammar Parse accepts instead of hand-rolled
+// printf strings.
+
+import (
+	"encoding/hex"
+	"fmt"
+	"unicode"
+)
+
+// FormatEvent renders ev as one trace line (no trailing newline). It
+// rejects events that the grammar cannot express (bad sizes, missing
+// region names, wide stores without a payload) rather than emitting a line
+// Parse would refuse.
+func FormatEvent(ev Event) (string, error) {
+	if ev.Thread < 0 {
+		return "", fmt.Errorf("trace: negative thread id %d", ev.Thread)
+	}
+	switch ev.Kind {
+	case Read:
+		if err := checkSize(ev.Size, maxAccessBytes); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d R 0x%x %d", ev.Thread, uint64(ev.Addr), ev.Size), nil
+	case Write:
+		if err := checkSize(ev.Size, maxAccessBytes); err != nil {
+			return "", err
+		}
+		if ev.Size <= 8 {
+			return fmt.Sprintf("%d W 0x%x %d 0x%x", ev.Thread, uint64(ev.Addr), ev.Size, ev.Value), nil
+		}
+		if len(ev.Data) != ev.Size {
+			return "", fmt.Errorf("trace: wide store carries %d payload bytes for size %d", len(ev.Data), ev.Size)
+		}
+		return fmt.Sprintf("%d W 0x%x %d %s", ev.Thread, uint64(ev.Addr), ev.Size, hex.EncodeToString(ev.Data)), nil
+	case Atomic:
+		if err := checkSize(ev.Size, 8); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d A 0x%x %d 0x%x", ev.Thread, uint64(ev.Addr), ev.Size, ev.Value), nil
+	case CAS:
+		if err := checkSize(ev.Size, 8); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d X 0x%x %d 0x%x 0x%x", ev.Thread, uint64(ev.Addr), ev.Size, ev.Value, ev.Value2), nil
+	case Compute:
+		return fmt.Sprintf("%d C %d", ev.Thread, ev.Value), nil
+	case Fence:
+		return fmt.Sprintf("%d F", ev.Thread), nil
+	case BeginRegion:
+		if err := checkRegionName(ev.Name); err != nil {
+			return "", err
+		}
+		if ev.Name == NullRegionName {
+			return "", fmt.Errorf("trace: %q is not a valid region name for B", NullRegionName)
+		}
+		if ev.Hi <= ev.Addr {
+			return "", fmt.Errorf("trace: empty region interval [%#x, %#x)", uint64(ev.Addr), uint64(ev.Hi))
+		}
+		return fmt.Sprintf("%d B %s 0x%x 0x%x", ev.Thread, ev.Name, uint64(ev.Addr), uint64(ev.Hi)), nil
+	case EndRegion:
+		if ev.Name != NullRegionName {
+			if err := checkRegionName(ev.Name); err != nil {
+				return "", err
+			}
+		}
+		return fmt.Sprintf("%d E %s", ev.Thread, ev.Name), nil
+	}
+	return "", fmt.Errorf("trace: unknown event kind %d", int(ev.Kind))
+}
+
+func checkSize(sz, max int) error {
+	if sz < 1 || sz > max {
+		return fmt.Errorf("trace: access size %d outside [1, %d]", sz, max)
+	}
+	return nil
+}
+
+func checkRegionName(name string) error {
+	if name == "" {
+		return fmt.Errorf("trace: empty region name")
+	}
+	for _, r := range name {
+		// The parser splits lines with strings.Fields (any Unicode
+		// whitespace) and treats leading '#' as a comment.
+		if unicode.IsSpace(r) || r == '#' {
+			return fmt.Errorf("trace: region name %q contains whitespace or a comment marker", name)
+		}
+	}
+	return nil
+}
