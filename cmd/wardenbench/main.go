@@ -9,6 +9,8 @@
 //	wardenbench -experiment ablations
 //	wardenbench -parallel 1                  # force sequential simulation
 //	wardenbench -timing BENCH_runner.json    # record wall-clock per step
+//	wardenbench -telemetry results           # per-run windowed dumps
+//	wardenbench -telemetry results -trace-out results/traces
 //
 // Simulations fan out across host cores (-parallel 0, the default, uses
 // GOMAXPROCS workers; each simulation is internally deterministic), and
@@ -16,6 +18,13 @@
 // -timing file records host wall-clock and newly-simulated cycles per
 // experiment so performance can be compared across runs, e.g.
 // -parallel 0 vs -parallel 1 on a multi-core host.
+//
+// With -telemetry DIR each uncached simulation additionally writes its
+// cycle-windowed counter series (.windows.csv/.windows.jsonl), phase table
+// (.phases.csv), and sharing heatmap (.heatmap.csv) under DIR; -trace-out
+// DIR adds a Chrome trace_event/Perfetto timeline (.trace.json) per run,
+// viewable at https://ui.perfetto.dev. Telemetry never perturbs a
+// measurement: the printed tables stay byte-identical with or without it.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"warden/internal/bench"
+	"warden/internal/runner"
 	"warden/internal/topology"
 )
 
@@ -57,6 +67,12 @@ func main() {
 		"max simulations running concurrently on the host; 0 = one per host core, 1 = sequential")
 	timing := flag.String("timing", "",
 		"write a JSON timing report (host wall-clock and simulated cycles per experiment) to this file")
+	teleDir := flag.String("telemetry", "",
+		"write per-run telemetry artifacts (windowed series, phase tables, sharing heatmaps) under this directory")
+	traceDir := flag.String("trace-out", "",
+		"with -telemetry, also write a Perfetto trace_event JSON timeline per run under this directory")
+	window := flag.Uint64("window", 0,
+		"telemetry sampling window width in simulated cycles (0 = default)")
 	flag.Parse()
 
 	var sizes bench.SizeClass
@@ -83,10 +99,23 @@ func main() {
 		}
 		f.Close()
 	}
+	if *traceDir != "" && *teleDir == "" {
+		fmt.Fprintln(os.Stderr, "wardenbench: -trace-out requires -telemetry")
+		os.Exit(2)
+	}
 	r := bench.NewRunner(sizes)
 	r.SetParallel(*parallel)
 	if !*quiet {
 		r.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "... %s\n", msg) }
+	}
+	var artifacts runner.Artifacts
+	if *teleDir != "" {
+		r.SetTelemetry(bench.TelemetryConfig{
+			Dir:          *teleDir,
+			TraceDir:     *traceDir,
+			WindowCycles: *window,
+			Artifacts:    &artifacts,
+		})
 	}
 
 	out := os.Stdout
@@ -138,6 +167,13 @@ func main() {
 			os.Exit(2)
 		}
 		run(*experiment, fn)
+	}
+
+	if *teleDir != "" {
+		fmt.Fprintf(os.Stderr, "wardenbench: wrote %d telemetry artifacts:\n", artifacts.Len())
+		for _, p := range artifacts.Paths() {
+			fmt.Fprintf(os.Stderr, "  %s\n", p)
+		}
 	}
 
 	if *timing != "" {

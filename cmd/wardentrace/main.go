@@ -8,6 +8,11 @@
 //	wardentrace -record primes -protocol warden -o primes.trace
 //	wardentrace -protocol warden -check primes.trace
 //
+// Traces and JSONL event logs may be gzip-compressed: writing to a path
+// ending in .gz compresses, and reading sniffs the gzip magic bytes, so
+// `-o primes.trace.gz` round-trips through `wardentrace primes.trace.gz`
+// (any name works — detection is content-based).
+//
 // Trace lines are "<thread> <kind> <args...>", one event per line:
 //
 //	R <addr> <size>              read (1..4096 bytes)
@@ -107,15 +112,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "       wardentrace -record <benchmark> -protocol <mesi|warden> [-o trace] [-jsonl events]")
 		os.Exit(2)
 	}
-	var in io.Reader = os.Stdin
-	if name := flag.Arg(0); name != "-" {
-		f, err := os.Open(name)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		in = f
+	// trace.Open sniffs the gzip magic, so plain and .gz traces (and gzip
+	// piped through stdin) all replay transparently.
+	in, err := trace.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
 	}
+	defer in.Close()
 	tr, err := trace.Parse(in)
 	if err != nil {
 		fatal(err)
@@ -127,7 +130,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "wardentrace: -jsonl needs a single -protocol (mesi or warden)")
 			os.Exit(2)
 		}
-		jsonlW, err = os.Create(*jsonl)
+		jsonlW, err = trace.Create(*jsonl)
 		if err != nil {
 			fatal(err)
 		}
@@ -209,7 +212,7 @@ func runRecord(cfg topology.Config, proto core.Protocol, name, size, out, jsonl 
 
 	var textW io.Writer = os.Stdout
 	if out != "" {
-		f, err := os.Create(out)
+		f, err := trace.Create(out)
 		if err != nil {
 			fatal(err)
 		}
@@ -218,7 +221,7 @@ func runRecord(cfg topology.Config, proto core.Protocol, name, size, out, jsonl 
 	}
 	var jsonlW io.Writer
 	if jsonl != "" {
-		f, err := os.Create(jsonl)
+		f, err := trace.Create(jsonl)
 		if err != nil {
 			fatal(err)
 		}

@@ -171,6 +171,11 @@ type Runner struct {
 	Progress func(msg string)
 	progMu   sync.Mutex
 
+	// tele enables per-run telemetry artifacts (see SetTelemetry). The memo
+	// key does not include it: telemetry never changes a measurement, so a
+	// Result is the same with or without artifacts.
+	tele TelemetryConfig
+
 	simCycles atomic.Uint64 // total cycles of uncached simulations
 	simRuns   atomic.Uint64 // number of uncached simulations
 }
@@ -206,7 +211,13 @@ func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry,
 			r.Progress(fmt.Sprintf("simulating %-13s %-7v on %s (size %d)", e.Name, proto, cfg.Name, size))
 			r.progMu.Unlock()
 		}
-		res, err := RunOne(cfg, proto, e, size, opts)
+		var res Result
+		var err error
+		if r.tele.Dir != "" {
+			res, err = r.runTelemetry(cfg, proto, e, size, opts)
+		} else {
+			res, err = RunOne(cfg, proto, e, size, opts)
+		}
 		if err != nil {
 			return Result{}, err
 		}

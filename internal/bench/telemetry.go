@@ -1,0 +1,131 @@
+package bench
+
+// Telemetry integration for the experiment harness: when enabled on a
+// Runner, every uncached simulation runs with a telemetry.Capture attached
+// and writes its windowed series, phase table, sharing heatmap, and
+// (optionally) a Perfetto timeline as per-run artifact files. Attaching the
+// capture cannot change any measurement — RunOneObserved's sink sees the run
+// without perturbing it (TestTelemetryMatchesUnobserved) — so reports
+// rendered from a telemetry-enabled Runner are byte-identical to a plain
+// one's (TestReportsByteIdenticalWithTelemetry).
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/pbbs"
+	"warden/internal/runner"
+	"warden/internal/telemetry"
+	"warden/internal/topology"
+)
+
+// TelemetryConfig enables per-run telemetry artifacts on a Runner.
+type TelemetryConfig struct {
+	// Dir receives the windowed/phase/heatmap dumps (created if missing).
+	// Empty disables telemetry entirely.
+	Dir string
+	// TraceDir, when non-empty, additionally streams a Chrome
+	// trace_event/Perfetto JSON timeline per run into this directory.
+	TraceDir string
+	// WindowCycles overrides the sampling window width (0 = default).
+	WindowCycles uint64
+	// Artifacts, when non-nil, collects every file written.
+	Artifacts *runner.Artifacts
+}
+
+// SetTelemetry configures per-run telemetry artifacts for all subsequent
+// (uncached) simulations. Call before the first experiment: memoized runs
+// write artifacts only on their first execution.
+func (r *Runner) SetTelemetry(tc TelemetryConfig) { r.tele = tc }
+
+// artifactBase names one run's artifact files: benchmark, protocol, machine,
+// and size, plus a short options fingerprint when the runtime options are
+// not the paper defaults (ablations would otherwise collide).
+func artifactBase(e string, proto core.Protocol, cfg topology.Config, size int, opts hlpl.Options) string {
+	base := fmt.Sprintf("%s_%s_%s_%d", e, strings.ToLower(proto.String()), cfg.Name, size)
+	if opts != hlpl.DefaultOptions() {
+		h := fnv.New32a()
+		fmt.Fprintf(h, "%+v", opts)
+		base = fmt.Sprintf("%s_o%08x", base, h.Sum32())
+	}
+	return base
+}
+
+// createArtifact creates dir/name, making the directory as needed, and
+// registers the path.
+func (tc *TelemetryConfig) createArtifact(dir, name string) (*os.File, string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, "", err
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, "", err
+	}
+	if tc.Artifacts != nil {
+		tc.Artifacts.Add(path)
+	}
+	return f, path, nil
+}
+
+// runTelemetry executes one simulation with the capture attached and writes
+// the artifact files. Measurements are identical to RunOne's.
+func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
+	tc := &r.tele
+	base := artifactBase(e.Name, proto, cfg, size, opts)
+
+	tcfg := telemetry.Config{Topology: cfg, WindowCycles: tc.WindowCycles}
+	var traceF *os.File
+	if tc.TraceDir != "" {
+		var err error
+		traceF, _, err = tc.createArtifact(tc.TraceDir, base+".trace.json")
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: telemetry trace: %w", err)
+		}
+		tcfg.Trace = traceF
+	}
+	cap := telemetry.New(tcfg)
+	res, err := RunOneObserved(cfg, proto, e, size, opts,
+		func(*machine.Machine) core.Sink { return cap })
+	if cerr := cap.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("bench: telemetry trace: %w", cerr)
+	}
+	if traceF != nil {
+		if cerr := traceF.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("bench: telemetry trace: %w", cerr)
+		}
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	for _, art := range []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{base + ".windows.csv", cap.Windows.WriteCSV},
+		{base + ".windows.jsonl", cap.Windows.WriteJSONL},
+		{base + ".phases.csv", cap.Phases.WriteCSV},
+		{base + ".heatmap.csv", cap.Heat.WriteCSV},
+	} {
+		f, path, err := tc.createArtifact(tc.Dir, art.name)
+		if err != nil {
+			return Result{}, fmt.Errorf("bench: telemetry: %w", err)
+		}
+		werr := art.write(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return Result{}, fmt.Errorf("bench: telemetry: %s: %w", path, werr)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"warden/internal/runner"
+	"warden/internal/telemetry"
+)
+
+// renderTelemetrySubset runs the primes/dedup comparison matrix on r and renders the
+// Figs. 7/8-style report — the same code path `wardenbench -experiment all`
+// exercises, at unit-test scale.
+func renderTelemetrySubset(t *testing.T, r *Runner) []byte {
+	t.Helper()
+	comps, err := r.CompareAll(eventsTestConfig(), []string{"primes", "dedup"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	speedupEnergyReport(&buf, "telemetry equivalence subset", comps)
+	return buf.Bytes()
+}
+
+// TestReportsByteIdenticalWithTelemetry is the PR's acceptance criterion:
+// benchmark reports rendered with telemetry artifacts enabled must be
+// byte-identical to reports from a plain runner. Artifact side effects — the
+// windowed dumps and Perfetto traces — land on disk without touching a
+// single measurement.
+func TestReportsByteIdenticalWithTelemetry(t *testing.T) {
+	plain := renderTelemetrySubset(t, NewRunner(Small))
+
+	dir := t.TempDir()
+	var arts runner.Artifacts
+	obs := NewRunner(Small)
+	obs.SetTelemetry(TelemetryConfig{
+		Dir:       filepath.Join(dir, "telemetry"),
+		TraceDir:  filepath.Join(dir, "traces"),
+		Artifacts: &arts,
+	})
+	observed := renderTelemetrySubset(t, obs)
+
+	if !bytes.Equal(plain, observed) {
+		t.Fatalf("report bytes diverge with telemetry enabled:\n--- plain ---\n%s\n--- telemetry ---\n%s", plain, observed)
+	}
+
+	// 2 benchmarks x 2 protocols, each writing 4 dumps + 1 trace.
+	if got, want := arts.Len(), 4*5; got != want {
+		t.Fatalf("artifact count = %d, want %d:\n%s", got, want, strings.Join(arts.Paths(), "\n"))
+	}
+	for _, p := range arts.Paths() {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("artifact %s is empty", p)
+		}
+		if strings.HasSuffix(p, ".trace.json") {
+			f, err := os.Open(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st, err := telemetry.ValidatePerfetto(f)
+			f.Close()
+			if err != nil {
+				t.Errorf("%s: invalid Perfetto trace: %v", p, err)
+			} else if st.PhasePairs == 0 {
+				t.Errorf("%s: trace has no phase slices", p)
+			}
+		}
+	}
+
+	// Memoized re-renders must not rewrite (or duplicate) artifacts.
+	if again := renderTelemetrySubset(t, obs); !bytes.Equal(plain, again) {
+		t.Fatal("memoized re-render diverged")
+	}
+	if got := arts.Len(); got != 4*5 {
+		t.Fatalf("memo hit rewrote artifacts: %d registered", got)
+	}
+}

@@ -49,6 +49,14 @@ const (
 	EvTransaction // one directory transaction (miss or upgrade)
 	EvEvict       // one private-L2 capacity eviction
 	EvReconcile   // one W block reconciled
+
+	// Phase markers, emitted by the HLPL runtime (and Ctx.PhaseBegin/
+	// PhaseEnd callers) around fork/join task scopes and user-named program
+	// phases. They execute no simulated instruction and cost zero cycles:
+	// with no sink attached they are not emitted at all, so attaching a sink
+	// still cannot change simulated behaviour.
+	EvPhaseBegin // a named phase opened on Thread at Cycle
+	EvPhaseEnd   // the innermost open phase on Thread closed
 )
 
 // String names the event kind (used by the JSONL encoder and reports).
@@ -76,6 +84,10 @@ func (k EventKind) String() string {
 		return "evict"
 	case EvReconcile:
 		return "reconcile"
+	case EvPhaseBegin:
+		return "phase_begin"
+	case EvPhaseEnd:
+		return "phase_end"
 	}
 	return "unknown"
 }
@@ -115,6 +127,8 @@ type Event struct {
 	Kind   EventKind // what happened
 	Thread int       // hardware thread driving the op (-1: none/system)
 	Core   int       // core performing the op (-1 for EvReconcile/EvDrain)
+	Cycle  uint64    // issuing thread's local clock when the op was issued
+	Label  string    // phase name (EvPhaseBegin/EvPhaseEnd only)
 
 	// Operands (instruction-level kinds, and Addr/Block for all).
 	Addr  mem.Addr // instruction address operand; block address for internal events
@@ -195,6 +209,15 @@ func (s *System) SetEventThread(t int) { s.evThread = t }
 // EventThread returns the thread set by SetEventThread (-1 if none).
 func (s *System) EventThread() int { return s.evThread }
 
+// SetEventCycle records the issuing thread's local clock, stamped onto the
+// protocol-internal events the current instruction causes. Like
+// SetEventThread it is only called by the machine layer when a sink is
+// attached; with no sink the field is never read.
+func (s *System) SetEventCycle(c uint64) { s.evCycle = c }
+
+// EventCycle returns the cycle set by SetEventCycle.
+func (s *System) EventCycle() uint64 { return s.evCycle }
+
 // Emit stamps ev with the next sequence number and delivers it to the
 // attached sink, if any. The machine layer emits its instruction-level
 // events through this so core- and machine-emitted events share one
@@ -234,6 +257,7 @@ func (s *System) dirTransaction(core int, block mem.Addr, mode AccessMode) (cach
 		Kind:          EvTransaction,
 		Thread:        s.evThread,
 		Core:          core,
+		Cycle:         s.evCycle,
 		Addr:          block,
 		Block:         block,
 		Mode:          mode,

@@ -383,6 +383,7 @@ func (s *System) evictL2Victim(core int, ev cache.Eviction) {
 			Kind:          EvEvict,
 			Thread:        s.evThread,
 			Core:          core,
+			Cycle:         s.evCycle,
 			Addr:          ev.Addr,
 			Block:         ev.Addr,
 			LineState:     ev.State,
@@ -520,6 +521,7 @@ func (s *System) reconcileBlock(block mem.Addr, e *coherence.Entry, forgetRegion
 			Kind:          EvReconcile,
 			Thread:        s.evThread,
 			Core:          -1,
+			Cycle:         s.evCycle,
 			Addr:          block,
 			Block:         block,
 			Region:        region,

@@ -99,7 +99,8 @@ type System struct {
 	// snapshots are taken and no events are built.
 	sink     Sink
 	evSeq    uint64
-	evThread int // hardware thread driving the current op (-1 when unknown)
+	evThread int    // hardware thread driving the current op (-1 when unknown)
+	evCycle  uint64 // issuing thread's local clock for the current op
 }
 
 // NewSystem builds a memory system for the given machine and protocol over

@@ -122,9 +122,11 @@ func (rt *RT) Run(root func(*Task)) (uint64, error) {
 			if i == 0 {
 				h := rt.newHeap(nil)
 				t := &Task{w: w, heap: h}
+				ctx.PhaseBegin(RootPhase)
 				root(t)
 				t.releaseScratch()
 				h.unmark(ctx)
+				ctx.PhaseEnd(RootPhase)
 				rt.done = true
 				return
 			}

@@ -5,6 +5,17 @@ import (
 	"warden/internal/mem"
 )
 
+// Runtime-emitted phase names. Every fork/join scope is bracketed by
+// EvPhaseBegin/EvPhaseEnd markers through the machine's event sink (zero
+// simulated cost, nothing emitted without a sink): the root task, each
+// child task run inline by Join2, and each stolen task executed by a thief
+// worker. Benchmarks can add their own named phases with Task.Phase.
+const (
+	RootPhase  = "root"
+	TaskPhase  = "task"
+	StealPhase = "steal"
+)
+
 // Task is a node of the spawn tree. A task runs on exactly one worker at a
 // time and owns a leaf heap for its allocations; Join2/ParallelFor suspend
 // it while children run. Task methods proxy memory operations to the
@@ -57,6 +68,18 @@ func (t *Task) releaseScratch() {
 	t.scratch = nil
 }
 
+// Phase runs body inside a named phase: telemetry sinks see an
+// EvPhaseBegin/EvPhaseEnd pair bracketing every simulated operation body
+// performs on this thread. Phases nest (LIFO per thread) and cost nothing:
+// no instruction is executed and no cycle advances, so marked and unmarked
+// runs are byte-identical. Forked children started inside body open their
+// own task/steal phases on whichever worker runs them.
+func (t *Task) Phase(name string, body func()) {
+	t.w.ctx.PhaseBegin(name)
+	body()
+	t.w.ctx.PhaseEnd(name)
+}
+
 // Compute advances the task by n single-cycle instructions of local work.
 func (t *Task) Compute(n uint64) { t.w.ctx.Compute(n) }
 
@@ -91,16 +114,20 @@ func (t *Task) Join2(a, b func(*Task)) {
 
 	// Run a inline in a fresh child heap.
 	ta := &Task{w: w, heap: rt.newHeap(t.heap)}
+	w.ctx.PhaseBegin(TaskPhase)
 	a(ta)
 	ta.finish(t.heap)
+	w.ctx.PhaseEnd(TaskPhase)
 
 	if w.popIf(td) {
 		// b was not stolen: run it inline too.
 		w.ctx.Load(desc, 8)
 		w.ctx.Load(desc+8, 8)
 		tb := &Task{w: w, heap: rt.newHeap(t.heap)}
+		w.ctx.PhaseBegin(TaskPhase)
 		b(tb)
 		tb.finish(t.heap)
+		w.ctx.PhaseEnd(TaskPhase)
 	} else {
 		// b was stolen: help with other work while waiting for the thief's
 		// completion signal (busy-wait synchronization, as in the PBBS

@@ -113,9 +113,11 @@ func (w *worker) runTask(td *taskDesc) {
 	w.ctx.Load(td.desc+8, 8)
 	h := w.rt.newHeap(td.parent)
 	t := &Task{w: w, heap: h}
+	w.ctx.PhaseBegin(StealPhase)
 	td.fn(t)
 	t.finish(td.parent)
 	w.ctx.Store(td.join, 8, 1)
+	w.ctx.PhaseEnd(StealPhase)
 }
 
 // loop is the body of every non-root worker: steal until the computation

@@ -96,9 +96,10 @@ func (m *Machine) Run(bodies []func(*Ctx)) (uint64, error) {
 		// The drain is system activity, not any thread's: attribute its
 		// reconciliations, writebacks, and traffic to one EvDrain event.
 		m.sys.SetEventThread(-1)
+		m.sys.SetEventCycle(cycles)
 		before := m.ctr.Snap()
 		m.sys.DrainAll()
-		m.sys.Emit(&core.Event{Kind: core.EvDrain, Thread: -1, Core: -1, Ctrs: m.ctr.Snap().Sub(before)})
+		m.sys.Emit(&core.Event{Kind: core.EvDrain, Thread: -1, Core: -1, Cycle: cycles, Ctrs: m.ctr.Snap().Sub(before)})
 	} else {
 		m.sys.DrainAll()
 	}
@@ -161,11 +162,13 @@ func (m *Machine) exec(t *engine.Thread, op engine.Op) uint64 {
 // it, and emits the matching event carrying operands and deltas.
 func (m *Machine) execObserved(t *engine.Thread, op engine.Op) uint64 {
 	m.sys.SetEventThread(t.ID())
+	m.sys.SetEventCycle(t.Now())
 	before := m.ctr.Snap()
 	adv := m.execOp(t, op)
 	ev := core.Event{
 		Thread:  t.ID(),
 		Core:    m.cfg.CoreOf(t.ID()),
+		Cycle:   t.Now(),
 		Latency: adv,
 		Ctrs:    m.ctr.Snap().Sub(before),
 	}
@@ -490,6 +493,36 @@ func (c *Ctx) FetchAdd(a mem.Addr, size int, delta uint64) uint64 {
 	c.t.Call(&c.rmw)
 	c.rmw.fn = nil
 	return c.rmw.old
+}
+
+// PhaseBegin emits an EvPhaseBegin marker naming the program phase the
+// thread is entering. Phase markers are pure observation: they execute no
+// simulated instruction, advance no clock, and touch no counter, so with or
+// without them the simulation is byte-identical. With no sink attached the
+// call is a single nil check. Body code runs while every other thread is
+// parked, so emitting from here is as serialized as emitting from an op
+// handler.
+func (c *Ctx) PhaseBegin(name string) {
+	if c.m.sys.Sink() == nil {
+		return
+	}
+	c.m.sys.Emit(&core.Event{
+		Kind: core.EvPhaseBegin, Thread: c.t.ID(), Core: c.core,
+		Cycle: c.t.Now(), Label: name,
+	})
+}
+
+// PhaseEnd emits the EvPhaseEnd marker closing the innermost open phase on
+// this thread. The name is carried for validation; well-formed programs
+// close phases in LIFO order per thread.
+func (c *Ctx) PhaseEnd(name string) {
+	if c.m.sys.Sink() == nil {
+		return
+	}
+	c.m.sys.Emit(&core.Event{
+		Kind: core.EvPhaseEnd, Thread: c.t.ID(), Core: c.core,
+		Cycle: c.t.Now(), Label: name,
+	})
 }
 
 // AddRegion executes WARDen's Add Region instruction for [lo, hi). Under

@@ -24,9 +24,11 @@ func Primes(n int) *Workload {
 	var sieve func(t *hlpl.Task, n int) hlpl.U8
 	sieve = func(t *hlpl.Task, n int) hlpl.U8 {
 		f := t.NewU8(n + 1)
-		t.WardScope(f.Base, uint64(n+1), func() {
-			t.ParallelFor(0, n+1, 512, func(leaf *hlpl.Task, i int) {
-				f.Set(leaf, i, 1)
+		t.Phase("sieve.init", func() {
+			t.WardScope(f.Base, uint64(n+1), func() {
+				t.ParallelFor(0, n+1, 512, func(leaf *hlpl.Task, i int) {
+					f.Set(leaf, i, 1)
+				})
 			})
 		})
 		f.Set(t, 0, 0)
@@ -36,14 +38,16 @@ func Primes(n int) *Workload {
 		if n >= 4 {
 			sq := int(math.Sqrt(float64(n)))
 			sqf := sieve(t, sq)
-			t.WardScope(f.Base, uint64(n+1), func() {
-				t.ParallelFor(2, sq+1, 1, func(leaf *hlpl.Task, p int) {
-					if sqf.Get(leaf, p) == 1 {
-						for m := 2 * p; m <= n; m += p {
-							leaf.Compute(1)
-							f.Set(leaf, m, 0)
+			t.Phase("sieve.mark", func() {
+				t.WardScope(f.Base, uint64(n+1), func() {
+					t.ParallelFor(2, sq+1, 1, func(leaf *hlpl.Task, p int) {
+						if sqf.Get(leaf, p) == 1 {
+							for m := 2 * p; m <= n; m += p {
+								leaf.Compute(1)
+								f.Set(leaf, m, 0)
+							}
 						}
-					}
+					})
 				})
 			})
 		}

@@ -1,0 +1,51 @@
+package runner
+
+import (
+	"sort"
+	"sync"
+)
+
+// Artifacts is a concurrency-safe registry of files an experiment run
+// produced (telemetry dumps, traces, reports). Jobs running on a Pool
+// register paths as they write them; reporting code reads them back in a
+// deterministic order at the end, so artifact listings — like every other
+// report — do not depend on host scheduling.
+type Artifacts struct {
+	mu    sync.Mutex
+	paths []string
+	seen  map[string]bool
+}
+
+// Add registers a produced file. Duplicate paths are ignored (a memoized
+// simulation may be requested by several experiments but writes its
+// artifacts once).
+func (a *Artifacts) Add(path string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.seen == nil {
+		a.seen = make(map[string]bool)
+	}
+	if a.seen[path] {
+		return
+	}
+	a.seen[path] = true
+	a.paths = append(a.paths, path)
+}
+
+// Len reports how many distinct paths are registered.
+func (a *Artifacts) Len() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.paths)
+}
+
+// Paths returns the registered paths sorted lexically — insertion order
+// varies with pool scheduling, so the sorted view is the deterministic one.
+func (a *Artifacts) Paths() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.paths))
+	copy(out, a.paths)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,35 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestArtifactsDeterministicOrder(t *testing.T) {
+	var a Artifacts
+	// Register from a parallel Map in whatever order the pool schedules.
+	_, err := Map(New(4), 20, func(i int) (struct{}, error) {
+		a.Add(fmt.Sprintf("results/run_%02d.csv", 19-i))
+		a.Add(fmt.Sprintf("results/run_%02d.csv", 19-i)) // duplicate is a no-op
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 20 {
+		t.Fatalf("Len = %d, want 20 (duplicates must collapse)", a.Len())
+	}
+	want := make([]string, 20)
+	for i := range want {
+		want[i] = fmt.Sprintf("results/run_%02d.csv", i)
+	}
+	if got := a.Paths(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Paths() not sorted:\ngot:  %v\nwant: %v", got, want)
+	}
+	// Paths returns a copy: mutating it must not corrupt the registry.
+	a.Paths()[0] = "mutated"
+	if got := a.Paths()[0]; got != "results/run_00.csv" {
+		t.Fatalf("registry corrupted by caller mutation: %q", got)
+	}
+}

@@ -43,7 +43,10 @@ func (h *Histogram) Mean() float64 {
 }
 
 // Quantile returns an upper bound for the q-quantile (0 <= q <= 1): the
-// exclusive upper edge of the bucket holding the q-th sample.
+// exclusive upper edge of the bucket holding the q-th sample, clamped to the
+// largest observed sample (which is also the exact answer whenever the
+// bucket's edge would exceed it, including the overflow bucket for values
+// >= 2^63, whose edge does not fit in a uint64).
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
@@ -59,10 +62,38 @@ func (h *Histogram) Quantile(q float64) uint64 {
 			if i == 0 {
 				return 0
 			}
+			if i >= 64 || uint64(1)<<uint(i) > h.Max {
+				return h.Max
+			}
 			return uint64(1) << uint(i)
 		}
 	}
 	return h.Max
+}
+
+// P50 returns the median upper bound.
+func (h *Histogram) P50() uint64 { return h.Quantile(0.50) }
+
+// P95 returns the 95th-percentile upper bound.
+func (h *Histogram) P95() uint64 { return h.Quantile(0.95) }
+
+// P99 returns the 99th-percentile upper bound.
+func (h *Histogram) P99() uint64 { return h.Quantile(0.99) }
+
+// Merge accumulates o into h. The merge is exact: power-of-two bucket edges
+// are identical across histograms, so the merged histogram equals the one
+// that would have observed both sample streams directly — Count, Sum, Max,
+// and every quantile bound included. This is what lets the parallel runner
+// aggregate per-shard latency histograms without widening error bars.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+	if o.Max > h.Max {
+		h.Max = o.Max
+	}
 }
 
 // Render writes a deterministic textual view of the histogram: one line per

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []uint64
+		q       float64
+		want    uint64
+	}{
+		{name: "empty", samples: nil, q: 0.5, want: 0},
+		{name: "single zero", samples: []uint64{0}, q: 0.5, want: 0},
+		{name: "single value clamps to max", samples: []uint64{100}, q: 0.5, want: 100},
+		{name: "single bucket", samples: []uint64{64, 100, 127}, q: 0.99, want: 127},
+		{name: "two buckets p50", samples: []uint64{1, 1, 1, 1000, 1000}, q: 0.5, want: 2},
+		{name: "two buckets p99", samples: []uint64{1, 1, 1, 1000, 1000}, q: 0.99, want: 1000},
+		{name: "q zero", samples: []uint64{5, 6, 7}, q: 0, want: 7},
+		{name: "q one", samples: []uint64{5, 6, 900}, q: 1, want: 900},
+		{name: "overflow bucket", samples: []uint64{1 << 63}, q: 0.5, want: 1 << 63},
+		{name: "overflow bucket max", samples: []uint64{math.MaxUint64}, q: 0.99, want: math.MaxUint64},
+		{name: "overflow among small", samples: []uint64{1, 2, 3, math.MaxUint64}, q: 1, want: math.MaxUint64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h Histogram
+			for _, v := range tc.samples {
+				h.Observe(v)
+			}
+			if got := h.Quantile(tc.q); got != tc.want {
+				t.Errorf("Quantile(%v) = %d, want %d", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHistogramAccessors(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	// Power-of-two buckets: the p50 bound is the bucket edge above sample
+	// 500 (bucket [512,1024) -> 1000 after the max clamp... no: 500 lands in
+	// bucket [256,512), edge 512).
+	if got := h.P50(); got != 512 {
+		t.Errorf("P50 = %d, want 512", got)
+	}
+	if got := h.P95(); got != 1000 {
+		t.Errorf("P95 = %d, want 1000 (edge 1024 clamped to max)", got)
+	}
+	if got := h.P99(); got != 1000 {
+		t.Errorf("P99 = %d, want 1000 (edge 1024 clamped to max)", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []uint64
+	}{
+		{name: "both empty", a: nil, b: nil},
+		{name: "empty into full", a: []uint64{1, 2, 3}, b: nil},
+		{name: "full into empty", a: nil, b: []uint64{1, 2, 3}},
+		{name: "single bucket each", a: []uint64{4, 5}, b: []uint64{6, 7}},
+		{name: "disjoint ranges", a: []uint64{0, 1, 2}, b: []uint64{1 << 20, 1 << 30}},
+		{name: "overflow bucket", a: []uint64{42}, b: []uint64{1 << 63, math.MaxUint64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var ha, hb, want Histogram
+			for _, v := range tc.a {
+				ha.Observe(v)
+				want.Observe(v)
+			}
+			for _, v := range tc.b {
+				hb.Observe(v)
+				want.Observe(v)
+			}
+			ha.Merge(&hb)
+			if ha != want {
+				t.Fatalf("merged histogram differs from direct observation:\nmerged: %+v\ndirect: %+v", ha, want)
+			}
+			// Exactness: every quantile of the merged histogram matches the
+			// directly observed one.
+			for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+				if got, exp := ha.Quantile(q), want.Quantile(q); got != exp {
+					t.Errorf("Quantile(%v) = %d after merge, want %d", q, got, exp)
+				}
+			}
+		})
+	}
+}

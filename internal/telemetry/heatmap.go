@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"warden/internal/cache"
+	"warden/internal/core"
+	"warden/internal/topology"
+)
+
+// BucketStats is the sharing profile of one address bucket.
+type BucketStats struct {
+	Base uint64 // first byte address of the bucket
+
+	Transactions  uint64 // directory transactions touching the bucket
+	Invalidations uint64
+	Downgrades    uint64
+	Evictions     uint64
+	Reconciles    uint64
+	WardTxns      uint64 // transactions that entered or stayed in the W state
+
+	// PingPongs counts write-mode transactions from a different core than
+	// the bucket's previous writer — the migratory/falsely-shared pattern
+	// WARD regions are designed to absorb.
+	PingPongs  uint64
+	MaxSharers int // largest sharer set observed before any transaction
+
+	lastWriter int
+}
+
+// Heatmap profiles coherence activity across the address space at bucket
+// granularity, from protocol-internal events (they carry block addresses and
+// directory transitions). It answers "where does the traffic live": which
+// buckets ping-pong between writers, which are widely read-shared, and which
+// the WARD state covers.
+type Heatmap struct {
+	BucketBytes uint64
+
+	cfg     topology.Config
+	buckets map[uint64]*BucketStats
+}
+
+func newHeatmap(cfg topology.Config, bucketBytes uint64) *Heatmap {
+	return &Heatmap{BucketBytes: bucketBytes, cfg: cfg, buckets: make(map[uint64]*BucketStats)}
+}
+
+// bucket returns (creating if needed) the bucket containing addr.
+func (h *Heatmap) bucket(addr uint64) *BucketStats {
+	base := addr &^ (h.BucketBytes - 1)
+	b := h.buckets[base]
+	if b == nil {
+		b = &BucketStats{Base: base, lastWriter: -1}
+		h.buckets[base] = b
+	}
+	return b
+}
+
+// observe routes one event. Instruction-level events are ignored: the
+// protocol-internal stream carries every block that caused coherence work,
+// which is exactly the population the heatmap profiles.
+func (h *Heatmap) observe(ev *core.Event) {
+	switch ev.Kind {
+	case core.EvTransaction:
+		b := h.bucket(uint64(ev.Block))
+		b.Transactions++
+		b.Invalidations += ev.Ctrs.Invalidations
+		b.Downgrades += ev.Ctrs.Downgrades
+		if n := ev.SharersBefore.Count(); n > b.MaxSharers {
+			b.MaxSharers = n
+		}
+		if ev.DirAfter == cache.Ward {
+			b.WardTxns++
+		}
+		if ev.Mode != core.ModeRead {
+			if b.lastWriter >= 0 && b.lastWriter != ev.Core {
+				b.PingPongs++
+			}
+			b.lastWriter = ev.Core
+		}
+	case core.EvEvict:
+		h.bucket(uint64(ev.Block)).Evictions++
+	case core.EvReconcile:
+		h.bucket(uint64(ev.Block)).Reconciles++
+	}
+}
+
+// Buckets returns every touched bucket in ascending address order.
+func (h *Heatmap) Buckets() []*BucketStats {
+	out := make([]*BucketStats, 0, len(h.buckets))
+	for _, b := range h.buckets {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Base < out[j].Base })
+	return out
+}
+
+// Hottest returns the n buckets with the most coherence damage
+// (invalidations + downgrades + ping-pongs, ties broken by transactions then
+// address), hottest first.
+func (h *Heatmap) Hottest(n int) []*BucketStats {
+	out := h.Buckets()
+	heat := func(b *BucketStats) uint64 { return b.Invalidations + b.Downgrades + b.PingPongs }
+	sort.SliceStable(out, func(i, j int) bool {
+		if hi, hj := heat(out[i]), heat(out[j]); hi != hj {
+			return hi > hj
+		}
+		return out[i].Transactions > out[j].Transactions
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// WriteCSV dumps every touched bucket in address order.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "bucket_base,home_socket,txns,inv,downg,evicts,reconciles,ward_txns,ping_pongs,max_sharers"); err != nil {
+		return err
+	}
+	for _, b := range h.Buckets() {
+		if _, err := fmt.Fprintf(w, "%#x,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			b.Base, h.cfg.HomeSocket(b.Base), b.Transactions, b.Invalidations, b.Downgrades,
+			b.Evictions, b.Reconciles, b.WardTxns, b.PingPongs, b.MaxSharers); err != nil {
+			return err
+		}
+	}
+	return nil
+}

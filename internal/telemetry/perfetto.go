@@ -1,0 +1,252 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"warden/internal/core"
+	"warden/internal/topology"
+)
+
+// Perfetto streams a Chrome trace_event JSON timeline — the JSON object
+// format with a traceEvents array, loadable by Perfetto (ui.perfetto.dev)
+// and chrome://tracing. The mapping:
+//
+//   - every hardware thread is a track (tid = thread id; one synthetic
+//     "system" track holds threadless events such as the end-of-run drain);
+//   - phase markers become duration-begin/end pairs (ph "B"/"E"), so every
+//     HLPL fork/join scope and Task.Phase scope is a named nested slice;
+//   - directory transactions become complete slices (ph "X") with dur equal
+//     to the latency charged to the requester. A transaction always begins
+//     inside the phase whose instruction triggered it, but may end after the
+//     phase closes: store-buffer writes drain asynchronously while later
+//     instructions (possibly in a later phase) execute, exactly as in
+//     hardware, so their transaction slices truthfully overflow the phase
+//     boundary;
+//   - evictions, reconciliations, region adds/removes, and the drain become
+//     thread-scoped instant events (ph "i").
+//
+// Timestamps are simulated cycles, written as microseconds (displayTimeUnit
+// only affects how the UI prints them). The per-thread clocks are monotonic,
+// so timestamps are nondecreasing per track; across tracks they may
+// interleave arbitrarily, which the format permits.
+//
+// Instruction-level load/store/compute events are deliberately not emitted:
+// at one slice per instruction the trace would dwarf the run. The windowed
+// series (Windows) is the aggregate view of those.
+type Perfetto struct {
+	w     io.Writer
+	cfg   topology.Config
+	err   error
+	n     int // events written
+	named map[int]bool
+	done  bool
+}
+
+// NewPerfetto creates a streaming writer and writes the JSON prologue.
+// Callers must call Close to finish the document.
+func NewPerfetto(w io.Writer, cfg topology.Config) *Perfetto {
+	p := &Perfetto{w: w, cfg: cfg, named: make(map[int]bool)}
+	p.raw(`{"displayTimeUnit":"ms","otherData":{"generator":"warden"},"traceEvents":[`)
+	p.emit(`{"name":"process_name","ph":"M","pid":0,"args":{"name":%s}}`, quote(cfg.Name))
+	return p
+}
+
+func (p *Perfetto) raw(s string) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = io.WriteString(p.w, s)
+}
+
+// emit writes one event object, handling the array comma and newline.
+func (p *Perfetto) emit(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	sep := ",\n"
+	if p.n == 0 {
+		sep = "\n"
+	}
+	p.n++
+	_, p.err = fmt.Fprintf(p.w, sep+format, args...)
+}
+
+func quote(s string) string { return strconv.Quote(s) }
+
+// tid maps an event's thread to its track, ensuring thread_name metadata is
+// written before first use.
+func (p *Perfetto) tid(thread int) int {
+	t := thread
+	name := ""
+	if t < 0 {
+		t = p.cfg.Threads()
+		name = "system"
+	} else {
+		name = fmt.Sprintf("thread %d (core %d, socket %d)",
+			t, p.cfg.CoreOf(t), p.cfg.SocketOfThread(t))
+	}
+	if !p.named[t] {
+		p.named[t] = true
+		p.emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`, t, quote(name))
+		p.emit(`{"name":"thread_sort_index","ph":"M","pid":0,"tid":%d,"args":{"sort_index":%d}}`, t, t)
+	}
+	return t
+}
+
+// Event implements core.Sink.
+func (p *Perfetto) Event(ev *core.Event) {
+	switch ev.Kind {
+	case core.EvPhaseBegin:
+		p.emit(`{"name":%s,"cat":"phase","ph":"B","ts":%d,"pid":0,"tid":%d}`,
+			quote(ev.Label), ev.Cycle, p.tid(ev.Thread))
+	case core.EvPhaseEnd:
+		p.emit(`{"name":%s,"cat":"phase","ph":"E","ts":%d,"pid":0,"tid":%d}`,
+			quote(ev.Label), ev.Cycle, p.tid(ev.Thread))
+	case core.EvTransaction:
+		p.emit(`{"name":%s,"cat":"coherence","ph":"X","ts":%d,"dur":%d,"pid":0,"tid":%d,"args":{"block":"%#x","dir":"%s>%s","core":%d,"inv":%d,"downg":%d,"region":%d}}`,
+			quote("txn "+ev.Mode.String()), ev.Cycle, ev.Latency, p.tid(ev.Thread),
+			uint64(ev.Block), ev.DirBefore, ev.DirAfter, ev.Core,
+			ev.Ctrs.Invalidations, ev.Ctrs.Downgrades, ev.Region)
+	case core.EvEvict:
+		p.emit(`{"name":"evict","cat":"coherence","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"block":"%#x","state":"%s"}}`,
+			ev.Cycle, p.tid(ev.Thread), uint64(ev.Block), ev.LineState)
+	case core.EvReconcile:
+		p.emit(`{"name":"reconcile","cat":"coherence","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"block":"%#x","writers":%d,"region":%d}}`,
+			ev.Cycle, p.tid(ev.Thread), uint64(ev.Block), ev.Arg1, ev.Region)
+	case core.EvRegionAdd:
+		p.emit(`{"name":"region+","cat":"region","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"lo":"%#x","hi":"%#x","ok":%t,"region":%d}}`,
+			ev.Cycle, p.tid(ev.Thread), uint64(ev.Lo), uint64(ev.Hi), ev.RegionOK, ev.Region)
+	case core.EvRegionRemove:
+		p.emit(`{"name":"region-","cat":"region","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"region":%d}}`,
+			ev.Cycle, p.tid(ev.Thread), ev.Region)
+	case core.EvDrain:
+		p.emit(`{"name":"drain","cat":"system","ph":"i","s":"t","ts":%d,"pid":0,"tid":%d,"args":{"cycles":%d}}`,
+			ev.Cycle, p.tid(ev.Thread), ev.Cycle)
+	}
+}
+
+// Close finishes the JSON document. Safe to call more than once.
+func (p *Perfetto) Close() error {
+	if !p.done {
+		p.done = true
+		p.raw("\n]}\n")
+	}
+	return p.err
+}
+
+// TraceStats summarizes a validated trace.
+type TraceStats struct {
+	Events     int            // events of any kind, metadata included
+	Slices     int            // complete slices (ph "X")
+	Instants   int            // instant events (ph "i")
+	PhasePairs int            // matched B/E pairs
+	PhaseNames map[string]int // phase name -> B count
+	InPhase    int            // coherence events enclosed by an open phase
+	OutOfPhase int            // coherence events outside any phase
+	MaxTS      float64
+}
+
+// pfEvent is the decoded form of one trace event.
+type pfEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	TS   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	PID  int     `json:"pid"`
+	TID  int     `json:"tid"`
+}
+
+// pfFrame is one open duration slice during validation.
+type pfFrame struct {
+	name string
+	ts   float64
+}
+
+// ValidatePerfetto parses a trace_event JSON document and checks the
+// structural invariants our writer guarantees: known phase letters,
+// per-track nondecreasing timestamps, balanced name-matched B/E pairs
+// closing no earlier than they opened, and nonnegative slice durations.
+// Coherence events are classified by whether they *begin* inside an open
+// phase (InPhase/OutOfPhase); end-containment is deliberately not required —
+// store-buffer-asynchronous transactions legitimately outlive the phase that
+// issued them (see the Perfetto type comment). It returns summary statistics
+// on success.
+func ValidatePerfetto(r io.Reader) (*TraceStats, error) {
+	var doc struct {
+		TraceEvents []pfEvent `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("telemetry: trace does not parse: %w", err)
+	}
+	st := &TraceStats{PhaseNames: make(map[string]int)}
+	stacks := make(map[int][]pfFrame)
+	lastTS := make(map[int]float64)
+	for i, ev := range doc.TraceEvents {
+		st.Events++
+		if ev.Ph == "M" {
+			continue // metadata carries no timestamp
+		}
+		if prev, ok := lastTS[ev.TID]; ok && ev.TS < prev {
+			return nil, fmt.Errorf("telemetry: event %d (%s): ts %v goes backwards on tid %d (prev %v)",
+				i, ev.Name, ev.TS, ev.TID, prev)
+		}
+		lastTS[ev.TID] = ev.TS
+		if ev.TS > st.MaxTS {
+			st.MaxTS = ev.TS
+		}
+		stack := stacks[ev.TID]
+		switch ev.Ph {
+		case "B":
+			st.PhaseNames[ev.Name]++
+			stacks[ev.TID] = append(stack, pfFrame{name: ev.Name, ts: ev.TS})
+		case "E":
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("telemetry: event %d: E %q on tid %d with no open slice", i, ev.Name, ev.TID)
+			}
+			top := stack[len(stack)-1]
+			if top.name != ev.Name {
+				return nil, fmt.Errorf("telemetry: event %d: E %q on tid %d closes open slice %q", i, ev.Name, ev.TID, top.name)
+			}
+			if ev.TS < top.ts {
+				return nil, fmt.Errorf("telemetry: event %d: slice %q ends at %v before it began at %v", i, ev.Name, ev.TS, top.ts)
+			}
+			stacks[ev.TID] = stack[:len(stack)-1]
+			st.PhasePairs++
+		case "X":
+			st.Slices++
+			if ev.Dur < 0 {
+				return nil, fmt.Errorf("telemetry: event %d: slice %q has negative dur %v", i, ev.Name, ev.Dur)
+			}
+			if ev.Cat == "coherence" {
+				if len(stack) > 0 {
+					st.InPhase++
+				} else {
+					st.OutOfPhase++
+				}
+			}
+		case "i":
+			st.Instants++
+			if ev.Cat == "coherence" {
+				if len(stack) > 0 {
+					st.InPhase++
+				} else {
+					st.OutOfPhase++
+				}
+			}
+		default:
+			return nil, fmt.Errorf("telemetry: event %d: unexpected phase letter %q", i, ev.Ph)
+		}
+	}
+	for tid, stack := range stacks {
+		if len(stack) > 0 {
+			return nil, fmt.Errorf("telemetry: tid %d ends with %d unclosed slice(s), innermost %q",
+				tid, len(stack), stack[len(stack)-1].name)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,280 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"warden/internal/core"
+	"warden/internal/topology"
+)
+
+// WinCounters is the per-window counter bundle. Delta-valued fields come
+// from instruction-level events only (see the package comment's attribution
+// model); Transactions/Evictions/Reconciles are protocol-event occurrence
+// counts.
+type WinCounters struct {
+	Instructions  uint64 `json:"instr"`
+	Loads         uint64 `json:"loads"`
+	Stores        uint64 `json:"stores"`
+	Atomics       uint64 `json:"atomics"`
+	Transactions  uint64 `json:"txns"`
+	Invalidations uint64 `json:"inv"`
+	Downgrades    uint64 `json:"downg"`
+	Evictions     uint64 `json:"evicts"`
+	Reconciles    uint64 `json:"reconciles"`
+	Msgs          uint64 `json:"msgs"`
+	FlitHops      uint64 `json:"flit_hops"`
+	DRAMAccesses  uint64 `json:"dram"`
+	WardAccesses  uint64 `json:"ward"`
+	LatencySum    uint64 `json:"latency_sum"` // memory-latency cycles charged to instructions
+}
+
+// Add accumulates o into c.
+func (c *WinCounters) Add(o *WinCounters) {
+	c.Instructions += o.Instructions
+	c.Loads += o.Loads
+	c.Stores += o.Stores
+	c.Atomics += o.Atomics
+	c.Transactions += o.Transactions
+	c.Invalidations += o.Invalidations
+	c.Downgrades += o.Downgrades
+	c.Evictions += o.Evictions
+	c.Reconciles += o.Reconciles
+	c.Msgs += o.Msgs
+	c.FlitHops += o.FlitHops
+	c.DRAMAccesses += o.DRAMAccesses
+	c.WardAccesses += o.WardAccesses
+	c.LatencySum += o.LatencySum
+}
+
+// instruction accounts an instruction-level event's deltas.
+func (c *WinCounters) instruction(ev *core.Event) {
+	switch ev.Kind {
+	case core.EvLoad:
+		c.Loads++
+		c.Instructions++
+		c.LatencySum += ev.Latency
+	case core.EvStore:
+		c.Stores++
+		c.Instructions++
+		c.LatencySum += ev.Latency
+	case core.EvAtomic:
+		c.Atomics++
+		c.Instructions++
+		c.LatencySum += ev.Latency
+	case core.EvCompute:
+		c.Instructions += ev.Arg1
+	case core.EvFence, core.EvRegionAdd, core.EvRegionRemove:
+		c.Instructions++
+	}
+	c.Invalidations += ev.Ctrs.Invalidations
+	c.Downgrades += ev.Ctrs.Downgrades
+	c.Msgs += ev.Ctrs.TotalMsgs()
+	c.FlitHops += ev.Ctrs.NoCFlitHops
+	c.DRAMAccesses += ev.Ctrs.DRAMAccesses
+	c.WardAccesses += ev.Ctrs.WardAccesses
+}
+
+// Window is one sampling window: counters for [Start, Start+WindowCycles).
+type Window struct {
+	Index     uint64                         `json:"window"`
+	Start     uint64                         `json:"start"` // first cycle of the window
+	Total     WinCounters                    `json:"total"`
+	PerCore   []WinCounters                  `json:"per_core"`             // indexed by core id (instruction view)
+	PerDir    []WinCounters                  `json:"per_dir"`              // indexed by home socket (directory view)
+	PerRegion map[core.RegionID]*WinCounters `json:"per_region,omitempty"` // WARD region activity
+}
+
+// region returns the lazily allocated per-region counters for id.
+func (w *Window) region(id core.RegionID) *WinCounters {
+	if w.PerRegion == nil {
+		w.PerRegion = make(map[core.RegionID]*WinCounters)
+	}
+	c := w.PerRegion[id]
+	if c == nil {
+		c = &WinCounters{}
+		w.PerRegion[id] = c
+	}
+	return c
+}
+
+// Windows maintains the ring of live sampling windows, keyed by simulated
+// cycle. Events are bucketed by their Cycle stamp; because phase markers can
+// carry cycle stamps slightly ahead of other threads' subsequent events, the
+// ring accepts out-of-order arrivals anywhere within its span and counts
+// (rather than corrupts) arrivals older than the span (LateDrops).
+type Windows struct {
+	WindowCycles uint64
+
+	cfg  topology.Config
+	base uint64    // Index of wins[0]
+	wins []*Window // contiguous window indices [base, base+len)
+
+	cap int
+
+	// EvictedWindows counts windows pushed out of the ring; their totals
+	// accumulate in EvictedTotals so nothing is silently lost.
+	EvictedWindows uint64
+	EvictedTotals  WinCounters
+	// LateDrops counts events whose window had already been evicted.
+	LateDrops uint64
+}
+
+func newWindows(cfg topology.Config, windowCycles uint64, ringWindows int) *Windows {
+	return &Windows{WindowCycles: windowCycles, cfg: cfg, cap: ringWindows}
+}
+
+// newWindow allocates the window with the given index.
+func (ws *Windows) newWindow(idx uint64) *Window {
+	return &Window{
+		Index:   idx,
+		Start:   idx * ws.WindowCycles,
+		PerCore: make([]WinCounters, ws.cfg.Cores()),
+		PerDir:  make([]WinCounters, ws.cfg.Sockets),
+	}
+}
+
+// evictFront folds the oldest window into EvictedTotals and drops it.
+func (ws *Windows) evictFront() {
+	ws.EvictedTotals.Add(&ws.wins[0].Total)
+	ws.EvictedWindows++
+	ws.wins[0] = nil
+	ws.wins = ws.wins[1:]
+	ws.base++
+}
+
+// window returns the live window containing cycle, materializing intermediate
+// empty windows so the exported series is contiguous. Returns nil for a
+// cycle older than the ring's span.
+func (ws *Windows) window(cycle uint64) *Window {
+	idx := cycle / ws.WindowCycles
+	if len(ws.wins) == 0 {
+		ws.base = idx
+		ws.wins = append(ws.wins, ws.newWindow(idx))
+		return ws.wins[0]
+	}
+	if idx < ws.base {
+		ws.LateDrops++
+		return nil
+	}
+	if idx >= ws.base+uint64(len(ws.wins))+uint64(ws.cap) {
+		// The gap alone exceeds the ring: everything live would be evicted
+		// while materializing it, so fold it all up front and restart.
+		for len(ws.wins) > 0 {
+			ws.evictFront()
+		}
+		ws.base = idx
+		ws.wins = append(ws.wins, ws.newWindow(idx))
+		return ws.wins[0]
+	}
+	for idx >= ws.base+uint64(len(ws.wins)) {
+		ws.wins = append(ws.wins, ws.newWindow(ws.base+uint64(len(ws.wins))))
+		if len(ws.wins) > ws.cap {
+			ws.evictFront()
+		}
+	}
+	return ws.wins[idx-ws.base]
+}
+
+// observe routes one event into its window.
+func (ws *Windows) observe(ev *core.Event) {
+	w := ws.window(ev.Cycle)
+	if w == nil {
+		return
+	}
+	switch ev.Kind {
+	case core.EvTransaction:
+		w.Total.Transactions++
+		d := &w.PerDir[ws.cfg.HomeSocket(uint64(ev.Block))]
+		d.Transactions++
+		d.Invalidations += ev.Ctrs.Invalidations
+		d.Downgrades += ev.Ctrs.Downgrades
+		d.Msgs += ev.Ctrs.TotalMsgs()
+		if ev.Region != core.NullRegion {
+			w.region(ev.Region).Transactions++
+		}
+	case core.EvEvict:
+		w.Total.Evictions++
+		w.PerDir[ws.cfg.HomeSocket(uint64(ev.Block))].Evictions++
+	case core.EvReconcile:
+		w.Total.Reconciles++
+		w.PerDir[ws.cfg.HomeSocket(uint64(ev.Block))].Reconciles++
+		if ev.Region != core.NullRegion {
+			w.region(ev.Region).Reconciles++
+		}
+	case core.EvPhaseBegin, core.EvPhaseEnd:
+		// Markers carry no counters.
+	default:
+		if ev.Kind.Instruction() {
+			w.Total.instruction(ev)
+			if ev.Core >= 0 && ev.Core < len(w.PerCore) {
+				w.PerCore[ev.Core].instruction(ev)
+			}
+			if ev.Region != core.NullRegion {
+				w.region(ev.Region).instruction(ev)
+			}
+		}
+	}
+}
+
+// Live returns the live windows in ascending index order. The slice aliases
+// the ring; treat it as read-only.
+func (ws *Windows) Live() []*Window { return ws.wins }
+
+// WriteCSV dumps the whole-machine series as CSV, one row per live window.
+func (ws *Windows) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "window,start_cycle,instr,loads,stores,atomics,txns,inv,downg,evicts,reconciles,msgs,flit_hops,dram,ward,latency_sum"); err != nil {
+		return err
+	}
+	for _, win := range ws.wins {
+		t := &win.Total
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			win.Index, win.Start, t.Instructions, t.Loads, t.Stores, t.Atomics,
+			t.Transactions, t.Invalidations, t.Downgrades, t.Evictions, t.Reconciles,
+			t.Msgs, t.FlitHops, t.DRAMAccesses, t.WardAccesses, t.LatencySum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL dumps every live window as one JSON object per line, including
+// the per-core, per-directory, and per-region splits. encoding/json emits
+// map keys in sorted order, so output is deterministic.
+func (ws *Windows) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, win := range ws.wins {
+		if err := enc.Encode(win); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series extracts one per-window value across the live windows, for
+// sparklines and plots.
+func (ws *Windows) Series(f func(*WinCounters) uint64) []uint64 {
+	out := make([]uint64, len(ws.wins))
+	for i, win := range ws.wins {
+		out[i] = f(&win.Total)
+	}
+	return out
+}
+
+// RegionIDs returns the region ids that appear in any live window, sorted.
+func (ws *Windows) RegionIDs() []core.RegionID {
+	seen := make(map[core.RegionID]bool)
+	for _, win := range ws.wins {
+		for id := range win.PerRegion {
+			seen[id] = true
+		}
+	}
+	ids := make([]core.RegionID, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,87 @@
+package trace
+
+// Transparent gzip support for trace files. Readers sniff the gzip magic
+// bytes, so a compressed trace replays regardless of its name; writers
+// compress when the target path ends in ".gz", so `-o primes.trace.gz` and
+// `-jsonl events.jsonl.gz` just work. Both directions are stdlib-only
+// (compress/gzip).
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"os"
+	"strings"
+)
+
+// Reader wraps r, transparently decompressing gzip content. Detection is by
+// the gzip magic bytes (0x1f 0x8b), not by file name, so it is safe to wrap
+// any stream — plain text passes through with only buffering added.
+func Reader(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err != nil || magic[0] != 0x1f || magic[1] != 0x8b {
+		// Too short for the magic, or not gzip: hand back the buffered
+		// stream untouched (Parse reports empty/garbage inputs itself).
+		return br, nil
+	}
+	return gzip.NewReader(br)
+}
+
+// multiCloser closes a stack of closers innermost-first, keeping the first
+// error.
+type multiCloser struct {
+	io.Reader
+	io.Writer
+	closers []io.Closer
+}
+
+func (m *multiCloser) Close() error {
+	var first error
+	for _, c := range m.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Open opens a trace file for reading with transparent gzip decompression
+// ("-" means stdin, never closed).
+func Open(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		r, err := Reader(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return io.NopCloser(r), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Reader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	mc := &multiCloser{Reader: r, closers: []io.Closer{f}}
+	if zr, ok := r.(*gzip.Reader); ok {
+		mc.closers = []io.Closer{zr, f}
+	}
+	return mc, nil
+}
+
+// Create creates a trace file for writing, gzip-compressing when path ends
+// in ".gz". The caller must Close the result to flush the compressor.
+func Create(path string) (io.WriteCloser, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if !strings.HasSuffix(path, ".gz") {
+		return f, nil
+	}
+	zw := gzip.NewWriter(f)
+	return &multiCloser{Writer: zw, closers: []io.Closer{zw, f}}, nil
+}

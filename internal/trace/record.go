@@ -120,6 +120,8 @@ type jsonEvent struct {
 	Kind   string `json:"kind"`
 	Thread int    `json:"thread"`
 	Core   int    `json:"core"`
+	Cycle  uint64 `json:"cycle"`
+	Label  string `json:"label,omitempty"`
 	Addr   uint64 `json:"addr,omitempty"`
 	Block  uint64 `json:"block,omitempty"`
 	Size   int    `json:"size,omitempty"`
@@ -151,6 +153,8 @@ func (r *Recorder) writeJSON(ev *core.Event) {
 		Kind:    ev.Kind.String(),
 		Thread:  ev.Thread,
 		Core:    ev.Core,
+		Cycle:   ev.Cycle,
+		Label:   ev.Label,
 		Addr:    uint64(ev.Addr),
 		Block:   uint64(ev.Block),
 		Size:    ev.Size,
