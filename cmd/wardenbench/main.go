@@ -9,15 +9,30 @@
 //	wardenbench -experiment ablations
 //	wardenbench -parallel 1                  # force sequential simulation
 //	wardenbench -timing BENCH_runner.json    # record wall-clock per step
+//	wardenbench -history results/history.jsonl  # append to the perf history
 //	wardenbench -telemetry results           # per-run windowed dumps
 //	wardenbench -telemetry results -trace-out results/traces
+//	wardenbench -serve :8080                 # live /metrics, /runs, pprof
 //
 // Simulations fan out across host cores (-parallel 0, the default, uses
 // GOMAXPROCS workers; each simulation is internally deterministic), and
 // the printed tables are byte-identical at every parallelism level. The
-// -timing file records host wall-clock and newly-simulated cycles per
-// experiment so performance can be compared across runs, e.g.
-// -parallel 0 vs -parallel 1 on a multi-core host.
+// -timing file records host wall-clock, simulated cycles, and host memory
+// stats per experiment in the perfdb record schema; -history appends the
+// same records to an append-only JSONL store keyed by config fingerprint
+// and git revision, which `wardendiff` compares across runs as a
+// regression gate.
+//
+// With -serve ADDR the process exposes its observability plane over HTTP
+// while the sweep runs: Prometheus text metrics at /metrics (run states,
+// live simulated-cycle progress from a lock-free engine probe, memo-cache
+// hit rates, machine counters, Go runtime stats), a JSON run registry at
+// /runs and /runs/{id} (including artifact paths), and net/http/pprof
+// under /debug/pprof/. Serving is host-side only: a continuously scraped
+// run is byte-identical to an unobserved one (asserted by
+// TestServeScrapeNonPerturbing). -serve-linger keeps the server up after
+// the sweep finishes so late scrapes can collect final state; -log-level
+// selects the slog level for lifecycle and request logging.
 //
 // With -telemetry DIR each uncached simulation additionally writes its
 // cycle-windowed counter series (.windows.csv/.windows.jsonl), phase table
@@ -28,34 +43,52 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"warden/internal/bench"
+	"warden/internal/engine"
+	"warden/internal/obs"
+	"warden/internal/perfdb"
 	"warden/internal/runner"
 	"warden/internal/topology"
 )
 
-// stepTiming is one experiment's entry in the -timing report.
-type stepTiming struct {
-	Experiment      string  `json:"experiment"`
-	WallSeconds     float64 `json:"wall_seconds"`
-	SimulatedCycles uint64  `json:"simulated_cycles"` // newly simulated (memo hits add nothing)
-	SimulatedRuns   uint64  `json:"simulated_runs"`
-	CyclesPerSecond float64 `json:"cycles_per_second"`
+// timingReport is the schema of the -timing JSON file. Its step entries
+// share the perfdb record schema, so BENCH_*.json snapshots and the
+// -history store are mutually comparable.
+type timingReport struct {
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Parallel    int             `json:"parallel"`
+	Size        string          `json:"size"`
+	RunID       string          `json:"run_id,omitempty"`
+	GitRev      string          `json:"git_rev,omitempty"`
+	Fingerprint string          `json:"fingerprint,omitempty"`
+	Experiments []perfdb.Record `json:"experiments"`
+	Total       perfdb.Record   `json:"total"`
 }
 
-// timingReport is the schema of the -timing JSON file.
-type timingReport struct {
-	GOMAXPROCS  int          `json:"gomaxprocs"`
-	Parallel    int          `json:"parallel"`
-	Size        string       `json:"size"`
-	Experiments []stepTiming `json:"experiments"`
-	Total       stepTiming   `json:"total"`
+// gitRev best-effort identifies the code under measurement: the
+// WARDEN_GIT_REV override (CI sets it from the checkout SHA), else `git
+// rev-parse`, else empty.
+func gitRev() string {
+	if v := os.Getenv("WARDEN_GIT_REV"); v != "" {
+		return v
+	}
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 func main() {
@@ -66,14 +99,28 @@ func main() {
 	parallel := flag.Int("parallel", 0,
 		"max simulations running concurrently on the host; 0 = one per host core, 1 = sequential")
 	timing := flag.String("timing", "",
-		"write a JSON timing report (host wall-clock and simulated cycles per experiment) to this file")
+		"write a JSON timing report (host wall-clock, simulated cycles, and host memory stats per experiment) to this file")
+	history := flag.String("history", "",
+		"append the run's perfdb records to this JSONL history file (see wardendiff)")
 	teleDir := flag.String("telemetry", "",
 		"write per-run telemetry artifacts (windowed series, phase tables, sharing heatmaps) under this directory")
 	traceDir := flag.String("trace-out", "",
 		"with -telemetry, also write a Perfetto trace_event JSON timeline per run under this directory")
 	window := flag.Uint64("window", 0,
 		"telemetry sampling window width in simulated cycles (0 = default)")
+	serve := flag.String("serve", "",
+		"serve /metrics, /runs, and /debug/pprof on this address while running (e.g. :8080)")
+	serveLinger := flag.Duration("serve-linger", 0,
+		"with -serve, keep serving this long after the experiments finish")
+	logLevel := flag.String("log-level", "info",
+		"slog level for lifecycle and request logs: debug, info, warn, or error")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wardenbench: -log-level: %v\n", err)
+		os.Exit(2)
+	}
 
 	var sizes bench.SizeClass
 	switch *size {
@@ -103,12 +150,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wardenbench: -trace-out requires -telemetry")
 		os.Exit(2)
 	}
+	if *serveLinger != 0 && *serve == "" {
+		fmt.Fprintln(os.Stderr, "wardenbench: -serve-linger requires -serve")
+		os.Exit(2)
+	}
+
 	r := bench.NewRunner(sizes)
 	r.SetParallel(*parallel)
 	if !*quiet {
 		r.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "... %s\n", msg) }
 	}
 	var artifacts runner.Artifacts
+	if wd, err := os.Getwd(); err == nil {
+		artifacts.SetRoot(wd)
+	}
 	if *teleDir != "" {
 		r.SetTelemetry(bench.TelemetryConfig{
 			Dir:          *teleDir,
@@ -118,20 +173,83 @@ func main() {
 		})
 	}
 
-	out := os.Stdout
-	report := timingReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Parallel: r.Parallel(), Size: *size}
-	start := time.Now()
-	run := func(name string, fn func() error) {
-		stepStart := time.Now()
-		cyc0, runs0 := r.SimulatedCycles()
-		if err := fn(); err != nil {
-			fmt.Fprintf(os.Stderr, "wardenbench: %s: %v\n", name, err)
-			os.Exit(1)
+	// The observability plane: a run registry and a lock-free engine
+	// probe, served over HTTP. Everything it reads is host-side, so the
+	// sweep's simulated results are identical with or without it.
+	var registry *obs.Registry
+	var shutdown func()
+	if *serve != "" {
+		registry = obs.NewRegistry()
+		probe := &engine.Probe{}
+		r.SetProbe(probe)
+		r.SetObserver(registry)
+		srv := &obs.Server{
+			Registry: registry,
+			Probe:    probe.Sample,
+			Sources:  []obs.Source{r},
+			Log:      logger,
 		}
-		fmt.Fprintln(out)
-		cyc1, runs1 := r.SimulatedCycles()
-		report.Experiments = append(report.Experiments,
-			newStepTiming(name, time.Since(stepStart), cyc1-cyc0, runs1-runs0))
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenbench: -serve: %v\n", err)
+			os.Exit(2)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("observability server failed", "err", err)
+			}
+		}()
+		logger.Info("observability server listening",
+			"addr", ln.Addr().String(), "endpoints", "/metrics /runs /healthz /debug/pprof/")
+		shutdown = func() {
+			if *serveLinger > 0 {
+				logger.Info("experiments done; lingering for late scrapes", "linger", *serveLinger)
+				time.Sleep(*serveLinger)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			hs.Shutdown(ctx)
+		}
+	}
+
+	runID := time.Now().UTC().Format("20060102T150405") + fmt.Sprintf("-%d", os.Getpid())
+	rev := gitRev()
+	fingerprint := runner.Fingerprint("wardenbench", *experiment, *size)
+	stamp := time.Now().UTC().Format(time.RFC3339)
+	newRecord := func(step string, wall time.Duration, cycles, runs uint64, m0, m1 runtime.MemStats) perfdb.Record {
+		rec := perfdb.Record{
+			Schema:          perfdb.SchemaVersion,
+			RunID:           runID,
+			Time:            stamp,
+			GitRev:          rev,
+			Fingerprint:     fingerprint,
+			Step:            step,
+			SimulatedCycles: cycles,
+			SimulatedRuns:   runs,
+			WallSeconds:     wall.Seconds(),
+			HostAllocs:      m1.Mallocs - m0.Mallocs,
+			HostAllocBytes:  m1.TotalAlloc - m0.TotalAlloc,
+			HostHeapBytes:   m1.HeapAlloc,
+		}
+		if rec.WallSeconds > 0 {
+			rec.CyclesPerSecond = float64(cycles) / rec.WallSeconds
+		}
+		return rec
+	}
+
+	out := os.Stdout
+	report := timingReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Parallel: r.Parallel(), Size: *size,
+		RunID: runID, GitRev: rev, Fingerprint: fingerprint,
+	}
+	start := time.Now()
+	var startMem runtime.MemStats
+	runtime.ReadMemStats(&startMem)
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets"}
 	}
 
 	iters := 20000
@@ -156,17 +274,44 @@ func main() {
 		// are diagnostic, not paper artifacts.
 		"events": func() error { return bench.EventsReport(out, topology.XeonGold6126(1), sizes, nil, 10) },
 	}
-	if *experiment == "all" {
-		for _, name := range []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets"} {
-			run(name, steps[name])
-		}
-	} else {
-		fn, ok := steps[*experiment]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "wardenbench: unknown experiment %q\n", *experiment)
+	for _, name := range names {
+		if _, ok := steps[name]; !ok {
+			fmt.Fprintf(os.Stderr, "wardenbench: unknown experiment %q\n", name)
 			os.Exit(2)
 		}
-		run(*experiment, fn)
+	}
+
+	// With -serve, every step is registered up front so /runs shows the
+	// whole sweep — queued steps included — from the first scrape.
+	stepRuns := make(map[string]*obs.Run, len(names))
+	if registry != nil {
+		for _, name := range names {
+			stepRuns[name] = registry.NewRun("experiment", name, map[string]string{"size": *size})
+		}
+	}
+
+	for _, name := range names {
+		stepStart := time.Now()
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		cyc0, runs0 := r.SimulatedCycles()
+		if sr := stepRuns[name]; sr != nil {
+			sr.Start()
+		}
+		err := steps[name]()
+		cyc1, runs1 := r.SimulatedCycles()
+		if sr := stepRuns[name]; sr != nil {
+			sr.Finish(cyc1-cyc0, err)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(out)
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
+		report.Experiments = append(report.Experiments,
+			newRecord(name, time.Since(stepStart), cyc1-cyc0, runs1-runs0, m0, m1))
 	}
 
 	if *teleDir != "" {
@@ -176,9 +321,12 @@ func main() {
 		}
 	}
 
+	var endMem runtime.MemStats
+	runtime.ReadMemStats(&endMem)
+	cycles, runs := r.SimulatedCycles()
+	report.Total = newRecord("total", time.Since(start), cycles, runs, startMem, endMem)
+
 	if *timing != "" {
-		cycles, runs := r.SimulatedCycles()
-		report.Total = newStepTiming("total", time.Since(start), cycles, runs)
 		if err := writeTiming(*timing, report); err != nil {
 			fmt.Fprintf(os.Stderr, "wardenbench: %v\n", err)
 			os.Exit(1)
@@ -186,19 +334,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wardenbench: %.1fs wall, %d simulations, %.0f simulated cycles/sec -> %s\n",
 			report.Total.WallSeconds, runs, report.Total.CyclesPerSecond, *timing)
 	}
-}
+	if *history != "" {
+		recs := append(append([]perfdb.Record{}, report.Experiments...), report.Total)
+		if err := perfdb.Append(*history, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenbench: -history: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("appended perf history", "file", *history, "records", len(recs), "run_id", runID)
+	}
 
-func newStepTiming(name string, wall time.Duration, cycles, runs uint64) stepTiming {
-	s := stepTiming{
-		Experiment:      name,
-		WallSeconds:     wall.Seconds(),
-		SimulatedCycles: cycles,
-		SimulatedRuns:   runs,
+	if shutdown != nil {
+		shutdown()
 	}
-	if s.WallSeconds > 0 {
-		s.CyclesPerSecond = float64(cycles) / s.WallSeconds
-	}
-	return s
 }
 
 func writeTiming(path string, report timingReport) error {

@@ -6,17 +6,31 @@
 //
 //	wardensim -bench msort -protocol warden -sockets 2 -size 24000
 //	wardensim -bench primes -protocol both -v
+//	wardensim -bench msort -serve :8080 -serve-linger 30s
+//
+// With -serve ADDR the process exposes Prometheus metrics (/metrics,
+// including live simulated-cycle progress), a JSON run registry (/runs),
+// and net/http/pprof while simulating; -serve-linger keeps the server up
+// after the runs finish. Serving is host-side only and never changes the
+// simulated results.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"text/tabwriter"
+	"time"
 
 	"warden/internal/bench"
 	"warden/internal/core"
+	"warden/internal/engine"
 	"warden/internal/hlpl"
+	"warden/internal/obs"
 	"warden/internal/pbbs"
 	"warden/internal/stats"
 	"warden/internal/topology"
@@ -31,7 +45,23 @@ func main() {
 	disagg := flag.Bool("disaggregated", false, "use the disaggregated 2-node topology")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	verbose := flag.Bool("v", false, "print message-type breakdown")
+	serve := flag.String("serve", "",
+		"serve /metrics, /runs, and /debug/pprof on this address while simulating (e.g. :8080)")
+	serveLinger := flag.Duration("serve-linger", 0,
+		"with -serve, keep serving this long after the simulations finish")
+	logLevel := flag.String("log-level", "info",
+		"slog level for lifecycle and request logs: debug, info, warn, or error")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wardensim: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+	if *serveLinger != 0 && *serve == "" {
+		fmt.Fprintln(os.Stderr, "wardensim: -serve-linger requires -serve")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, e := range pbbs.Suite {
@@ -68,16 +98,67 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Optional observability plane: host-side only, so the printed
+	// statistics are identical with or without it.
+	var probe *engine.Probe
+	var registry *obs.Registry
+	var shutdown func()
+	if *serve != "" {
+		probe = &engine.Probe{}
+		registry = obs.NewRegistry()
+		srv := &obs.Server{Registry: registry, Probe: probe.Sample, Log: logger}
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardensim: -serve: %v\n", err)
+			os.Exit(2)
+		}
+		hs := &http.Server{Handler: srv.Handler()}
+		go func() {
+			if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+				logger.Error("observability server failed", "err", err)
+			}
+		}()
+		logger.Info("observability server listening",
+			"addr", ln.Addr().String(), "endpoints", "/metrics /runs /healthz /debug/pprof/")
+		shutdown = func() {
+			if *serveLinger > 0 {
+				logger.Info("simulations done; lingering for late scrapes", "linger", *serveLinger)
+				time.Sleep(*serveLinger)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			hs.Shutdown(ctx)
+		}
+	}
+
 	results := make([]bench.Result, 0, 2)
 	for _, p := range protos {
 		fmt.Fprintf(os.Stderr, "... simulating %s/%v on %s (size %d)\n", entry.Name, p, cfg.Name, *size)
-		res, err := bench.RunOne(cfg, p, entry, *size, hlpl.DefaultOptions())
+		var run *obs.Run
+		if registry != nil {
+			run = registry.NewRun("simulation", fmt.Sprintf("%s/%v/%s", entry.Name, p, cfg.Name),
+				map[string]string{"benchmark": entry.Name, "protocol": p.String(), "machine": cfg.Name,
+					"size": strconv.Itoa(*size)})
+			run.Start()
+		}
+		res, err := bench.RunOneProbed(cfg, p, entry, *size, hlpl.DefaultOptions(), probe)
+		if run != nil {
+			run.SetCounter("instructions", res.Counters.Instructions)
+			run.SetCounter("messages", res.Counters.TotalMsgs())
+			run.SetCounter("intersocket_flits", res.Counters.IntersocketFlits)
+			run.Finish(res.Cycles, err)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wardensim:", err)
 			os.Exit(1)
 		}
 		results = append(results, res)
 	}
+	defer func() {
+		if shutdown != nil {
+			shutdown()
+		}
+	}()
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintf(tw, "metric")

@@ -7,13 +7,15 @@ package bench
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"warden/internal/core"
 	"warden/internal/energy"
+	"warden/internal/engine"
 	"warden/internal/hlpl"
-	"warden/internal/machine"
+	"warden/internal/obs"
 	"warden/internal/pbbs"
 	"warden/internal/runner"
 	"warden/internal/stats"
@@ -38,30 +40,7 @@ func (r Result) IPC() float64 { return r.Counters.IPC(r.Cycles) }
 // returns its measurements. Results are verified; a verification failure is
 // an error (a coherence bug, not a measurement).
 func RunOne(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
-	m := machine.New(cfg, proto)
-	w := entry.New(size)
-	if w.Prepare != nil {
-		w.Prepare(m)
-	}
-	rt := hlpl.New(m, opts)
-	cycles, err := rt.Run(w.Root)
-	if err != nil {
-		return Result{}, fmt.Errorf("bench: %s on %s/%v: %w", entry.Name, cfg.Name, proto, err)
-	}
-	if err := w.Verify(m); err != nil {
-		return Result{}, fmt.Errorf("bench: %s on %s/%v: verification failed: %w", entry.Name, cfg.Name, proto, err)
-	}
-	model := energy.Default(cfg)
-	ctr := *m.Counters()
-	return Result{
-		Benchmark: entry.Name,
-		Protocol:  proto,
-		Config:    cfg,
-		Size:      size,
-		Cycles:    cycles,
-		Counters:  ctr,
-		Energy:    model.Evaluate(&ctr, cycles, cfg),
-	}, nil
+	return runObserved(cfg, proto, entry, size, opts, nil, nil)
 }
 
 // Comparison is one benchmark's MESI-vs-WARDen measurement pair with the
@@ -176,6 +155,12 @@ type Runner struct {
 	// Result is the same with or without artifacts.
 	tele TelemetryConfig
 
+	// probe and reg are the observability plane's hooks (SetProbe,
+	// SetObserver). Both are host-side only and excluded from the memo
+	// key for the same reason telemetry is: they cannot change a Result.
+	probe *engine.Probe
+	reg   *obs.Registry
+
 	simCycles atomic.Uint64 // total cycles of uncached simulations
 	simRuns   atomic.Uint64 // number of uncached simulations
 }
@@ -199,6 +184,66 @@ func (r *Runner) SimulatedCycles() (cycles, runs uint64) {
 	return r.simCycles.Load(), r.simRuns.Load()
 }
 
+// SetProbe attaches a live engine progress probe to every subsequent
+// uncached simulation. The probe is shared across concurrent machines;
+// its counters are readable from any goroutine via Probe.Sample.
+func (r *Runner) SetProbe(p *engine.Probe) { r.probe = p }
+
+// SetObserver registers every subsequent uncached simulation as a run in
+// reg, with wall-clock, cycles, per-run counters, and (with telemetry
+// enabled) artifact paths. Memo hits register nothing: a cached Result
+// has no execution to observe.
+func (r *Runner) SetObserver(reg *obs.Registry) { r.reg = reg }
+
+// MemoStats reports the simulation memo cache's hit/miss counters.
+func (r *Runner) MemoStats() runner.MemoStats { return r.memo.Stats() }
+
+// MetricFamilies implements obs.Source: memo-cache effectiveness and the
+// uncached-simulation totals, for /metrics.
+func (r *Runner) MetricFamilies() []obs.Family {
+	ms := r.memo.Stats()
+	cycles, runs := r.SimulatedCycles()
+	return []obs.Family{
+		obs.Counter("warden_memo_hits_total",
+			"Simulation memo lookups satisfied by an existing entry.", float64(ms.Hits)),
+		obs.Counter("warden_memo_misses_total",
+			"Simulation memo lookups that had to simulate.", float64(ms.Misses)),
+		obs.Gauge("warden_memo_entries",
+			"Distinct simulation configurations memoized.", float64(ms.Entries)),
+		obs.Counter("warden_sim_completed_cycles_total",
+			"Simulated cycles of completed uncached simulations.", float64(cycles)),
+		obs.Counter("warden_sim_completed_runs_total",
+			"Completed uncached simulations.", float64(runs)),
+	}
+}
+
+// runCounterSet is the per-run counter subset published to the run
+// registry (and aggregated into warden_machine_*_total).
+func recordRunCounters(run *obs.Run, res Result) {
+	c := res.Counters
+	for _, kv := range []struct {
+		name string
+		v    uint64
+	}{
+		{"instructions", c.Instructions},
+		{"loads", c.Loads},
+		{"stores", c.Stores},
+		{"atomics", c.Atomics},
+		{"l1_hits", c.L1Hits},
+		{"l1_accesses", c.L1Accesses},
+		{"dir_accesses", c.DirAccesses},
+		{"dram_accesses", c.DRAMAccesses},
+		{"invalidations", c.Invalidations},
+		{"downgrades", c.Downgrades},
+		{"messages", c.TotalMsgs()},
+		{"intersocket_flits", c.IntersocketFlits},
+		{"ward_accesses", c.WardAccesses},
+		{"reconciled_blocks", c.ReconciledBlocks},
+	} {
+		run.SetCounter(kv.name, kv.v)
+	}
+}
+
 // runWith executes (or recalls) one fully-specified simulation. The memo
 // key fingerprints every field of the config and options, so ablation
 // sweeps that mutate a config without renaming it still get distinct
@@ -211,12 +256,30 @@ func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry,
 			r.Progress(fmt.Sprintf("simulating %-13s %-7v on %s (size %d)", e.Name, proto, cfg.Name, size))
 			r.progMu.Unlock()
 		}
+		var run *obs.Run
+		if r.reg != nil {
+			run = r.reg.NewRun("simulation",
+				fmt.Sprintf("%s/%v/%s", e.Name, proto, cfg.Name),
+				map[string]string{
+					"benchmark": e.Name,
+					"protocol":  fmt.Sprint(proto),
+					"machine":   cfg.Name,
+					"size":      strconv.Itoa(size),
+				})
+			run.Start()
+		}
 		var res Result
 		var err error
 		if r.tele.Dir != "" {
-			res, err = r.runTelemetry(cfg, proto, e, size, opts)
+			res, err = r.runTelemetry(cfg, proto, e, size, opts, run)
 		} else {
-			res, err = RunOne(cfg, proto, e, size, opts)
+			res, err = runObserved(cfg, proto, e, size, opts, nil, r.probe)
+		}
+		if run != nil {
+			if err == nil {
+				recordRunCounters(run, res)
+			}
+			run.Finish(res.Cycles, err)
 		}
 		if err != nil {
 			return Result{}, err

@@ -12,6 +12,7 @@ import (
 
 	"warden/internal/core"
 	"warden/internal/energy"
+	"warden/internal/engine"
 	"warden/internal/hlpl"
 	"warden/internal/machine"
 	"warden/internal/pbbs"
@@ -24,7 +25,26 @@ import (
 // The sink sees the full run including the final drain; it is detached
 // before verification so host-side checks don't pollute the stream.
 func RunOneObserved(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, attach func(*machine.Machine) core.Sink) (Result, error) {
+	return runObserved(cfg, proto, entry, size, opts, attach, nil)
+}
+
+// RunOneProbed is RunOne with a live progress probe attached to the
+// machine's engine — the wardensim -serve path. The probe is host-visible
+// only; results are identical to RunOne's.
+func RunOneProbed(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, probe *engine.Probe) (Result, error) {
+	return runObserved(cfg, proto, entry, size, opts, nil, probe)
+}
+
+// runObserved is the common simulation core behind RunOne, RunOneObserved,
+// and RunOneProbed: build the machine, optionally attach a sink and/or a
+// progress probe, run, verify, measure. Neither attachment can change a
+// measurement — the sink path is event emission only and the probe is a
+// pair of host-side atomics.
+func runObserved(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, attach func(*machine.Machine) core.Sink, probe *engine.Probe) (Result, error) {
 	m := machine.New(cfg, proto)
+	if probe != nil {
+		m.SetProbe(probe)
+	}
 	if attach != nil {
 		m.System().SetSink(attach(m))
 	}

@@ -20,6 +20,7 @@ import (
 	"warden/internal/core"
 	"warden/internal/hlpl"
 	"warden/internal/machine"
+	"warden/internal/obs"
 	"warden/internal/pbbs"
 	"warden/internal/runner"
 	"warden/internal/telemetry"
@@ -59,8 +60,10 @@ func artifactBase(e string, proto core.Protocol, cfg topology.Config, size int, 
 }
 
 // createArtifact creates dir/name, making the directory as needed, and
-// registers the path.
-func (tc *TelemetryConfig) createArtifact(dir, name string) (*os.File, string, error) {
+// registers the path with the shared artifact registry (which may
+// relativize it) and, when the simulation is observed, with its run
+// record, so /runs/{id} lists what the run wrote.
+func (tc *TelemetryConfig) createArtifact(dir, name string, run *obs.Run) (*os.File, string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, "", err
 	}
@@ -69,15 +72,20 @@ func (tc *TelemetryConfig) createArtifact(dir, name string) (*os.File, string, e
 	if err != nil {
 		return nil, "", err
 	}
+	stored := path
 	if tc.Artifacts != nil {
-		tc.Artifacts.Add(path)
+		stored = tc.Artifacts.Add(path)
+	}
+	if run != nil {
+		run.AddArtifact(stored)
 	}
 	return f, path, nil
 }
 
 // runTelemetry executes one simulation with the capture attached and writes
-// the artifact files. Measurements are identical to RunOne's.
-func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
+// the artifact files. Measurements are identical to RunOne's. run, when
+// non-nil, collects the artifact paths for /runs/{id}.
+func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.Entry, size int, opts hlpl.Options, run *obs.Run) (Result, error) {
 	tc := &r.tele
 	base := artifactBase(e.Name, proto, cfg, size, opts)
 
@@ -85,15 +93,15 @@ func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.E
 	var traceF *os.File
 	if tc.TraceDir != "" {
 		var err error
-		traceF, _, err = tc.createArtifact(tc.TraceDir, base+".trace.json")
+		traceF, _, err = tc.createArtifact(tc.TraceDir, base+".trace.json", run)
 		if err != nil {
 			return Result{}, fmt.Errorf("bench: telemetry trace: %w", err)
 		}
 		tcfg.Trace = traceF
 	}
 	cap := telemetry.New(tcfg)
-	res, err := RunOneObserved(cfg, proto, e, size, opts,
-		func(*machine.Machine) core.Sink { return cap })
+	res, err := runObserved(cfg, proto, e, size, opts,
+		func(*machine.Machine) core.Sink { return cap }, r.probe)
 	if cerr := cap.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("bench: telemetry trace: %w", cerr)
 	}
@@ -115,7 +123,7 @@ func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.E
 		{base + ".phases.csv", cap.Phases.WriteCSV},
 		{base + ".heatmap.csv", cap.Heat.WriteCSV},
 	} {
-		f, path, err := tc.createArtifact(tc.Dir, art.name)
+		f, path, err := tc.createArtifact(tc.Dir, art.name, run)
 		if err != nil {
 			return Result{}, fmt.Errorf("bench: telemetry: %w", err)
 		}

@@ -43,7 +43,35 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
+
+// Probe is a lock-free progress counter pair an observer can read while
+// the engine runs. The engine adds each executed op's clock advance to
+// Cycles and bumps Ops by one; both are plain atomic adds, so attaching a
+// probe changes nothing about scheduling, clocks, or results — it is
+// host-visible only, and one probe may be shared by many engines running
+// concurrently (the adds commute).
+//
+// Cycles is cumulative *thread*-cycles: the sum of every thread's clock
+// advances, across all machines feeding the probe. It is a throughput
+// counter (cycles simulated), not any single machine's wall clock.
+type Probe struct {
+	cycles atomic.Uint64
+	ops    atomic.Uint64
+}
+
+// Sample returns the current cumulative thread-cycles and op count. Safe
+// from any goroutine.
+func (p *Probe) Sample() (cycles, ops uint64) {
+	return p.cycles.Load(), p.ops.Load()
+}
+
+// note records one executed op advancing a thread clock by adv.
+func (p *Probe) note(adv uint64) {
+	p.cycles.Add(adv)
+	p.ops.Add(1)
+}
 
 // Op is a simulated operation posted by a thread. Concrete op types are
 // defined by the machine layer; the engine treats them opaquely.
@@ -94,7 +122,11 @@ func (t *Thread) Call(op Op) {
 		// bit-identical to parking and being rescheduled, minus the
 		// handoff. (Past MaxCycles, fall through so the scheduler raises
 		// ErrMaxCycles exactly as a centralized engine would.)
-		t.now += e.handler(t, op)
+		adv := e.handler(t, op)
+		t.now += adv
+		if p := e.probe; p != nil {
+			p.note(adv)
+		}
 		return
 	}
 	t.park(op)
@@ -145,7 +177,15 @@ type Engine struct {
 	// it — a guard against deadlocked simulated programs. Zero means no
 	// limit.
 	MaxCycles uint64
+
+	// probe, if set, receives per-op progress (see Probe). Nil costs one
+	// predictable branch per op.
+	probe *Probe
 }
+
+// SetProbe attaches a live progress probe. Call before Run; the probe may
+// be shared across engines.
+func (e *Engine) SetProbe(p *Probe) { e.probe = p }
 
 // attic is the terminal state Run recovers from the last scheduling step.
 type attic struct {
@@ -191,7 +231,11 @@ func (e *Engine) schedule() *Thread {
 	}
 	op := u.pending
 	u.pending = nil
-	u.now += e.handler(u, op)
+	adv := e.handler(u, op)
+	u.now += adv
+	if p := e.probe; p != nil {
+		p.note(adv)
+	}
 	if u.now > e.final {
 		e.final = u.now
 	}

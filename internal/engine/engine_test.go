@@ -160,3 +160,53 @@ func TestThreadPanicPropagates(t *testing.T) {
 	e.Run()
 	t.Fatal("Run returned despite body panic")
 }
+
+// TestProbeCountsCyclesAndOps: the probe must see every executed op and the
+// exact sum of clock advances, and attaching it must not change the final
+// clock. A shared probe across two engines accumulates both.
+func TestProbeCountsCyclesAndOps(t *testing.T) {
+	build := func(p *Probe) *Engine {
+		e := New(2, func(_ *Thread, op Op) uint64 { return uint64(op.(simpleOp)) })
+		for i := 0; i < 2; i++ {
+			e.SetBody(i, func(th *Thread) {
+				for k := 0; k < 5; k++ {
+					th.Call(simpleOp(3))
+				}
+			})
+		}
+		if p != nil {
+			e.SetProbe(p)
+		}
+		return e
+	}
+
+	bare, err := build(nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var p Probe
+	probed, err := build(&p).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probed != bare {
+		t.Fatalf("probe changed final clock: %d vs %d", probed, bare)
+	}
+	cycles, ops := p.Sample()
+	if ops != 10 {
+		t.Fatalf("ops = %d, want 10", ops)
+	}
+	if cycles != 30 { // 2 threads x 5 ops x 3 cycles of thread-clock advance
+		t.Fatalf("cycles = %d, want 30", cycles)
+	}
+
+	// A second engine sharing the probe accumulates on top.
+	if _, err := build(&p).Run(); err != nil {
+		t.Fatal(err)
+	}
+	cycles, ops = p.Sample()
+	if ops != 20 || cycles != 60 {
+		t.Fatalf("shared probe = (%d cycles, %d ops), want (60, 20)", cycles, ops)
+	}
+}

@@ -73,6 +73,12 @@ func (m *Machine) Cycles() uint64 { return m.cycles }
 // SetMaxCycles overrides the runaway guard.
 func (m *Machine) SetMaxCycles(c uint64) { m.eng.MaxCycles = c }
 
+// SetProbe attaches a live progress probe to the machine's engine. The
+// probe is host-visible only (lock-free atomic counters read by the
+// observability server); attaching one cannot change simulated results.
+// Call before Run.
+func (m *Machine) SetProbe(p *engine.Probe) { m.eng.SetProbe(p) }
+
 // Run executes bodies (one per hardware thread; len must equal
 // Config().Threads()) to completion, drains all caches so memory is
 // coherent, and returns total cycles.

@@ -1,0 +1,299 @@
+package obs
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// RunState is the lifecycle of a registered run.
+type RunState int
+
+const (
+	// Queued: registered but not yet executing (e.g. an experiment step
+	// waiting its turn, or a simulation waiting for a pool slot).
+	Queued RunState = iota
+	// Running: currently executing.
+	Running
+	// Done: finished successfully.
+	Done
+	// Failed: finished with an error.
+	Failed
+)
+
+var runStateNames = [...]string{"queued", "running", "done", "failed"}
+
+// String returns the lowercase state name used in JSON and metric labels.
+func (s RunState) String() string {
+	if s < 0 || int(s) >= len(runStateNames) {
+		return "unknown"
+	}
+	return runStateNames[s]
+}
+
+// Registry tracks the runs of one process: experiment steps registered by
+// the CLIs and individual simulations registered by the bench runner. It
+// is safe for concurrent use — pool workers update it while the serving
+// goroutine reads it — and it is host-side only, so registering runs never
+// touches simulated state.
+type Registry struct {
+	mu   sync.Mutex
+	runs []*Run
+	now  func() time.Time
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{now: time.Now}
+}
+
+// SetClock overrides the registry's wall clock (tests and golden scrapes).
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
+}
+
+// Run is one tracked unit of work. All mutation goes through its methods;
+// fields are snapshotted for readers via Info.
+type Run struct {
+	reg *Registry
+
+	id     int
+	kind   string // "experiment" or "simulation"
+	name   string
+	labels map[string]string
+
+	state              RunState
+	queued, start, end time.Time
+	cycles             uint64
+	err                string
+	artifacts          []string
+	counters           map[string]uint64
+}
+
+// NewRun registers a run in state Queued. kind groups runs in reports
+// ("experiment" for CLI steps, "simulation" for individual machine runs);
+// labels are carried verbatim into /runs JSON and /metrics label sets.
+func (r *Registry) NewRun(kind, name string, labels map[string]string) *Run {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cp := make(map[string]string, len(labels))
+	for k, v := range labels {
+		cp[k] = v
+	}
+	run := &Run{
+		reg:    r,
+		id:     len(r.runs) + 1,
+		kind:   kind,
+		name:   name,
+		labels: cp,
+		state:  Queued,
+		queued: r.now(),
+	}
+	r.runs = append(r.runs, run)
+	return run
+}
+
+// ID returns the run's registry-unique id (dense, starting at 1).
+func (run *Run) ID() int { return run.id }
+
+// Start moves the run to Running and stamps its start time.
+func (run *Run) Start() {
+	run.reg.mu.Lock()
+	defer run.reg.mu.Unlock()
+	run.state = Running
+	run.start = run.reg.now()
+}
+
+// Finish moves the run to Done (err == nil) or Failed, recording its
+// simulated cycles and wall-clock end.
+func (run *Run) Finish(cycles uint64, err error) {
+	run.reg.mu.Lock()
+	defer run.reg.mu.Unlock()
+	run.end = run.reg.now()
+	if run.start.IsZero() {
+		run.start = run.end
+	}
+	run.cycles = cycles
+	if err != nil {
+		run.state = Failed
+		run.err = err.Error()
+	} else {
+		run.state = Done
+	}
+}
+
+// AddArtifact records a file path the run produced (telemetry dump, trace,
+// report). Paths should be stable relative paths (runner.Artifacts
+// relativizes against its root) so /runs/{id} listings are portable.
+func (run *Run) AddArtifact(path string) {
+	run.reg.mu.Lock()
+	defer run.reg.mu.Unlock()
+	run.artifacts = append(run.artifacts, path)
+}
+
+// SetCounter records one named architectural counter for the run (e.g.
+// "invalidations"). Counters aggregate into warden_machine_*_total metric
+// families across finished runs.
+func (run *Run) SetCounter(name string, v uint64) {
+	run.reg.mu.Lock()
+	defer run.reg.mu.Unlock()
+	if run.counters == nil {
+		run.counters = make(map[string]uint64)
+	}
+	run.counters[name] = v
+}
+
+// RunInfo is the JSON view of a run served by /runs and /runs/{id}.
+type RunInfo struct {
+	ID          int               `json:"id"`
+	Kind        string            `json:"kind"`
+	Name        string            `json:"name"`
+	State       string            `json:"state"`
+	Labels      map[string]string `json:"labels,omitempty"`
+	QueuedAt    string            `json:"queued_at,omitempty"`
+	StartedAt   string            `json:"started_at,omitempty"`
+	FinishedAt  string            `json:"finished_at,omitempty"`
+	WallSeconds float64           `json:"wall_seconds"`
+	Cycles      uint64            `json:"cycles"`
+	Error       string            `json:"error,omitempty"`
+	Artifacts   []string          `json:"artifacts,omitempty"`
+	Counters    map[string]uint64 `json:"counters,omitempty"`
+}
+
+// infoLocked snapshots the run; callers hold the registry lock.
+func (run *Run) infoLocked(now time.Time) RunInfo {
+	info := RunInfo{
+		ID:     run.id,
+		Kind:   run.kind,
+		Name:   run.name,
+		State:  run.state.String(),
+		Cycles: run.cycles,
+		Error:  run.err,
+	}
+	if len(run.labels) > 0 {
+		info.Labels = make(map[string]string, len(run.labels))
+		for k, v := range run.labels {
+			info.Labels[k] = v
+		}
+	}
+	stamp := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339Nano)
+	}
+	info.QueuedAt = stamp(run.queued)
+	info.StartedAt = stamp(run.start)
+	info.FinishedAt = stamp(run.end)
+	switch run.state {
+	case Running:
+		info.WallSeconds = now.Sub(run.start).Seconds()
+	case Done, Failed:
+		info.WallSeconds = run.end.Sub(run.start).Seconds()
+	}
+	info.Artifacts = append([]string(nil), run.artifacts...)
+	if len(run.counters) > 0 {
+		info.Counters = make(map[string]uint64, len(run.counters))
+		for k, v := range run.counters {
+			info.Counters[k] = v
+		}
+	}
+	return info
+}
+
+// Runs returns every run's snapshot ordered by id.
+func (r *Registry) Runs() []RunInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.now()
+	out := make([]RunInfo, len(r.runs))
+	for i, run := range r.runs {
+		out[i] = run.infoLocked(now)
+	}
+	return out
+}
+
+// Get returns the snapshot of one run by id.
+func (r *Registry) Get(id int) (RunInfo, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 1 || id > len(r.runs) {
+		return RunInfo{}, false
+	}
+	return r.runs[id-1].infoLocked(r.now()), true
+}
+
+// MetricFamilies renders the registry's /metrics view: run counts by
+// state, per-run state gauges, total finished wall-clock and simulated
+// cycles, and the aggregated machine counters of finished runs.
+func (r *Registry) MetricFamilies() []Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	byState := make(map[RunState]int)
+	var wall float64
+	var cycles uint64
+	agg := make(map[string]uint64)
+	perRun := Family{
+		Name: "warden_run",
+		Help: "Per-run state: one sample per registered run, value is 1.",
+		Type: "gauge",
+	}
+	for _, run := range r.runs {
+		byState[run.state]++
+		if run.state == Done || run.state == Failed {
+			wall += run.end.Sub(run.start).Seconds()
+			cycles += run.cycles
+			for k, v := range run.counters {
+				agg[k] += v
+			}
+		}
+		perRun.Metrics = append(perRun.Metrics, Metric{
+			Labels: []Label{
+				{Name: "id", Value: strconv.Itoa(run.id)},
+				{Name: "kind", Value: run.kind},
+				{Name: "name", Value: run.name},
+				{Name: "state", Value: run.state.String()},
+			},
+			Value: 1,
+		})
+	}
+
+	states := Family{
+		Name: "warden_runs",
+		Help: "Number of registered runs by state.",
+		Type: "gauge",
+	}
+	for s := Queued; s <= Failed; s++ {
+		states.Metrics = append(states.Metrics, Metric{
+			Labels: []Label{{Name: "state", Value: s.String()}},
+			Value:  float64(byState[s]),
+		})
+	}
+
+	fams := []Family{
+		states,
+		Counter("warden_run_wall_seconds_total",
+			"Total wall-clock seconds spent in finished runs.", wall),
+		Counter("warden_run_cycles_total",
+			"Total simulated cycles reported by finished runs.", float64(cycles)),
+	}
+	if len(perRun.Metrics) > 0 {
+		fams = append(fams, perRun)
+	}
+	names := make([]string, 0, len(agg))
+	for k := range agg {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fams = append(fams, Counter(
+			"warden_machine_"+SanitizeName(k)+"_total",
+			"Aggregated machine counter over finished runs.",
+			float64(agg[k])))
+	}
+	return fams
+}

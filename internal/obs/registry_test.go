@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedClock steps one second per call, starting at a fixed instant, so
+// registry timestamps and durations are deterministic in tests.
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	n := 0
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		n++
+		return t0.Add(time.Duration(n-1) * time.Second)
+	}
+}
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	r.SetClock(fixedClock())
+
+	a := r.NewRun("experiment", "fig7", map[string]string{"size": "small"})
+	b := r.NewRun("simulation", "primes/MESI", nil)
+	if a.ID() != 1 || b.ID() != 2 {
+		t.Fatalf("ids = %d, %d; want 1, 2", a.ID(), b.ID())
+	}
+
+	infos := r.Runs()
+	if len(infos) != 2 {
+		t.Fatalf("Runs() len = %d", len(infos))
+	}
+	if infos[0].State != "queued" || infos[1].State != "queued" {
+		t.Fatalf("fresh runs not queued: %+v", infos)
+	}
+
+	a.Start()
+	b.Start()
+	b.Finish(1234, nil)
+	a.Finish(0, errors.New("boom"))
+
+	got, ok := r.Get(2)
+	if !ok {
+		t.Fatal("Get(2) missing")
+	}
+	if got.State != "done" || got.Cycles != 1234 {
+		t.Fatalf("run 2 = %+v", got)
+	}
+	if got.WallSeconds <= 0 {
+		t.Fatalf("run 2 wall = %v", got.WallSeconds)
+	}
+	got, _ = r.Get(1)
+	if got.State != "failed" || got.Error != "boom" {
+		t.Fatalf("run 1 = %+v", got)
+	}
+	if _, ok := r.Get(0); ok {
+		t.Fatal("Get(0) should miss")
+	}
+	if _, ok := r.Get(3); ok {
+		t.Fatal("Get(3) should miss")
+	}
+}
+
+func TestRegistryArtifactsAndCounters(t *testing.T) {
+	r := NewRegistry()
+	run := r.NewRun("simulation", "x", nil)
+	run.Start()
+	run.AddArtifact("telemetry/x.windows.csv")
+	run.AddArtifact("traces/x.trace.json")
+	run.SetCounter("invalidations", 7)
+	run.SetCounter("downgrades", 3)
+	run.Finish(10, nil)
+
+	info, _ := r.Get(run.ID())
+	if len(info.Artifacts) != 2 || info.Artifacts[0] != "telemetry/x.windows.csv" {
+		t.Fatalf("artifacts = %v", info.Artifacts)
+	}
+	if info.Counters["invalidations"] != 7 || info.Counters["downgrades"] != 3 {
+		t.Fatalf("counters = %v", info.Counters)
+	}
+
+	// Finished-run counters aggregate into warden_machine_*_total.
+	var found bool
+	for _, f := range r.MetricFamilies() {
+		if f.Name == "warden_machine_invalidations_total" {
+			found = true
+			if f.Metrics[0].Value != 7 {
+				t.Fatalf("aggregated invalidations = %v", f.Metrics[0].Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("warden_machine_invalidations_total missing")
+	}
+}
+
+// TestRegistryConcurrent exercises the registry the way a parallel sweep
+// does: many pool workers registering, mutating, and finishing runs while
+// a reader goroutine snapshots continuously. Run under -race in CI.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 25
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = r.Runs()
+			r.MetricFamilies()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				run := r.NewRun("simulation", "conc", nil)
+				run.Start()
+				run.AddArtifact("a.csv")
+				run.SetCounter("ops", 1)
+				run.Finish(uint64(i), nil)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	infos := r.Runs()
+	if len(infos) != workers*perWorker {
+		t.Fatalf("run count = %d, want %d", len(infos), workers*perWorker)
+	}
+	seen := make(map[int]bool)
+	for _, info := range infos {
+		if seen[info.ID] {
+			t.Fatalf("duplicate run id %d", info.ID)
+		}
+		seen[info.ID] = true
+		if info.State != "done" {
+			t.Fatalf("run %d state %s", info.ID, info.State)
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server exposes the observability plane over HTTP:
+//
+//	/metrics        Prometheus text exposition (registry + probe + sources
+//	                + Go runtime stats)
+//	/runs           JSON list of registered runs
+//	/runs/{id}      JSON detail of one run, including artifact paths
+//	/healthz        liveness probe, always 200 once serving
+//	/debug/pprof/*  net/http/pprof profiles
+//
+// Every handler reads host-side state only (atomics and mutex-guarded
+// aggregates); nothing it does can reach simulated state, which is how a
+// scraped run stays byte-identical to an unobserved one.
+type Server struct {
+	// Registry, if non-nil, backs /runs and the warden_run* families.
+	Registry *Registry
+	// Probe, if non-nil, is sampled per scrape for live simulation
+	// progress (cumulative thread-cycles and executed ops). It is the
+	// read side of engine.Probe.
+	Probe func() (cycles, ops uint64)
+	// Sources contribute additional metric families (e.g. the bench
+	// runner's memo-cache stats).
+	Sources []Source
+	// Log, if non-nil, receives one Debug record per request.
+	Log *slog.Logger
+	// DisableRuntimeMetrics omits the go_* families — used by golden
+	// tests, where runtime stats are nondeterministic.
+	DisableRuntimeMetrics bool
+
+	start time.Time
+}
+
+// Families gathers every metric family for one scrape.
+func (s *Server) Families() []Family {
+	var fams []Family
+	if s.Probe != nil {
+		cycles, ops := s.Probe()
+		fams = append(fams,
+			Counter("warden_sim_thread_cycles_total",
+				"Cumulative simulated thread-cycles executed by all live and finished machines.",
+				float64(cycles)),
+			Counter("warden_sim_ops_total",
+				"Simulated operations (loads, stores, atomics, compute, fences, region ops) executed.",
+				float64(ops)))
+	}
+	if s.Registry != nil {
+		fams = append(fams, s.Registry.MetricFamilies()...)
+	}
+	for _, src := range s.Sources {
+		fams = append(fams, src.MetricFamilies()...)
+	}
+	if !s.DisableRuntimeMetrics {
+		fams = append(fams, runtimeFamilies()...)
+		if !s.start.IsZero() {
+			fams = append(fams, Gauge("process_uptime_seconds",
+				"Seconds since the observability server started.",
+				time.Since(s.start).Seconds()))
+		}
+	}
+	return fams
+}
+
+// runtimeFamilies samples the Go runtime. ReadMemStats briefly
+// stop-the-worlds the host process; that pauses host goroutines, never
+// simulated time, so it is scrape-visible overhead only.
+func runtimeFamilies() []Family {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return []Family{
+		Gauge("go_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine())),
+		Gauge("go_gomaxprocs", "GOMAXPROCS host-parallelism bound.", float64(runtime.GOMAXPROCS(0))),
+		Gauge("go_mem_heap_alloc_bytes", "Bytes of allocated heap objects.", float64(ms.HeapAlloc)),
+		Gauge("go_mem_heap_sys_bytes", "Bytes of heap obtained from the OS.", float64(ms.HeapSys)),
+		Counter("go_mem_total_alloc_bytes", "Cumulative bytes allocated for heap objects.", float64(ms.TotalAlloc)),
+		Counter("go_mem_mallocs_total", "Cumulative count of heap allocations.", float64(ms.Mallocs)),
+		Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)),
+		Counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs) / 1e9),
+	}
+}
+
+// Handler returns the server's mux. Safe to call once; the returned
+// handler is safe for concurrent requests.
+func (s *Server) Handler() http.Handler {
+	if s.start.IsZero() {
+		s.start = time.Now()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/runs", s.handleRuns)
+	mux.HandleFunc("/runs/", s.handleRun)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s.logged(mux)
+}
+
+// logged wraps next with per-request Debug logging when a logger is set.
+func (s *Server) logged(next http.Handler) http.Handler {
+	if s.Log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.Log.Debug("http request",
+			"method", r.Method, "path", r.URL.Path,
+			"status", sw.code, "duration", time.Since(start))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := WriteFamilies(w, s.Families()); err != nil && s.Log != nil {
+		s.Log.Warn("metrics write failed", "err", err)
+	}
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	var runs []RunInfo
+	if s.Registry != nil {
+		runs = s.Registry.Runs()
+	}
+	if runs == nil {
+		runs = []RunInfo{}
+	}
+	writeJSON(w, runs)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	idStr := strings.TrimPrefix(r.URL.Path, "/runs/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		http.Error(w, "bad run id", http.StatusBadRequest)
+		return
+	}
+	if s.Registry == nil {
+		http.NotFound(w, r)
+		return
+	}
+	info, ok := s.Registry.Get(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenServer builds a server over fully deterministic state: a stepped
+// clock, a fixed probe, a fixed memo source, and runtime metrics off.
+func goldenServer() *Server {
+	reg := NewRegistry()
+	reg.SetClock(fixedClock())
+
+	exp := reg.NewRun("experiment", "fig8", map[string]string{"size": "small"})
+	exp.Start()
+
+	sim := reg.NewRun("simulation", "primes/MESI/2xXeonGold6126", map[string]string{
+		"benchmark": "primes", "protocol": "MESI",
+	})
+	sim.Start()
+	sim.AddArtifact("telemetry/primes_mesi.windows.csv")
+	sim.SetCounter("invalidations", 42)
+	sim.SetCounter("instructions", 10000)
+	sim.Finish(123456, nil)
+
+	reg.NewRun("simulation", "dedup/WARDen/2xXeonGold6126", nil) // stays queued
+
+	return &Server{
+		Registry: reg,
+		Probe:    func() (uint64, uint64) { return 987654, 4321 },
+		Sources: []Source{SourceFunc(func() []Family {
+			return []Family{
+				Counter("warden_memo_hits_total", "Memo cache hits.", 7),
+				Counter("warden_memo_misses_total", "Memo cache misses.", 4),
+			}
+		})},
+		DisableRuntimeMetrics: true,
+	}
+}
+
+// TestMetricsGoldenScrape locks down the full exposition of a small run:
+// family ordering, HELP/TYPE lines, label rendering, and values.
+func TestMetricsGoldenScrape(t *testing.T) {
+	srv := httptest.NewServer(goldenServer().Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	golden := filepath.Join("testdata", "scrape.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(body) != string(want) {
+		t.Fatalf("scrape diverged from golden (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", body, want)
+	}
+}
+
+func TestRunsEndpoints(t *testing.T) {
+	srv := httptest.NewServer(goldenServer().Handler())
+	defer srv.Close()
+
+	var runs []RunInfo
+	resp, err := http.Get(srv.URL + "/runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&runs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(runs) != 3 {
+		t.Fatalf("/runs returned %d runs", len(runs))
+	}
+	if runs[0].Kind != "experiment" || runs[0].State != "running" {
+		t.Fatalf("run[0] = %+v", runs[0])
+	}
+
+	var one RunInfo
+	resp, err = http.Get(srv.URL + "/runs/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&one); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if one.State != "done" || one.Cycles != 123456 {
+		t.Fatalf("/runs/2 = %+v", one)
+	}
+	if len(one.Artifacts) != 1 || one.Artifacts[0] != "telemetry/primes_mesi.windows.csv" {
+		t.Fatalf("/runs/2 artifacts = %v", one.Artifacts)
+	}
+
+	for path, want := range map[string]int{
+		"/runs/99":      http.StatusNotFound,
+		"/runs/abc":     http.StatusBadRequest,
+		"/healthz":      http.StatusOK,
+		"/debug/pprof/": http.StatusOK,
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// TestMetricsIncludesRuntimeFamilies checks the non-golden (live) scrape
+// carries Go runtime stats and probe counters.
+func TestMetricsIncludesRuntimeFamilies(t *testing.T) {
+	s := goldenServer()
+	s.DisableRuntimeMetrics = false
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, fam := range []string{
+		"go_goroutines", "go_mem_heap_alloc_bytes", "go_gc_cycles_total",
+		"warden_sim_thread_cycles_total", "warden_sim_ops_total",
+		"warden_runs{state=\"done\"}", "process_uptime_seconds",
+	} {
+		if !strings.Contains(string(body), fam) {
+			t.Errorf("scrape missing %q", fam)
+		}
+	}
+}

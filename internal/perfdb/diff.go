@@ -1,0 +1,166 @@
+package perfdb
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Thresholds tunes regression detection. Simulated cycles are
+// deterministic — any change is real — so their threshold is tight and on
+// by default; host wall-clock varies run to run and machine to machine,
+// so it is compared only on request, with a wide threshold and a noise
+// floor that ignores sub-second steps entirely.
+type Thresholds struct {
+	// CyclePct flags a step whose simulated cycles grew by more than this
+	// percentage.
+	CyclePct float64
+	// CompareWall enables wall-clock comparison (off for cross-machine
+	// gates like CI vs a committed baseline).
+	CompareWall bool
+	// WallPct flags a step whose wall-clock grew by more than this
+	// percentage (only with CompareWall).
+	WallPct float64
+	// MinWallSeconds is the noise floor: wall-clock deltas where both
+	// sides ran faster than this are ignored (only with CompareWall).
+	MinWallSeconds float64
+}
+
+// DefaultThresholds: 1% on deterministic cycles, 25% on wall-clock above
+// a 0.5 s floor, wall comparison off.
+func DefaultThresholds() Thresholds {
+	return Thresholds{CyclePct: 1.0, WallPct: 25.0, MinWallSeconds: 0.5}
+}
+
+// Delta is one compared measurement of one step.
+type Delta struct {
+	Step       string  `json:"step"`
+	Metric     string  `json:"metric"` // "simulated_cycles" or "wall_seconds"
+	Base       float64 `json:"base"`
+	New        float64 `json:"new"`
+	Pct        float64 `json:"pct"` // 100*(new-base)/base; +Inf when base is 0 and new is not
+	Regression bool    `json:"regression"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// pctChange returns the relative growth in percent.
+func pctChange(base, new float64) float64 {
+	switch {
+	case base == new:
+		return 0
+	case base == 0:
+		return math.Inf(1)
+	}
+	return 100 * (new - base) / base
+}
+
+// Compare evaluates next against base step by step and returns every
+// delta, regressions flagged. Steps missing from next are regressions
+// (coverage must not silently shrink); steps new in next are reported but
+// never gate.
+func Compare(base, next Snapshot, th Thresholds) []Delta {
+	var out []Delta
+	seen := make(map[string]bool)
+	for _, b := range base.Steps {
+		seen[b.Step] = true
+		n, ok := next.Step(b.Step)
+		if !ok {
+			out = append(out, Delta{
+				Step: b.Step, Metric: "simulated_cycles",
+				Base: float64(b.SimulatedCycles), New: math.NaN(),
+				Regression: true, Note: "step missing from new snapshot",
+			})
+			continue
+		}
+		cyc := Delta{
+			Step: b.Step, Metric: "simulated_cycles",
+			Base: float64(b.SimulatedCycles), New: float64(n.SimulatedCycles),
+			Pct: pctChange(float64(b.SimulatedCycles), float64(n.SimulatedCycles)),
+		}
+		cyc.Regression = cyc.Pct > th.CyclePct
+		out = append(out, cyc)
+
+		if th.CompareWall && (b.WallSeconds >= th.MinWallSeconds || n.WallSeconds >= th.MinWallSeconds) {
+			wall := Delta{
+				Step: b.Step, Metric: "wall_seconds",
+				Base: b.WallSeconds, New: n.WallSeconds,
+				Pct: pctChange(b.WallSeconds, n.WallSeconds),
+			}
+			wall.Regression = wall.Pct > th.WallPct
+			out = append(out, wall)
+		}
+	}
+	for _, n := range next.Steps {
+		if !seen[n.Step] {
+			out = append(out, Delta{
+				Step: n.Step, Metric: "simulated_cycles",
+				Base: math.NaN(), New: float64(n.SimulatedCycles),
+				Note: "new step (not in base snapshot)",
+			})
+		}
+	}
+	return out
+}
+
+// HasRegression reports whether any delta is flagged.
+func HasRegression(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regression {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteReport renders a human-readable comparison table.
+func WriteReport(w io.Writer, base, next Snapshot, deltas []Delta) {
+	ident := func(s Snapshot) string {
+		id := s.RunID
+		if id == "" {
+			id = "(no run id)"
+		}
+		out := id
+		if s.GitRev != "" {
+			out += " @ " + s.GitRev
+		}
+		if s.Time != "" {
+			out += " (" + s.Time + ")"
+		}
+		return out
+	}
+	fmt.Fprintf(w, "base: %s\nnew:  %s\n", ident(base), ident(next))
+	if base.Fingerprint != next.Fingerprint {
+		fmt.Fprintf(w, "WARNING: fingerprints differ (%q vs %q) — snapshots may not be comparable\n",
+			base.Fingerprint, next.Fingerprint)
+	}
+	fmt.Fprintf(w, "%-14s %-17s %16s %16s %9s\n", "step", "metric", "base", "new", "change")
+	for _, d := range deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		note := ""
+		if d.Note != "" {
+			note = "  (" + d.Note + ")"
+		}
+		fmt.Fprintf(w, "%-14s %-17s %16s %16s %9s%s%s\n",
+			d.Step, d.Metric, fnum(d.Base), fnum(d.New), fpct(d.Pct), mark, note)
+	}
+}
+
+func fnum(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func fpct(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.2f%%", v)
+}

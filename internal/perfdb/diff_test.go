@@ -1,0 +1,210 @@
+package perfdb
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func snap(runID string, cycles map[string]uint64, wall map[string]float64) Snapshot {
+	s := Snapshot{RunID: runID, GitRev: "rev-" + runID, Fingerprint: "fp"}
+	for _, step := range []string{"fig7", "fig8", "ablations", "total"} {
+		c, ok := cycles[step]
+		if !ok {
+			continue
+		}
+		s.Steps = append(s.Steps, Record{
+			Schema: SchemaVersion, RunID: runID, Fingerprint: "fp", Step: step,
+			SimulatedCycles: c, WallSeconds: wall[step],
+		})
+	}
+	return s
+}
+
+var baseCycles = map[string]uint64{"fig7": 100_000, "fig8": 200_000, "ablations": 50_000, "total": 350_000}
+var baseWall = map[string]float64{"fig7": 2.0, "fig8": 4.0, "ablations": 1.0, "total": 7.0}
+
+// TestCompareIdenticalSnapshotsClean is the acceptance criterion's easy
+// half: identical snapshots must produce zero regressions.
+func TestCompareIdenticalSnapshotsClean(t *testing.T) {
+	base := snap("r1", baseCycles, baseWall)
+	next := snap("r2", baseCycles, baseWall)
+	th := DefaultThresholds()
+	th.CompareWall = true
+	deltas := Compare(base, next, th)
+	if HasRegression(deltas) {
+		t.Fatalf("identical snapshots flagged: %+v", deltas)
+	}
+	if len(deltas) == 0 {
+		t.Fatal("no deltas produced")
+	}
+	for _, d := range deltas {
+		if d.Pct != 0 {
+			t.Fatalf("nonzero delta on identical input: %+v", d)
+		}
+	}
+}
+
+// TestCompareDetectsInjectedCycleRegression is the acceptance criterion's
+// hard half: a >=5% simulated-cycle regression on one step must be caught
+// at default thresholds.
+func TestCompareDetectsInjectedCycleRegression(t *testing.T) {
+	base := snap("r1", baseCycles, baseWall)
+	injected := map[string]uint64{}
+	for k, v := range baseCycles {
+		injected[k] = v
+	}
+	injected["fig8"] = baseCycles["fig8"] * 105 / 100 // +5%
+	injected["total"] = baseCycles["total"] + (injected["fig8"] - baseCycles["fig8"])
+	next := snap("r2", injected, baseWall)
+
+	deltas := Compare(base, next, DefaultThresholds())
+	if !HasRegression(deltas) {
+		t.Fatalf("injected +5%% cycle regression missed: %+v", deltas)
+	}
+	var hit bool
+	for _, d := range deltas {
+		if d.Step == "fig8" && d.Metric == "simulated_cycles" {
+			hit = true
+			if !d.Regression {
+				t.Fatalf("fig8 delta not flagged: %+v", d)
+			}
+			if d.Pct < 4.9 || d.Pct > 5.1 {
+				t.Fatalf("fig8 pct = %v", d.Pct)
+			}
+		}
+		if d.Step == "fig7" && d.Regression {
+			t.Fatalf("untouched step flagged: %+v", d)
+		}
+	}
+	if !hit {
+		t.Fatal("fig8 delta missing")
+	}
+}
+
+// TestCompareCycleImprovementNotFlagged: faster is never a regression.
+func TestCompareCycleImprovementNotFlagged(t *testing.T) {
+	improved := map[string]uint64{}
+	for k, v := range baseCycles {
+		improved[k] = v * 80 / 100
+	}
+	deltas := Compare(snap("r1", baseCycles, baseWall), snap("r2", improved, baseWall), DefaultThresholds())
+	if HasRegression(deltas) {
+		t.Fatalf("improvement flagged as regression: %+v", deltas)
+	}
+}
+
+// TestCompareWallGating: wall-clock is gated only on request, with its
+// own threshold and a noise floor for sub-floor steps.
+func TestCompareWallGating(t *testing.T) {
+	noisyWall := map[string]float64{"fig7": 2.2, "fig8": 6.0, "ablations": 0.3, "total": 8.5}
+	base := snap("r1", baseCycles, baseWall)
+	next := snap("r2", baseCycles, noisyWall)
+
+	// Wall comparison off: +50% on fig8 wall is invisible.
+	if deltas := Compare(base, next, DefaultThresholds()); HasRegression(deltas) {
+		t.Fatalf("wall regression flagged with CompareWall off: %+v", deltas)
+	}
+
+	th := DefaultThresholds()
+	th.CompareWall = true
+	deltas := Compare(base, next, th)
+	var fig8Wall, ablationsWall bool
+	for _, d := range deltas {
+		if d.Metric != "wall_seconds" {
+			continue
+		}
+		switch d.Step {
+		case "fig8":
+			fig8Wall = d.Regression // +50% > 25% threshold
+		case "ablations":
+			ablationsWall = true // 1.0s -> 0.3s: above floor on the base side
+		case "fig7":
+			if d.Regression {
+				t.Fatalf("fig7 +10%% wall flagged at 25%% threshold: %+v", d)
+			}
+		}
+	}
+	if !fig8Wall {
+		t.Fatal("fig8 +50% wall regression missed")
+	}
+	if !ablationsWall {
+		t.Fatal("ablations wall delta dropped despite base above floor")
+	}
+}
+
+// TestCompareMissingStepIsRegression: shrinking coverage cannot pass the
+// gate silently.
+func TestCompareMissingStepIsRegression(t *testing.T) {
+	partial := map[string]uint64{}
+	for k, v := range baseCycles {
+		if k == "ablations" {
+			continue
+		}
+		partial[k] = v
+	}
+	deltas := Compare(snap("r1", baseCycles, baseWall), snap("r2", partial, baseWall), DefaultThresholds())
+	if !HasRegression(deltas) {
+		t.Fatal("missing step not flagged")
+	}
+	var found bool
+	for _, d := range deltas {
+		if d.Step == "ablations" && d.Regression && strings.Contains(d.Note, "missing") {
+			found = true
+			if !math.IsNaN(d.New) {
+				t.Fatalf("missing step New = %v", d.New)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no missing-step delta: %+v", deltas)
+	}
+}
+
+// TestCompareNewStepInformational: added coverage is reported, not gated.
+func TestCompareNewStepInformational(t *testing.T) {
+	extended := map[string]uint64{}
+	for k, v := range baseCycles {
+		extended[k] = v
+	}
+	extended["manysockets"] = 42
+	base := snap("r1", baseCycles, baseWall)
+	next := Snapshot{RunID: "r2", Fingerprint: "fp"}
+	for _, step := range []string{"fig7", "fig8", "ablations", "total", "manysockets"} {
+		next.Steps = append(next.Steps, Record{RunID: "r2", Fingerprint: "fp", Step: step,
+			SimulatedCycles: extended[step], WallSeconds: baseWall[step]})
+	}
+	deltas := Compare(base, next, DefaultThresholds())
+	if HasRegression(deltas) {
+		t.Fatalf("new step gated: %+v", deltas)
+	}
+	var found bool
+	for _, d := range deltas {
+		if d.Step == "manysockets" && strings.Contains(d.Note, "new step") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new step not reported: %+v", deltas)
+	}
+}
+
+func TestWriteReportRendersRegressions(t *testing.T) {
+	base := snap("r1", baseCycles, baseWall)
+	injected := map[string]uint64{}
+	for k, v := range baseCycles {
+		injected[k] = v * 110 / 100
+	}
+	next := snap("r2", injected, baseWall)
+	next.Fingerprint = "other"
+	deltas := Compare(base, next, DefaultThresholds())
+	var b strings.Builder
+	WriteReport(&b, base, next, deltas)
+	out := b.String()
+	for _, want := range []string{"REGRESSION", "fig8", "simulated_cycles", "r1", "r2",
+		"WARNING: fingerprints differ"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package perfdb
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func rec(runID, step string, cycles uint64, wall float64) Record {
+	return Record{
+		Schema: SchemaVersion, RunID: runID, GitRev: "abc123",
+		Fingerprint: "wardenbench|all|small", Step: step,
+		SimulatedCycles: cycles, SimulatedRuns: 4, WallSeconds: wall,
+	}
+}
+
+func TestAppendReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+	first := []Record{rec("r1", "fig7", 1000, 1.5), rec("r1", "total", 1000, 1.6)}
+	if err := Append(path, first); err != nil {
+		t.Fatal(err)
+	}
+	second := []Record{rec("r2", "fig7", 1100, 1.4), rec("r2", "total", 1100, 1.5)}
+	if err := Append(path, second); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]Record{}, first...), second...)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot:  %+v\nwant: %+v", got, want)
+	}
+}
+
+func TestReadRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.jsonl")
+	if err := os.WriteFile(path, []byte("{\"step\":\"ok\"}\nnot json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("malformed history line not rejected")
+	}
+}
+
+func TestReadSkipsBlankLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blank.jsonl")
+	if err := os.WriteFile(path, []byte("\n{\"step\":\"a\"}\n\n{\"step\":\"b\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[0].Step != "a" || recs[1].Step != "b" {
+		t.Fatalf("recs = %+v", recs)
+	}
+}
+
+func TestGroupAndSelectSnapshots(t *testing.T) {
+	recs := []Record{
+		rec("r1", "fig7", 1000, 1),
+		rec("r1", "fig8", 2000, 2),
+		rec("r2", "fig7", 1010, 1),
+		rec("r2", "fig8", 2020, 2),
+	}
+	recs[2].GitRev = "def456"
+	recs[3].GitRev = "def456"
+
+	snaps := GroupSnapshots(recs)
+	if len(snaps) != 2 || snaps[0].RunID != "r1" || snaps[1].RunID != "r2" {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+	if len(snaps[0].Steps) != 2 {
+		t.Fatalf("r1 steps = %+v", snaps[0].Steps)
+	}
+	if snaps[1].GitRev != "def456" {
+		t.Fatalf("r2 rev = %q", snaps[1].GitRev)
+	}
+
+	latest, ok := LatestSnapshot(recs, "wardenbench|all|small")
+	if !ok || latest.RunID != "r2" {
+		t.Fatalf("latest = %+v, ok=%v", latest, ok)
+	}
+	if _, ok := LatestSnapshot(recs, "other|fingerprint"); ok {
+		t.Fatal("fingerprint filter ignored")
+	}
+	byID, ok := ByRunID(recs, "r1")
+	if !ok || byID.RunID != "r1" {
+		t.Fatalf("ByRunID = %+v, ok=%v", byID, ok)
+	}
+	if _, ok := ByRunID(recs, "r9"); ok {
+		t.Fatal("ByRunID invented a snapshot")
+	}
+
+	if step, ok := snaps[0].Step("fig8"); !ok || step.SimulatedCycles != 2000 {
+		t.Fatalf("Step(fig8) = %+v, ok=%v", step, ok)
+	}
+	if _, ok := snaps[0].Step("nope"); ok {
+		t.Fatal("Step invented a record")
+	}
+}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -10,26 +11,49 @@ import (
 // register paths as they write them; reporting code reads them back in a
 // deterministic order at the end, so artifact listings — like every other
 // report — do not depend on host scheduling.
+//
+// With a root set (SetRoot), registered paths are stored relative to it:
+// the stable form the observability server publishes via /runs/{id}, so
+// listings survive the artifact tree being moved or served from another
+// host.
 type Artifacts struct {
 	mu    sync.Mutex
+	root  string
 	paths []string
 	seen  map[string]bool
 }
 
-// Add registers a produced file. Duplicate paths are ignored (a memoized
-// simulation may be requested by several experiments but writes its
-// artifacts once).
-func (a *Artifacts) Add(path string) {
+// SetRoot makes subsequently added paths relative to dir when possible
+// (paths outside dir, or on another volume, are kept as given). Call
+// before registration starts; changing the root mid-run would split the
+// namespace.
+func (a *Artifacts) SetRoot(dir string) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	a.root = dir
+}
+
+// Add registers a produced file and returns the stored (possibly
+// root-relative) form. Duplicate paths are ignored (a memoized simulation
+// may be requested by several experiments but writes its artifacts once).
+func (a *Artifacts) Add(path string) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	stored := path
+	if a.root != "" {
+		if rel, err := filepath.Rel(a.root, path); err == nil && filepath.IsLocal(rel) {
+			stored = filepath.ToSlash(rel)
+		}
+	}
 	if a.seen == nil {
 		a.seen = make(map[string]bool)
 	}
-	if a.seen[path] {
-		return
+	if a.seen[stored] {
+		return stored
 	}
-	a.seen[path] = true
-	a.paths = append(a.paths, path)
+	a.seen[stored] = true
+	a.paths = append(a.paths, stored)
+	return stored
 }
 
 // Len reports how many distinct paths are registered.

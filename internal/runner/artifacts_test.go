@@ -3,6 +3,7 @@ package runner
 import (
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -31,5 +32,62 @@ func TestArtifactsDeterministicOrder(t *testing.T) {
 	a.Paths()[0] = "mutated"
 	if got := a.Paths()[0]; got != "results/run_00.csv" {
 		t.Fatalf("registry corrupted by caller mutation: %q", got)
+	}
+}
+
+// TestArtifactsConcurrentRegistration hammers Add from many goroutines —
+// including duplicate and root-relative registrations — and checks the
+// listing is complete, duplicate-free, and deterministic. Runs under -race
+// in CI.
+func TestArtifactsConcurrentRegistration(t *testing.T) {
+	var a Artifacts
+	a.SetRoot("/work/results")
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Every worker registers the same file set; only one copy
+				// of each may survive.
+				got := a.Add(fmt.Sprintf("/work/results/telemetry/run_%03d.csv", i))
+				if want := fmt.Sprintf("telemetry/run_%03d.csv", i); got != want {
+					t.Errorf("worker %d: Add returned %q, want %q", w, got, want)
+					return
+				}
+				_ = a.Len() // concurrent reads must be safe
+			}
+		}()
+	}
+	wg.Wait()
+	if a.Len() != per {
+		t.Fatalf("Len = %d, want %d", a.Len(), per)
+	}
+	paths := a.Paths()
+	for i, p := range paths {
+		if want := fmt.Sprintf("telemetry/run_%03d.csv", i); p != want {
+			t.Fatalf("paths[%d] = %q, want %q", i, p, want)
+		}
+	}
+}
+
+// TestArtifactsRelativePaths: with a root set, inside paths relativize and
+// outside paths stay as given.
+func TestArtifactsRelativePaths(t *testing.T) {
+	var a Artifacts
+	a.SetRoot("/work/results")
+	if got := a.Add("/work/results/traces/x.trace.json"); got != "traces/x.trace.json" {
+		t.Fatalf("inside path stored as %q", got)
+	}
+	if got := a.Add("/elsewhere/y.csv"); got != "/elsewhere/y.csv" {
+		t.Fatalf("outside path stored as %q", got)
+	}
+	if got := a.Add("already/relative.csv"); got != "already/relative.csv" {
+		t.Fatalf("relative path stored as %q", got)
+	}
+	if a.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", a.Len())
 	}
 }

@@ -91,8 +91,10 @@ func Map[T any](p *Pool, n int, fn func(i int) (T, error)) ([]T, error) {
 // key block and then share the result (including an error). Values are
 // cached forever — the cache's lifetime is the experiment process.
 type Memo[V any] struct {
-	mu sync.Mutex
-	m  map[string]*memoEntry[V]
+	mu     sync.Mutex
+	m      map[string]*memoEntry[V]
+	hits   uint64 // Do calls that found an existing entry (including in-flight)
+	misses uint64 // Do calls that created the entry (one per key)
 }
 
 type memoEntry[V any] struct {
@@ -111,6 +113,9 @@ func (c *Memo[V]) Do(key string, fn func() (V, error)) (V, error) {
 	if !ok {
 		e = &memoEntry[V]{}
 		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
 	}
 	c.mu.Unlock()
 	e.once.Do(func() { e.val, e.err = fn() })
@@ -122,6 +127,21 @@ func (c *Memo[V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.m)
+}
+
+// MemoStats is a point-in-time view of a memo cache's effectiveness; the
+// observability plane exports it as warden_memo_* counters.
+type MemoStats struct {
+	Hits    uint64 // lookups satisfied by an existing (possibly in-flight) entry
+	Misses  uint64 // lookups that had to compute, one per distinct key
+	Entries int    // distinct keys memoized
+}
+
+// Stats reports the cache's hit/miss counts and entry count.
+func (c *Memo[V]) Stats() MemoStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return MemoStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
 }
 
 // Fingerprint renders parts into a stable cache key. Structs are rendered

@@ -3,8 +3,10 @@ package runner
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrderedResults(t *testing.T) {
@@ -122,5 +124,44 @@ func TestFingerprintSeesAllFields(t *testing.T) {
 	}
 	if a != Fingerprint(cfg{"x", 8}, "MESI") {
 		t.Fatal("fingerprint is not stable")
+	}
+}
+
+// TestMemoStats: one miss per distinct key, hits for every repeat —
+// including concurrent callers coalesced by single-flight.
+func TestMemoStats(t *testing.T) {
+	var m Memo[int]
+	if s := m.Stats(); s != (MemoStats{}) {
+		t.Fatalf("fresh stats = %+v", s)
+	}
+	const callers = 16
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func() {
+			defer wg.Done()
+			v, err := m.Do("k", func() (int, error) {
+				time.Sleep(5 * time.Millisecond) // widen the single-flight window
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Stats()
+	if s.Misses != 1 || s.Hits != callers-1 || s.Entries != 1 {
+		t.Fatalf("stats after coalesced fill = %+v", s)
+	}
+	if _, err := m.Do("k2", func() (int, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Do("k", func() (int, error) { return 0, nil }); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Stats()
+	if s.Misses != 2 || s.Hits != callers || s.Entries != 2 {
+		t.Fatalf("final stats = %+v", s)
 	}
 }
