@@ -8,6 +8,7 @@
 //	wardenbench -experiment fig8 -size small # one figure, quick inputs
 //	wardenbench -experiment ablations
 //	wardenbench -parallel 1                  # force sequential simulation
+//	wardenbench -engine pdes                 # parallel engine, same results
 //	wardenbench -timing BENCH_runner.json    # record wall-clock per step
 //	wardenbench -history results/history.jsonl  # append to the perf history
 //	wardenbench -telemetry results           # per-run windowed dumps
@@ -16,7 +17,10 @@
 //
 // Simulations fan out across host cores (-parallel 0, the default, uses
 // GOMAXPROCS workers; each simulation is internally deterministic), and
-// the printed tables are byte-identical at every parallelism level. The
+// the printed tables are byte-identical at every parallelism level.
+// Orthogonally, -engine pdes parallelizes each simulation internally with
+// the conservative parallel discrete-event engine; its results are
+// byte-identical to the sequential engine's (see internal/engine). The
 // -timing file records host wall-clock, simulated cycles, and host memory
 // stats per experiment in the perfdb record schema; -history appends the
 // same records to an append-only JSONL store keyed by config fingerprint
@@ -57,6 +61,7 @@ import (
 
 	"warden/internal/bench"
 	"warden/internal/engine"
+	"warden/internal/machine"
 	"warden/internal/obs"
 	"warden/internal/perfdb"
 	"warden/internal/runner"
@@ -93,11 +98,13 @@ func gitRev() string {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, events, or all")
+		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, engine-seq, engine-pdes, events, or all")
 	size := flag.String("size", "medium", "input size class: small or medium")
 	quiet := flag.Bool("q", false, "suppress progress messages")
 	parallel := flag.Int("parallel", 0,
 		"max simulations running concurrently on the host; 0 = one per host core, 1 = sequential")
+	engineMode := flag.String("engine", "seq",
+		"simulation engine: seq (single-goroutine) or pdes (conservative parallel; byte-identical results)")
 	timing := flag.String("timing", "",
 		"write a JSON timing report (host wall-clock, simulated cycles, and host memory stats per experiment) to this file")
 	history := flag.String("history", "",
@@ -155,8 +162,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	emode, err := machine.ParseEngineMode(*engineMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wardenbench: -engine: %v\n", err)
+		os.Exit(2)
+	}
+
 	r := bench.NewRunner(sizes)
 	r.SetParallel(*parallel)
+	r.Engine = emode
 	if !*quiet {
 		r.Progress = func(msg string) { fmt.Fprintf(os.Stderr, "... %s\n", msg) }
 	}
@@ -215,7 +229,24 @@ func main() {
 
 	runID := time.Now().UTC().Format("20060102T150405") + fmt.Sprintf("-%d", os.Getpid())
 	rev := gitRev()
+	// The engine mode joins the fingerprint only when it is not the default,
+	// so the long-lived seq history remains comparable across this change.
 	fingerprint := runner.Fingerprint("wardenbench", *experiment, *size)
+	if emode != machine.EngineSequential {
+		fingerprint = runner.Fingerprint("wardenbench", *experiment, *size, emode.String())
+	}
+	// stepEngine labels each record with the engine that actually ran it:
+	// the engine-seq/engine-pdes timing steps pin their own mode regardless
+	// of the global -engine selection.
+	stepEngine := func(step string) string {
+		switch step {
+		case "engine-seq":
+			return machine.EngineSequential.String()
+		case "engine-pdes":
+			return machine.EnginePDES.String()
+		}
+		return emode.String()
+	}
 	stamp := time.Now().UTC().Format(time.RFC3339)
 	newRecord := func(step string, wall time.Duration, cycles, runs uint64, m0, m1 runtime.MemStats) perfdb.Record {
 		rec := perfdb.Record{
@@ -225,6 +256,8 @@ func main() {
 			GitRev:          rev,
 			Fingerprint:     fingerprint,
 			Step:            step,
+			Engine:          stepEngine(step),
+			GOMAXPROCS:      runtime.GOMAXPROCS(0),
 			SimulatedCycles: cycles,
 			SimulatedRuns:   runs,
 			WallSeconds:     wall.Seconds(),
@@ -249,7 +282,8 @@ func main() {
 
 	names := []string{*experiment}
 	if *experiment == "all" {
-		names = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets"}
+		names = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets",
+			"engine-seq", "engine-pdes"}
 	}
 
 	iters := 20000
@@ -258,8 +292,13 @@ func main() {
 	}
 
 	steps := map[string]func() error{
-		"table1":      func() error { return bench.Table1(out, iters) },
-		"table2":      func() error { bench.Table2(out); return nil },
+		"table1": func() error { return bench.Table1(out, r, iters) },
+		"table2": func() error { bench.Table2(out); return nil },
+		// engine-seq / engine-pdes re-simulate a fixed subset under each
+		// engine on a single host worker; the wall-clock ratio of the two
+		// step records is the PDES speedup on this host.
+		"engine-seq":  func() error { return bench.EngineComparison(out, r, machine.EngineSequential) },
+		"engine-pdes": func() error { return bench.EngineComparison(out, r, machine.EnginePDES) },
 		"fig7":        func() error { return bench.Figure7(out, r) },
 		"fig8":        func() error { return bench.Figure8(out, r) },
 		"fig9":        func() error { return bench.Figure9(out, r) },

@@ -10,6 +10,12 @@
 //	wardenfuzz -mode litmus [-scenario name]
 //	wardenfuzz -mode walk [-protocol warden] [-walks 64] [-steps 400] [-seed 1]
 //	wardenfuzz -mode diff [-walks 64] [-steps 400] [-seed 1]
+//	wardenfuzz -mode enginediff [-walks 16] [-steps 400] [-seed 1]
+//
+// enginediff fuzzes the simulator's engines rather than the protocols:
+// every seeded random program must produce byte-identical cycles,
+// counters, and event streams under the sequential and PDES schedulers
+// (see internal/engine).
 //
 // On a violation it prints the counterexample and writes a replayable
 // trace (wardentrace accepts it) to the -o path, then exits 1. Usage
@@ -40,7 +46,7 @@ func usage(msg string) {
 }
 
 func main() {
-	mode := flag.String("mode", "walk", "exhaustive, litmus, walk, or diff")
+	mode := flag.String("mode", "walk", "exhaustive, litmus, walk, diff, or enginediff")
 	protocol := flag.String("protocol", "both", "mesi, warden, moesi, or both")
 	cores := flag.Int("cores", 2, "cores in the abstract machine (2-3 are tractable)")
 	blocks := flag.Int("blocks", 1, "tracked cache blocks")
@@ -182,8 +188,29 @@ func main() {
 			fmt.Printf("diff   walk: %d walks x %d steps, WARDen==MESI outside race-affected bytes (seeds %d..%d)\n",
 				*walks, *steps, *seed, *seed+int64(*walks)-1)
 		}
+	case "enginediff":
+		// Unlike the other modes this one fuzzes the simulator's own
+		// engines, not the protocols: each seed's random program must be
+		// byte-identical under the sequential and PDES schedulers.
+		pool := runner.New(*parallel)
+		msgs, err := runner.Map(pool, *walks, func(i int) (string, error) {
+			return engineDiffWalk(protos, *seed+int64(i), *steps)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		for _, msg := range msgs {
+			if msg != "" {
+				fmt.Fprintf(os.Stderr, "wardenfuzz: %s\n", msg)
+				os.Exit(1)
+			}
+		}
+		if !*quiet {
+			fmt.Printf("engine diff: %d walks x %d steps x %d protocols, pdes==seq byte-identical (seeds %d..%d)\n",
+				*walks, *steps, len(protos), *seed, *seed+int64(*walks)-1)
+		}
 	default:
-		usage(fmt.Sprintf("unknown mode %q (want exhaustive, litmus, walk, or diff)", *mode))
+		usage(fmt.Sprintf("unknown mode %q (want exhaustive, litmus, walk, diff, or enginediff)", *mode))
 	}
 }
 

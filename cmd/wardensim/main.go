@@ -6,6 +6,7 @@
 //
 //	wardensim -bench msort -protocol warden -sockets 2 -size 24000
 //	wardensim -bench primes -protocol both -v
+//	wardensim -bench msort -engine pdes      # parallel engine, same results
 //	wardensim -bench msort -serve :8080 -serve-linger 30s
 //
 // With -serve ADDR the process exposes Prometheus metrics (/metrics,
@@ -30,6 +31,7 @@ import (
 	"warden/internal/core"
 	"warden/internal/engine"
 	"warden/internal/hlpl"
+	"warden/internal/machine"
 	"warden/internal/obs"
 	"warden/internal/pbbs"
 	"warden/internal/stats"
@@ -43,6 +45,8 @@ func main() {
 	cores := flag.Int("cores", 0, "cores per socket (0 = Table 2 default of 12)")
 	size := flag.Int("size", 0, "input size (0 = medium preset)")
 	disagg := flag.Bool("disaggregated", false, "use the disaggregated 2-node topology")
+	engineMode := flag.String("engine", "seq",
+		"simulation engine: seq (single-goroutine) or pdes (conservative parallel; byte-identical results)")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	verbose := flag.Bool("v", false, "print message-type breakdown")
 	serve := flag.String("serve", "",
@@ -60,6 +64,11 @@ func main() {
 	}
 	if *serveLinger != 0 && *serve == "" {
 		fmt.Fprintln(os.Stderr, "wardensim: -serve-linger requires -serve")
+		os.Exit(2)
+	}
+	emode, err := machine.ParseEngineMode(*engineMode)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wardensim: -engine: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -141,7 +150,7 @@ func main() {
 					"size": strconv.Itoa(*size)})
 			run.Start()
 		}
-		res, err := bench.RunOneProbed(cfg, p, entry, *size, hlpl.DefaultOptions(), probe)
+		res, err := bench.RunOneProbedOn(emode, cfg, p, entry, *size, hlpl.DefaultOptions(), probe)
 		if run != nil {
 			run.SetCounter("instructions", res.Counters.Instructions)
 			run.SetCounter("messages", res.Counters.TotalMsgs())

@@ -15,6 +15,7 @@ import (
 	"warden/internal/energy"
 	"warden/internal/engine"
 	"warden/internal/hlpl"
+	"warden/internal/machine"
 	"warden/internal/obs"
 	"warden/internal/pbbs"
 	"warden/internal/runner"
@@ -40,7 +41,7 @@ func (r Result) IPC() float64 { return r.Counters.IPC(r.Cycles) }
 // returns its measurements. Results are verified; a verification failure is
 // an error (a coherence bug, not a measurement).
 func RunOne(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
-	return runObserved(cfg, proto, entry, size, opts, nil, nil)
+	return runObserved(cfg, proto, entry, size, opts, machine.EngineSequential, nil, nil)
 }
 
 // Comparison is one benchmark's MESI-vs-WARDen measurement pair with the
@@ -142,8 +143,14 @@ func (s SizeClass) pick(e pbbs.Entry) int {
 type Runner struct {
 	Sizes SizeClass
 	Opts  hlpl.Options
-	pool  *runner.Pool
-	memo  runner.Memo[Result]
+	// Engine selects the simulation scheduler for every run this runner
+	// executes (default sequential). It is part of the memo key even
+	// though both modes produce identical Results, so that engine-timing
+	// comparisons (EngineComparison) measure real simulations rather than
+	// memo recalls.
+	Engine machine.EngineMode
+	pool   *runner.Pool
+	memo   runner.Memo[Result]
 	// Progress, if set, is called before each uncached simulation. Calls
 	// are serialized, but under a parallel pool their order varies run to
 	// run (simulation results never do).
@@ -182,6 +189,14 @@ func (r *Runner) Parallel() int { return r.pool.Workers() }
 // uncached simulations executed so far (memo hits add nothing).
 func (r *Runner) SimulatedCycles() (cycles, runs uint64) {
 	return r.simCycles.Load(), r.simRuns.Load()
+}
+
+// NoteExternalSim credits a simulation executed outside the runner's memo
+// path (figure helpers like Table1, engine-timing sweeps) to the runner's
+// cycle and run totals, so perfdb step records report real throughput.
+func (r *Runner) NoteExternalSim(cycles uint64) {
+	r.simCycles.Add(cycles)
+	r.simRuns.Add(1)
 }
 
 // SetProbe attaches a live engine progress probe to every subsequent
@@ -249,7 +264,7 @@ func recordRunCounters(run *obs.Run, res Result) {
 // sweeps that mutate a config without renaming it still get distinct
 // entries.
 func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
-	key := runner.Fingerprint(cfg, proto, e.Name, size, opts)
+	key := runner.Fingerprint(cfg, proto, e.Name, size, opts, r.Engine)
 	return r.memo.Do(key, func() (Result, error) {
 		if r.Progress != nil {
 			r.progMu.Lock()
@@ -273,7 +288,7 @@ func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry,
 		if r.tele.Dir != "" {
 			res, err = r.runTelemetry(cfg, proto, e, size, opts, run)
 		} else {
-			res, err = runObserved(cfg, proto, e, size, opts, nil, r.probe)
+			res, err = runObserved(cfg, proto, e, size, opts, r.Engine, nil, r.probe)
 		}
 		if run != nil {
 			if err == nil {

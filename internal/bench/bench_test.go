@@ -97,7 +97,7 @@ func TestMeans(t *testing.T) {
 
 func TestTable1Report(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Table1(&buf, 300); err != nil {
+	if err := Table1(&buf, nil, 300); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

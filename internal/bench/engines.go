@@ -1,0 +1,54 @@
+package bench
+
+// Engine-timing comparison: the same benchmark subset simulated under the
+// sequential and PDES engines, so a wardenbench -timing snapshot records
+// the PDES speedup (or overhead) on the recording host. The simulated
+// results are byte-identical across engines — only the host wall-clock of
+// the engine-seq vs engine-pdes steps differs, and that ratio is the
+// speedup figure. It is host-dependent by construction (GOMAXPROCS and
+// core count travel in the same records).
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"warden/internal/machine"
+	"warden/internal/topology"
+)
+
+// EngineTimingSubset is the benchmark subset the engine-seq / engine-pdes
+// steps time: two WARD beneficiaries with distinct sharing patterns plus a
+// compute-heavy kernel, small enough to keep the sweep quick but long
+// enough that wall-clock dominates process noise.
+var EngineTimingSubset = []string{"fib", "primes", "dedup"}
+
+// EngineComparison simulates EngineTimingSubset under both protocols with
+// the given engine mode on a fresh, single-host-worker runner — so the
+// step's wall-clock measures the engine itself, not the harness fan-out —
+// and credits the simulated cycles to r for the step's perfdb record. The
+// printed cycle table is engine-invariant (the differential suite asserts
+// it); only the header names the mode.
+func EngineComparison(w io.Writer, r *Runner, emode machine.EngineMode) error {
+	sub := NewRunner(r.Sizes)
+	sub.Opts = r.Opts
+	sub.Engine = emode
+	sub.Progress = r.Progress
+	if r.probe != nil {
+		sub.SetProbe(r.probe)
+	}
+	cfg := topology.XeonGold6126(2)
+	comps, err := sub.CompareAll(cfg, EngineTimingSubset)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Engine timing subset (engine=%v; cycles are engine-invariant)\n", emode)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tMESI cycles\tWARDen cycles")
+	for _, c := range comps {
+		fmt.Fprintf(tw, "%s\t%d\t%d\n", c.Name, c.MESI.Cycles, c.WARDen.Cycles)
+		r.NoteExternalSim(c.MESI.Cycles)
+		r.NoteExternalSim(c.WARDen.Cycles)
+	}
+	return tw.Flush()
+}

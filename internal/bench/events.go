@@ -25,14 +25,27 @@ import (
 // The sink sees the full run including the final drain; it is detached
 // before verification so host-side checks don't pollute the stream.
 func RunOneObserved(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, attach func(*machine.Machine) core.Sink) (Result, error) {
-	return runObserved(cfg, proto, entry, size, opts, attach, nil)
+	return runObserved(cfg, proto, entry, size, opts, machine.EngineSequential, attach, nil)
+}
+
+// RunOneObservedOn is RunOneObserved under an explicit engine mode. Both
+// modes produce byte-identical results (the PDES differential suite
+// asserts it); the mode only selects how the simulation uses host cores.
+func RunOneObservedOn(emode machine.EngineMode, cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, attach func(*machine.Machine) core.Sink) (Result, error) {
+	return runObserved(cfg, proto, entry, size, opts, emode, attach, nil)
 }
 
 // RunOneProbed is RunOne with a live progress probe attached to the
 // machine's engine — the wardensim -serve path. The probe is host-visible
 // only; results are identical to RunOne's.
 func RunOneProbed(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, probe *engine.Probe) (Result, error) {
-	return runObserved(cfg, proto, entry, size, opts, nil, probe)
+	return runObserved(cfg, proto, entry, size, opts, machine.EngineSequential, nil, probe)
+}
+
+// RunOneProbedOn is RunOneProbed under an explicit engine mode (the
+// wardensim -engine flag).
+func RunOneProbedOn(emode machine.EngineMode, cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, probe *engine.Probe) (Result, error) {
+	return runObserved(cfg, proto, entry, size, opts, emode, nil, probe)
 }
 
 // runObserved is the common simulation core behind RunOne, RunOneObserved,
@@ -40,8 +53,9 @@ func RunOneProbed(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, si
 // progress probe, run, verify, measure. Neither attachment can change a
 // measurement — the sink path is event emission only and the probe is a
 // pair of host-side atomics.
-func runObserved(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, attach func(*machine.Machine) core.Sink, probe *engine.Probe) (Result, error) {
+func runObserved(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, emode machine.EngineMode, attach func(*machine.Machine) core.Sink, probe *engine.Probe) (Result, error) {
 	m := machine.New(cfg, proto)
+	m.SetEngineMode(emode)
 	if probe != nil {
 		m.SetProbe(probe)
 	}

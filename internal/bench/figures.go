@@ -20,7 +20,12 @@ var DisaggregatedSubset = []string{"msort", "palindrome", "suffix-array", "token
 // Table1 runs the Fig. 6 true-sharing microbenchmark in the paper's three
 // placements and prints the measured cycles per iteration next to the
 // paper's published real-hardware and Sniper numbers.
-func Table1(w io.Writer, iterations int) error {
+//
+// When r is non-nil the kernels run under r's engine mode with r's live
+// probe attached, and their simulated cycles are credited to r — so a
+// wardenbench "table1" step records real simulated throughput instead of
+// simulated_cycles: 0. A nil r runs standalone (tests, ad-hoc callers).
+func Table1(w io.Writer, r *Runner, iterations int) error {
 	type row struct {
 		scenario    string
 		cfg         topology.Config
@@ -39,12 +44,21 @@ func Table1(w io.Writer, iterations int) error {
 	fmt.Fprintln(w, "(true-sharing ping-pong kernel of Fig. 6; latencies in cycles/iteration)")
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "Scenario\tPaper real HW\tPaper Sniper\tThis simulator")
-	for _, r := range rows {
-		res, err := pbbs.PingPong(r.cfg, r.a, r.b, iterations, r.scenario)
+	for _, row := range rows {
+		var res pbbs.PingPongResult
+		var err error
+		if r != nil {
+			res, err = pbbs.PingPongOn(r.Engine, r.probe, row.cfg, row.a, row.b, iterations, row.scenario)
+		} else {
+			res, err = pbbs.PingPong(row.cfg, row.a, row.b, iterations, row.scenario)
+		}
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n", r.scenario, r.paperReal, r.paperSniper, res.CyclesPerIter)
+		if r != nil {
+			r.NoteExternalSim(res.Cycles)
+		}
+		fmt.Fprintf(tw, "%s\t%.2f\t%.2f\t%.2f\n", row.scenario, row.paperReal, row.paperSniper, res.CyclesPerIter)
 	}
 	return tw.Flush()
 }

@@ -100,7 +100,7 @@ func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.E
 		tcfg.Trace = traceF
 	}
 	cap := telemetry.New(tcfg)
-	res, err := runObserved(cfg, proto, e, size, opts,
+	res, err := runObserved(cfg, proto, e, size, opts, r.Engine,
 		func(*machine.Machine) core.Sink { return cap }, r.probe)
 	if cerr := cap.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("bench: telemetry trace: %w", cerr)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 )
 
@@ -28,5 +29,59 @@ func BenchmarkEngineOpOverhead(b *testing.B) {
 			}
 			b.ReportMetric(float64(threads*per)/float64(b.N), "ops/iter")
 		})
+	}
+}
+
+// BenchmarkEngineSequentialVsPDES compares the two schedulers on a
+// local-heavy workload (each thread runs long compute bursts between
+// global synchronization points — the shape PDES targets), sweeping
+// simulated thread counts × GOMAXPROCS. On a single-core host PDES can
+// only lose (goroutine parking without parallelism); the interesting
+// numbers come from GOMAXPROCS>1.
+func BenchmarkEngineSequentialVsPDES(b *testing.B) {
+	hostCPUs := runtime.NumCPU()
+	procs := []int{1}
+	if hostCPUs >= 4 {
+		procs = append(procs, 4)
+	} else if hostCPUs > 1 {
+		procs = append(procs, hostCPUs)
+	}
+	build := func(threads int, pdes bool) *Engine {
+		e := New(threads, func(t *Thread, op Op) uint64 { return 1 })
+		if pdes {
+			e.SetPDES(PDESConfig{
+				Window: 256,
+				Local:  func(t *Thread, op Op) uint64 { return uint64(op.(localOp)) },
+			})
+		}
+		for id := 0; id < threads; id++ {
+			e.SetBody(id, func(t *Thread) {
+				for i := 0; i < 2000; i++ {
+					for k := 0; k < 32; k++ { // local burst
+						t.Call(localOp(4))
+					}
+					t.Call(globalOp(1)) // synchronization point
+				}
+			})
+		}
+		return e
+	}
+	for _, engine := range []string{"seq", "pdes"} {
+		for _, threads := range []int{4, 16} {
+			for _, p := range procs {
+				name := fmt.Sprintf("engine=%s/threads=%d/gomaxprocs=%d", engine, threads, p)
+				b.Run(name, func(b *testing.B) {
+					prev := runtime.GOMAXPROCS(p)
+					defer runtime.GOMAXPROCS(prev)
+					ops := threads * 2000 * 33
+					for i := 0; i < b.N; i++ {
+						if _, err := build(threads, engine == "pdes").Run(); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.ReportMetric(float64(ops), "simops/iter")
+				})
+			}
+		}
 	}
 }

@@ -77,6 +77,15 @@ func (p *Probe) note(adv uint64) {
 // defined by the machine layer; the engine treats them opaquely.
 type Op interface{}
 
+// LocalOp marks an op as thread-local: executing it reads and writes only
+// state owned by the issuing thread (its clock, its store buffer, its
+// private counters) and never shared simulator state. The PDES scheduler
+// (see SetPDES) executes LocalOps concurrently on host threads inside an
+// epoch window; everything else is serialized in exact (clock, id) order.
+// Ops that do not implement LocalOp are global. The sequential scheduler
+// ignores the marker entirely.
+type LocalOp interface{ EngineLocal() }
+
 // Handler executes op on behalf of t and returns how many cycles t's local
 // clock advances. Handlers run while every other thread is parked and may
 // freely mutate simulator state; the goroutine they run on varies (the
@@ -97,9 +106,17 @@ type Thread struct {
 	// parked threads, refreshed by the scheduler before each wake. While
 	// (now, id) precedes (horizonNow, horizonID) this thread is the one the
 	// scheduler would pick, so Call runs the handler inline with no
-	// handshake.
+	// handshake. The PDES serial drain reuses the same pair as its global
+	// lease (see pdes.go).
 	horizonNow uint64
 	horizonID  int
+
+	// PDES state (unused by the sequential scheduler). limit is the current
+	// epoch horizon H: local ops execute only while now < limit. serial is
+	// set while the thread holds the phase-2 drain lease, allowing global
+	// ops to run inline under (horizonNow, horizonID).
+	limit  uint64
+	serial bool
 }
 
 // ID returns the hardware thread id (dense, starting at 0).
@@ -116,6 +133,10 @@ func (t *Thread) Now() uint64 { return t.now }
 // thread with the smallest clock.
 func (t *Thread) Call(op Op) {
 	e := t.eng
+	if e.pdes != nil {
+		t.callPDES(op)
+		return
+	}
 	if (t.now < t.horizonNow || (t.now == t.horizonNow && t.id < t.horizonID)) &&
 		(e.MaxCycles == 0 || t.now <= e.MaxCycles) {
 		// This thread is the scheduler's next pick: executing inline is
@@ -181,6 +202,23 @@ type Engine struct {
 	// probe, if set, receives per-op progress (see Probe). Nil costs one
 	// predictable branch per op.
 	probe *Probe
+
+	// ran guards Run against double invocation (the channels and heap are
+	// single-use; a second Run would silently corrupt them).
+	ran bool
+
+	// PDES scheduler state (nil selects the sequential scheduler).
+	pdes       *PDESConfig
+	pdesParked []*Thread    // threads parked during startup / between epochs
+	parkc      chan pdesMsg // running threads report park/exit/panic here
+
+	// Serial-drain state for the current epoch, owned by whichever
+	// goroutine holds the drain baton: the one live serial thread, or the
+	// coordinator when none is live (ownership passes through the parkc/
+	// res handoffs, which also order the accesses). See wakeNextDrain.
+	drainHeap clockHeap
+	drainH    uint64
+	procs     int // host procs available to this run (GOMAXPROCS at Run)
 }
 
 // SetProbe attaches a live progress probe. Call before Run; the probe may
@@ -254,6 +292,12 @@ func (e *Engine) schedule() *Thread {
 func (e *Engine) launch(t *Thread) {
 	go func() {
 		defer func() {
+			if e.pdes != nil && e.running {
+				// PDES: the coordinator owns termination; report the exit
+				// (or panic) and let it account the final clock.
+				e.parkc <- pdesMsg{t: t, exited: true, panicv: recover()}
+				return
+			}
 			if r := recover(); r != nil {
 				if !e.running {
 					e.startc <- r
@@ -283,8 +327,17 @@ func (e *Engine) launch(t *Thread) {
 }
 
 // Run executes all thread bodies to completion and returns the final global
-// clock (the maximum thread-local clock). It can only be called once.
+// clock (the maximum thread-local clock). It can only be called once:
+// the scheduling channels and parked-thread structures are single-use, so
+// a second call panics rather than silently corrupting them.
 func (e *Engine) Run() (uint64, error) {
+	if e.ran {
+		panic("engine: Run called twice on the same Engine (create a new Engine per run)")
+	}
+	e.ran = true
+	if e.pdes != nil {
+		return e.runPDES()
+	}
 	e.heap.a = make([]*Thread, 0, len(e.threads))
 	e.startc = make(chan any)
 	e.donec = make(chan attic, 1)

@@ -112,8 +112,13 @@ func (h *Heap) mergeInto(ctx *machine.Ctx, parent *Heap) {
 		panic("hlpl: merging a heap with active WARD regions")
 	}
 	ctx.Compute(joinMergeCycles)
-	parent.runs = append(parent.runs, h.runs...)
-	h.runs = nil
+	// Two children of one parent may complete concurrently under the PDES
+	// engine, and the resulting run order feeds later putRun/getRun address
+	// reuse: append at this thread's serialized position.
+	ctx.Host(func() {
+		parent.runs = append(parent.runs, h.runs...)
+		h.runs = nil
+	})
 	h.merged = true
 }
 

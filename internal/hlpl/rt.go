@@ -83,9 +83,12 @@ type RT struct {
 	cells   []mem.Addr         // free 64-byte runtime cells
 	cellTop mem.Addr           // bump space for fresh cells
 	cellEnd mem.Addr
-	done    bool
+	done    bool // set/read only via Ctx.Host (shared across workers)
 
-	// Stats (host-side, for tests and reports).
+	// Stats (host-side, for tests and reports). Forks is bumped with
+	// atomic.AddUint64: fork setup runs in body segments that the PDES
+	// engine may execute concurrently, and the count is commutative.
+	// Steals is only mutated in post-load (serialized) segments.
 	Forks  uint64
 	Steals uint64
 }
@@ -127,7 +130,11 @@ func (rt *RT) Run(root func(*Task)) (uint64, error) {
 				t.releaseScratch()
 				h.unmark(ctx)
 				ctx.PhaseEnd(RootPhase)
-				rt.done = true
+				// done is shared host state: setting it through Host pins
+				// the write to the root thread's exact serialized position,
+				// so workers' Host-reads observe it at the same simulated
+				// instant under both engine modes.
+				ctx.Host(func() { rt.done = true })
 				return
 			}
 			w.loop()
@@ -169,12 +176,20 @@ func (rt *RT) getRun(w *worker, pages int) mem.Addr {
 		w.runPool[pages] = rs[:len(rs)-1]
 		return a
 	}
-	if rs := rt.pool[pages]; len(rs) > 0 {
-		a := rs[len(rs)-1]
-		rt.pool[pages] = rs[:len(rs)-1]
-		return a
-	}
-	return rt.m.Mem().AllocPages(pages)
+	// The global pool and the address-space bump allocator are shared host
+	// state, and the address handed out feeds back into simulated cache
+	// behaviour — it must be drawn at this thread's exact serialized
+	// position (Ctx.Host) to stay deterministic under the PDES engine.
+	var a mem.Addr
+	w.ctx.Host(func() {
+		if rs := rt.pool[pages]; len(rs) > 0 {
+			a = rs[len(rs)-1]
+			rt.pool[pages] = rs[:len(rs)-1]
+			return
+		}
+		a = rt.m.Mem().AllocPages(pages)
+	})
+	return a
 }
 
 // putRun returns a run to the freeing worker's local pool, spilling to the
@@ -185,5 +200,7 @@ func (rt *RT) putRun(w *worker, base mem.Addr, pages int) {
 		w.runPool[pages] = append(w.runPool[pages], base)
 		return
 	}
-	rt.pool[pages] = append(rt.pool[pages], base)
+	// Spilling to the shared pool mutates shared host state: serialize it
+	// (see getRun).
+	w.ctx.Host(func() { rt.pool[pages] = append(rt.pool[pages], base) })
 }

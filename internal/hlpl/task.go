@@ -1,6 +1,8 @@
 package hlpl
 
 import (
+	"sync/atomic"
+
 	"warden/internal/machine"
 	"warden/internal/mem"
 )
@@ -96,7 +98,9 @@ func (t *Task) Store(a mem.Addr, size int, v uint64) { t.w.ctx.Store(a, size, v)
 func (t *Task) Join2(a, b func(*Task)) {
 	w := t.w
 	rt := w.rt
-	rt.Forks++
+	// This segment may run concurrently under the PDES engine; the fork
+	// count is commutative, so an atomic add keeps it exact and race-free.
+	atomic.AddUint64(&rt.Forks, 1)
 	w.ctx.Compute(forkSetupCycles)
 
 	// Write the fork record for b into the current heap, then unmark it:
@@ -107,7 +111,10 @@ func (t *Task) Join2(a, b func(*Task)) {
 	w.ctx.Store(desc+8, 8, uint64(len(w.items)))  // and argument word
 	t.heap.unmark(w.ctx)
 
-	join := rt.allocCell()
+	// The cell free list is shared host state and the cell address is
+	// simulation-visible: draw it at this thread's serialized position.
+	var join mem.Addr
+	w.ctx.Host(func() { join = rt.allocCell() })
 	w.ctx.Store(join, 8, 0)
 	td := &taskDesc{fn: b, parent: t.heap, desc: desc, join: join}
 	w.push(td)
@@ -140,7 +147,7 @@ func (t *Task) Join2(a, b func(*Task)) {
 			w.ctx.Compute(idleProbeCycles)
 		}
 	}
-	rt.freeCell(join)
+	w.ctx.Host(func() { rt.freeCell(join) })
 }
 
 // finish completes a child task: scratch is recycled, the heap's WARD

@@ -121,11 +121,17 @@ func (w *worker) runTask(td *taskDesc) {
 }
 
 // loop is the body of every non-root worker: steal until the computation
-// finishes. The done flag is host-side state; reading it models the cheap
-// "work available?" check real schedulers keep in shared memory via the
-// deque bottom loads inside trySteal.
+// finishes. The done flag is host-side state shared with the root thread,
+// so it is read through Ctx.Host — pinning each check to this worker's
+// serialized position, which keeps the number of idle iterations (and so
+// the instruction stream) identical across engine modes.
 func (w *worker) loop() {
-	for !w.rt.done {
+	for {
+		var done bool
+		w.ctx.Host(func() { done = w.rt.done })
+		if done {
+			return
+		}
 		if td := w.trySteal(); td != nil {
 			w.runTask(td)
 			continue

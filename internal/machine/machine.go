@@ -13,6 +13,7 @@ package machine
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"warden/internal/core"
 	"warden/internal/engine"
@@ -33,6 +34,14 @@ type Machine struct {
 	sbufs []*storeBuffer
 
 	cycles uint64 // final clock after Run
+
+	// PDES state (see pdes.go). locals is non-nil iff emode is EnginePDES;
+	// observing caches Sink() != nil for the concurrent local handler,
+	// which must not read the (mutable) sink field itself.
+	emode     EngineMode
+	locals    []threadLocal
+	nbuffered atomic.Int64
+	observing bool
 }
 
 // New builds a machine with the given topology and protocol.
@@ -93,8 +102,13 @@ func (m *Machine) Run(bodies []func(*Ctx)) (uint64, error) {
 			body(&Ctx{m: m, t: t, core: core})
 		})
 	}
+	m.observing = m.sys.Sink() != nil
 	cycles, err := m.eng.Run()
 	m.cycles = cycles
+	// Fold PDES per-thread counters into the shared set before anything
+	// reads them — on every outcome, so errors report the same counters
+	// the sequential engine would.
+	m.mergeLocals()
 	if err != nil {
 		return cycles, err
 	}
@@ -157,6 +171,12 @@ type removeRegionOp struct{ id core.RegionID }
 // instruction-level event per op (execObserved); without one, the only
 // overhead versus the pre-event-stream machine is this nil check.
 func (m *Machine) exec(t *engine.Thread, op engine.Op) uint64 {
+	if h, ok := op.(*hostOp); ok {
+		// Host callback: serialized host-side bookkeeping only — no event,
+		// no counters, no clock advance (see Ctx.Host).
+		h.fn()
+		return 0
+	}
 	if m.sys.Sink() == nil {
 		return m.execOp(t, op)
 	}
@@ -393,12 +413,13 @@ type Ctx struct {
 	t    *engine.Thread
 	core int
 
-	ld  loadOp
-	st  storeOp
-	cmp computeOp
-	fnc fenceOp
-	rmw rmwOp
-	buf [8]byte // backing store for scalar Load/Store data
+	ld   loadOp
+	st   storeOp
+	cmp  computeOp
+	fnc  fenceOp
+	rmw  rmwOp
+	host hostOp
+	buf  [8]byte // backing store for scalar Load/Store data
 }
 
 // ThreadID returns the hardware thread id.
@@ -509,10 +530,10 @@ func (c *Ctx) FetchAdd(a mem.Addr, size int, delta uint64) uint64 {
 // parked, so emitting from here is as serialized as emitting from an op
 // handler.
 func (c *Ctx) PhaseBegin(name string) {
-	if c.m.sys.Sink() == nil {
+	if !c.m.observing {
 		return
 	}
-	c.m.sys.Emit(&core.Event{
+	c.m.emitMarker(c.t, &core.Event{
 		Kind: core.EvPhaseBegin, Thread: c.t.ID(), Core: c.core,
 		Cycle: c.t.Now(), Label: name,
 	})
@@ -522,10 +543,10 @@ func (c *Ctx) PhaseBegin(name string) {
 // this thread. The name is carried for validation; well-formed programs
 // close phases in LIFO order per thread.
 func (c *Ctx) PhaseEnd(name string) {
-	if c.m.sys.Sink() == nil {
+	if !c.m.observing {
 		return
 	}
-	c.m.sys.Emit(&core.Event{
+	c.m.emitMarker(c.t, &core.Event{
 		Kind: core.EvPhaseEnd, Thread: c.t.ID(), Core: c.core,
 		Cycle: c.t.Now(), Label: name,
 	})

@@ -3,6 +3,7 @@ package pbbs
 import (
 	"fmt"
 
+	"warden/internal/engine"
 	"warden/internal/machine"
 	"warden/internal/topology"
 )
@@ -26,7 +27,18 @@ type PingPongResult struct {
 //	    buf = myID;
 //	}
 func PingPong(cfg topology.Config, threadA, threadB, iterations int, scenario string) (PingPongResult, error) {
+	return PingPongOn(machine.EngineSequential, nil, cfg, threadA, threadB, iterations, scenario)
+}
+
+// PingPongOn is PingPong under an explicit engine mode with an optional
+// live progress probe — the harness path, so kernel-validation steps
+// report real simulated throughput like every other perfdb step.
+func PingPongOn(emode machine.EngineMode, probe *engine.Probe, cfg topology.Config, threadA, threadB, iterations int, scenario string) (PingPongResult, error) {
 	m := machine.New(cfg, 0 /* MESI; the kernel has no WARD regions */)
+	m.SetEngineMode(emode)
+	if probe != nil {
+		m.SetProbe(probe)
+	}
 	buf := m.Mem().Alloc(64, 64)
 	idA, idB := uint64(threadA+1), uint64(threadB+1)
 	// A waits for B's id; seed the buffer so A goes first.

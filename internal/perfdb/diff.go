@@ -78,6 +78,17 @@ func Compare(base, next Snapshot, th Thresholds) []Delta {
 			Pct: pctChange(float64(b.SimulatedCycles), float64(n.SimulatedCycles)),
 		}
 		cyc.Regression = cyc.Pct > th.CyclePct
+		if b.SimulatedCycles == 0 && n.SimulatedCycles > 0 {
+			// The base snapshot predates cycle accounting for this step
+			// (e.g. table1 before the kernel-validation runs were probed).
+			// Gaining coverage is not a regression; there is just no
+			// baseline to compare against yet.
+			cyc.Regression = false
+			cyc.Note = "base recorded no cycles for this step; new coverage, not a regression"
+		}
+		if note := suspectZeroCycles(n); note != "" {
+			cyc.Note = note
+		}
 		out = append(out, cyc)
 
 		if th.CompareWall && (b.WallSeconds >= th.MinWallSeconds || n.WallSeconds >= th.MinWallSeconds) {
@@ -92,14 +103,35 @@ func Compare(base, next Snapshot, th Thresholds) []Delta {
 	}
 	for _, n := range next.Steps {
 		if !seen[n.Step] {
+			note := "new step (not in base snapshot)"
+			if s := suspectZeroCycles(n); s != "" {
+				note = s
+			}
 			out = append(out, Delta{
 				Step: n.Step, Metric: "simulated_cycles",
 				Base: math.NaN(), New: float64(n.SimulatedCycles),
-				Note: "new step (not in base snapshot)",
+				Note: note,
 			})
 		}
 	}
 	return out
+}
+
+// suspectWallFloor is the wall-clock above which a step that claims zero
+// simulated cycles is suspicious: real simulation work almost certainly
+// happened but was not credited to the runner (a Table1-style accounting
+// gap). Purely-host steps (table2 renders a static table in microseconds)
+// stay below it.
+const suspectWallFloor = 0.001
+
+// suspectZeroCycles returns a warning note when rec reports no simulated
+// cycles despite non-trivial wall time. It is a warning, not a regression:
+// the measurement is incomplete rather than worse.
+func suspectZeroCycles(rec Record) string {
+	if rec.SimulatedCycles == 0 && rec.WallSeconds >= suspectWallFloor {
+		return fmt.Sprintf("suspect: zero simulated cycles but %.3fs wall — step likely not crediting its simulations", rec.WallSeconds)
+	}
+	return ""
 }
 
 // HasRegression reports whether any delta is flagged.

@@ -208,3 +208,55 @@ func TestWriteReportRendersRegressions(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareZeroBaseGainsCoverage: a step whose base recorded zero cycles
+// but whose new snapshot reports real work (e.g. table1 once the
+// kernel-validation runs were probed) is new coverage, not a regression.
+func TestCompareZeroBaseGainsCoverage(t *testing.T) {
+	base := snap("r1", map[string]uint64{"fig7": 0, "total": 100}, nil)
+	next := snap("r2", map[string]uint64{"fig7": 5_000, "total": 100}, nil)
+	deltas := Compare(base, next, DefaultThresholds())
+	if HasRegression(deltas) {
+		t.Fatalf("zero-base coverage gain flagged as regression: %+v", deltas)
+	}
+	var found bool
+	for _, d := range deltas {
+		if d.Step == "fig7" && d.Metric == "simulated_cycles" {
+			found = true
+			if d.Note == "" {
+				t.Fatalf("zero-base step carries no explanatory note: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("fig7 delta missing")
+	}
+}
+
+// TestCompareSuspectZeroCycles: a step claiming zero simulated cycles with
+// non-trivial wall time is suspect — warned about, never a failure — both
+// when the step exists in the base and when it is new.
+func TestCompareSuspectZeroCycles(t *testing.T) {
+	base := snap("r1", map[string]uint64{"fig7": 0, "total": 100}, map[string]float64{"fig7": 0.042})
+	next := snap("r2", map[string]uint64{"fig7": 0, "total": 100, "fig8": 0},
+		map[string]float64{"fig7": 0.042, "fig8": 1.5})
+	deltas := Compare(base, next, DefaultThresholds())
+	if HasRegression(deltas) {
+		t.Fatalf("suspect zero-cycle steps must warn, not fail: %+v", deltas)
+	}
+	notes := map[string]string{}
+	for _, d := range deltas {
+		if d.Metric == "simulated_cycles" {
+			notes[d.Step] = d.Note
+		}
+	}
+	for _, step := range []string{"fig7", "fig8"} {
+		if !strings.Contains(notes[step], "suspect") {
+			t.Fatalf("%s: want suspect note, got %q", step, notes[step])
+		}
+	}
+	// Sub-millisecond steps (table2 renders in microseconds) stay silent.
+	if s := suspectZeroCycles(Record{SimulatedCycles: 0, WallSeconds: 0.0004}); s != "" {
+		t.Fatalf("sub-floor wall time flagged: %q", s)
+	}
+}

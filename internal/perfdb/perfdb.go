@@ -36,6 +36,13 @@ type Record struct {
 	Fingerprint string `json:"fingerprint,omitempty"`
 	// Step names the experiment ("fig8", "ablations", or "total").
 	Step string `json:"step"`
+	// Engine names the simulation engine mode the step ran under ("seq" or
+	// "pdes"); GOMAXPROCS records the host parallelism available to it.
+	// Both are context for interpreting WallSeconds — engine timing is
+	// host-dependent — and absent from pre-PDES history lines (additive
+	// fields; the schema version is unchanged).
+	Engine     string `json:"engine,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
 
 	// Deterministic simulation measurements.
 	SimulatedCycles uint64 `json:"simulated_cycles"`

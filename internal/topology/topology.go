@@ -160,6 +160,22 @@ func (c Config) HomeSocket(blockAddr uint64) int {
 	return int((blockAddr / c.BlockSize) % uint64(c.Sockets))
 }
 
+// MinVisibilityLatency is the minimum simulated-cycle delay before one
+// thread's memory-system action can affect another thread's timing: the
+// fastest cross-core path, through the home L3/directory slice over the
+// NoC (both cores on one socket; an inter-socket hop only adds to it).
+// The PDES scheduler uses it as the epoch window width — under this
+// simulator's conservative op classification any window is correct (see
+// internal/engine), so this is a batching heuristic, sized so that
+// threads in compute-heavy phases share epochs with their neighbours.
+func (c Config) MinVisibilityLatency() uint64 {
+	w := c.L2Latency + c.NoCHopLatency*c.AvgNoCHops + c.L3Latency
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
 // CyclesToSeconds converts a cycle count to seconds at the configured clock.
 func (c Config) CyclesToSeconds(cycles uint64) float64 {
 	return float64(cycles) / (c.FrequencyGHz * 1e9)

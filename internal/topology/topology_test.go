@@ -105,3 +105,17 @@ func TestCyclesToSeconds(t *testing.T) {
 		t.Fatalf("3.3e9 cycles = %v s, want 1", got)
 	}
 }
+
+func TestMinVisibilityLatency(t *testing.T) {
+	c := XeonGold6126(2)
+	// Fastest cross-core path: L2 miss, NoC to the home slice, L3 lookup.
+	want := c.L2Latency + c.NoCHopLatency*c.AvgNoCHops + c.L3Latency
+	if got := c.MinVisibilityLatency(); got != want || got == 0 {
+		t.Fatalf("MinVisibilityLatency = %d, want %d (nonzero)", got, want)
+	}
+	// A degenerate zero-latency config must still yield a usable window.
+	var z Config
+	if got := z.MinVisibilityLatency(); got != 1 {
+		t.Fatalf("zero config window = %d, want 1", got)
+	}
+}
