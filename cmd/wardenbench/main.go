@@ -98,7 +98,7 @@ func gitRev() string {
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, engine-seq, engine-pdes, events, or all")
+		"which artifact to regenerate: table1, table2, fig7, fig8, fig9, fig10, fig11, fig12, ablations, manysockets, threeway, engine-seq, engine-pdes, events, or all")
 	size := flag.String("size", "medium", "input size class: small or medium")
 	quiet := flag.Bool("q", false, "suppress progress messages")
 	parallel := flag.Int("parallel", 0,
@@ -283,7 +283,7 @@ func main() {
 	names := []string{*experiment}
 	if *experiment == "all" {
 		names = []string{"table1", "table2", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ablations", "manysockets",
-			"engine-seq", "engine-pdes"}
+			"threeway", "engine-seq", "engine-pdes"}
 	}
 
 	iters := 20000
@@ -307,6 +307,10 @@ func main() {
 		"fig12":       func() error { return bench.Figure12(out, r) },
 		"ablations":   func() error { return bench.Ablations(out, r) },
 		"manysockets": func() error { return bench.ManySockets(out, r) },
+		// threeway is the registry's proof figure: the MESI baseline, the
+		// WARDen regions protocol, and the out-of-core SiSd family side by
+		// side over the full suite.
+		"threeway": func() error { return bench.ThreeWay(out, r) },
 		// events profiles the deep-dive benchmark subset through the Metrics
 		// event sink (latency histograms, sharer distributions, per-block
 		// contention). It is opt-in rather than part of "all": the sink runs

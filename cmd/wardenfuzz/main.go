@@ -1,15 +1,16 @@
 // Command wardenfuzz drives the explicit-state protocol verifier
 // (internal/modelcheck) from the command line: exhaustive exploration of
 // small configurations, the named litmus suite, and seeded random-walk
-// fuzzing — including MESI-vs-WARDen differential walks — on
-// configurations too big to exhaust.
+// fuzzing — including pairwise differential walks between any two
+// registered protocols — on configurations too big to exhaust.
 //
 // Usage:
 //
-//	wardenfuzz -mode exhaustive [-protocol both] [-cores 2] [-blocks 1] [-depth 8]
+//	wardenfuzz -mode exhaustive [-protocol all] [-cores 2] [-blocks 1] [-depth 8]
 //	wardenfuzz -mode litmus [-scenario name]
 //	wardenfuzz -mode walk [-protocol warden] [-walks 64] [-steps 400] [-seed 1]
-//	wardenfuzz -mode diff [-walks 64] [-steps 400] [-seed 1]
+//	wardenfuzz -diff sisd:mesi [-walks 64] [-steps 400] [-seed 1]
+//	wardenfuzz -mode diff [-walks 64] [-steps 400] [-seed 1]   # warden:mesi
 //	wardenfuzz -mode enginediff [-walks 16] [-steps 400] [-seed 1]
 //
 // enginediff fuzzes the simulator's engines rather than the protocols:
@@ -31,6 +32,7 @@ import (
 	"warden/internal/mem"
 	"warden/internal/modelcheck"
 	"warden/internal/modelcheck/litmus"
+	"warden/internal/protocols"
 	"warden/internal/runner"
 )
 
@@ -47,7 +49,9 @@ func usage(msg string) {
 
 func main() {
 	mode := flag.String("mode", "walk", "exhaustive, litmus, walk, diff, or enginediff")
-	protocol := flag.String("protocol", "both", "mesi, warden, moesi, or both")
+	protocol := flag.String("protocol", "all", protocols.Usage())
+	diffPair := flag.String("diff", "",
+		"differential walk on a subject:baseline protocol pair (e.g. sisd:mesi); implies -mode diff")
 	cores := flag.Int("cores", 2, "cores in the abstract machine (2-3 are tractable)")
 	blocks := flag.Int("blocks", 1, "tracked cache blocks")
 	conflict := flag.Bool("conflict", false, "single-set private caches: distinct blocks evict each other")
@@ -69,18 +73,12 @@ func main() {
 		usage("cores, blocks, depth, walks, and steps must be positive (sb non-negative)")
 	}
 
-	var protos []core.Protocol
-	switch *protocol {
-	case "mesi":
-		protos = []core.Protocol{core.MESI}
-	case "warden":
-		protos = []core.Protocol{core.WARDen}
-	case "moesi":
-		protos = []core.Protocol{core.MOESI}
-	case "both":
-		protos = []core.Protocol{core.MESI, core.WARDen}
-	default:
-		usage(fmt.Sprintf("unknown protocol %q (want mesi, warden, moesi, or both)", *protocol))
+	if *diffPair != "" {
+		*mode = "diff"
+	}
+	protos, err := protocols.Parse(*protocol)
+	if err != nil {
+		usage(err.Error())
 	}
 
 	build := func(p core.Protocol) modelcheck.Config {
@@ -177,16 +175,22 @@ func main() {
 			}
 		}
 	case "diff":
+		subject, baseline := core.WARDen, core.MESI
+		if *diffPair != "" {
+			if subject, baseline, err = protocols.ParsePair(*diffPair); err != nil {
+				usage(err.Error())
+			}
+		}
 		cx := parallelWalks(*parallel, *walks, func(i int) (*modelcheck.Counterexample, error) {
-			res, err := modelcheck.DiffWalk(build(core.WARDen), *seed+int64(i), *steps)
+			res, err := modelcheck.DiffWalk(build(subject), subject, baseline, *seed+int64(i), *steps)
 			return res.Violation, err
 		})
 		if cx != nil {
 			report(cx)
 		}
 		if !*quiet {
-			fmt.Printf("diff   walk: %d walks x %d steps, WARDen==MESI outside race-affected bytes (seeds %d..%d)\n",
-				*walks, *steps, *seed, *seed+int64(*walks)-1)
+			fmt.Printf("diff   walk: %d walks x %d steps, %v==%v outside race-affected bytes (seeds %d..%d)\n",
+				*walks, *steps, subject, baseline, *seed, *seed+int64(*walks)-1)
 		}
 	case "enginediff":
 		// Unlike the other modes this one fuzzes the simulator's own

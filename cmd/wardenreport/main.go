@@ -12,9 +12,10 @@
 // Run mode simulates the benchmark with the full telemetry capture attached
 // (cycle windows, phase accounting, sharing heatmap) and writes one HTML
 // document with inline SVG sparklines and per-phase breakdown tables; with
-// -protocol both (the default) the MESI baseline and WARDen run are rendered
-// side by side with a comparison header. -trace-out DIR additionally writes
-// each run's Perfetto timeline.
+// -protocol mesi,warden (the default) the MESI baseline and WARDen run are
+// rendered side by side with a comparison header. Any registered protocols
+// work, e.g. -protocol mesi,sisd. -trace-out DIR additionally writes each
+// run's Perfetto timeline.
 //
 // Validate mode parses a trace_event JSON file, checks it is well-formed
 // (per-track monotonic timestamps, balanced and name-matched B/E pairs,
@@ -35,13 +36,14 @@ import (
 	"warden/internal/hlpl"
 	"warden/internal/machine"
 	"warden/internal/pbbs"
+	"warden/internal/protocols"
 	"warden/internal/telemetry"
 	"warden/internal/topology"
 )
 
 func main() {
 	benchmark := flag.String("benchmark", "", "benchmark to run (see pbbs suite); required in run mode")
-	protocol := flag.String("protocol", "both", "protocol: mesi, moesi, warden, or both (MESI baseline vs WARDen)")
+	protocol := flag.String("protocol", "mesi,warden", protocols.Usage())
 	size := flag.String("size", "small", "input size class: small or medium")
 	sockets := flag.Int("sockets", 2, "number of sockets in the simulated machine")
 	out := flag.String("o", "report.html", "output HTML file")
@@ -61,9 +63,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wardenreport: -benchmark is required (or use -validate)")
 		os.Exit(2)
 	}
-	protos, err := parseProtocols(*protocol)
+	protos, err := protocols.Parse(*protocol)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wardenreport: %v\n", err)
+		fmt.Fprintf(os.Stderr, "wardenreport: -protocol: %v\n", err)
 		os.Exit(2)
 	}
 	e, err := pbbs.ByName(*benchmark)
@@ -105,22 +107,6 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wardenreport: wrote %s\n", *out)
-}
-
-// parseProtocols maps the -protocol flag to the run order; for "both" the
-// baseline comes first so WriteHTML's comparison header reads MESI → WARDen.
-func parseProtocols(s string) ([]core.Protocol, error) {
-	switch strings.ToLower(s) {
-	case "mesi":
-		return []core.Protocol{core.MESI}, nil
-	case "moesi":
-		return []core.Protocol{core.MOESI}, nil
-	case "warden":
-		return []core.Protocol{core.WARDen}, nil
-	case "both":
-		return []core.Protocol{core.MESI, core.WARDen}, nil
-	}
-	return nil, fmt.Errorf("unknown protocol %q (want mesi, moesi, warden, or both)", s)
 }
 
 // observe runs one simulation with the telemetry capture attached and

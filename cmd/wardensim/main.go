@@ -5,7 +5,8 @@
 // Usage:
 //
 //	wardensim -bench msort -protocol warden -sockets 2 -size 24000
-//	wardensim -bench primes -protocol both -v
+//	wardensim -bench primes -protocol all -v
+//	wardensim -bench msort -protocol mesi,sisd
 //	wardensim -bench msort -engine pdes      # parallel engine, same results
 //	wardensim -bench msort -serve :8080 -serve-linger 30s
 //
@@ -28,19 +29,19 @@ import (
 	"time"
 
 	"warden/internal/bench"
-	"warden/internal/core"
 	"warden/internal/engine"
 	"warden/internal/hlpl"
 	"warden/internal/machine"
 	"warden/internal/obs"
 	"warden/internal/pbbs"
+	"warden/internal/protocols"
 	"warden/internal/stats"
 	"warden/internal/topology"
 )
 
 func main() {
 	name := flag.String("bench", "primes", "benchmark name (see -list)")
-	protocol := flag.String("protocol", "both", "mesi, warden, or both")
+	protocol := flag.String("protocol", "mesi,warden", protocols.Usage())
 	sockets := flag.Int("sockets", 2, "socket count")
 	cores := flag.Int("cores", 0, "cores per socket (0 = Table 2 default of 12)")
 	size := flag.Int("size", 0, "input size (0 = medium preset)")
@@ -94,16 +95,9 @@ func main() {
 		cfg.CoresPerSocket = *cores
 	}
 
-	var protos []core.Protocol
-	switch *protocol {
-	case "mesi":
-		protos = []core.Protocol{core.MESI}
-	case "warden":
-		protos = []core.Protocol{core.WARDen}
-	case "both":
-		protos = []core.Protocol{core.MESI, core.WARDen}
-	default:
-		fmt.Fprintf(os.Stderr, "wardensim: unknown protocol %q\n", *protocol)
+	protos, err := protocols.Parse(*protocol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wardensim: -protocol: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -140,7 +134,7 @@ func main() {
 		}
 	}
 
-	results := make([]bench.Result, 0, 2)
+	results := make([]bench.Result, 0, len(protos))
 	for _, p := range protos {
 		fmt.Fprintf(os.Stderr, "... simulating %s/%v on %s (size %d)\n", entry.Name, p, cfg.Name, *size)
 		var run *obs.Run
@@ -222,6 +216,8 @@ func main() {
 	tw.Flush()
 
 	if len(results) == 2 {
+		// Pairwise footer: first protocol is the baseline, second the
+		// subject (the default "mesi,warden" preserves the old reading).
 		c := bench.Comparison{Name: entry.Name, MESI: results[0], WARDen: results[1]}
 		fmt.Printf("\nspeedup %.3fx, interconnect savings %.1f%%, total energy savings %.1f%%, IPC %+.1f%%\n",
 			c.Speedup(), c.InterconnectSavings(), c.TotalEnergySavings(), c.IPCImprovement())

@@ -3,7 +3,7 @@
 // a pbbs benchmark recorded with -record replays to the exact same cycle
 // count and counters.
 //
-//	wardentrace -protocol both path/to/trace.txt
+//	wardentrace -protocol mesi,warden path/to/trace.txt
 //	echo '0 W 0x1000 8 7' | wardentrace -
 //	wardentrace -record primes -protocol warden -o primes.trace
 //	wardentrace -protocol warden -check primes.trace
@@ -37,6 +37,7 @@ import (
 	"warden/internal/hlpl"
 	"warden/internal/machine"
 	"warden/internal/pbbs"
+	"warden/internal/protocols"
 	"warden/internal/topology"
 	"warden/internal/trace"
 )
@@ -54,7 +55,7 @@ func usageErr(format string, args ...interface{}) {
 }
 
 func main() {
-	protocol := flag.String("protocol", "both", "mesi, warden, or both")
+	protocol := flag.String("protocol", "mesi,warden", protocols.Usage())
 	sockets := flag.Int("sockets", 1, "socket count")
 	cores := flag.Int("cores", 0, "cores per socket (0 = Table 2 default)")
 	detect := flag.Bool("detect", false, "enable entanglement detection (WARDen)")
@@ -65,16 +66,9 @@ func main() {
 	check := flag.Bool("check", false, "run the coherence invariant checker during replay")
 	flag.Parse()
 
-	var protos []core.Protocol
-	switch *protocol {
-	case "mesi":
-		protos = []core.Protocol{core.MESI}
-	case "warden":
-		protos = []core.Protocol{core.WARDen}
-	case "both":
-		protos = []core.Protocol{core.MESI, core.WARDen}
-	default:
-		usageErr("unknown protocol %q (want mesi, warden, or both)", *protocol)
+	protos, err := protocols.Parse(*protocol)
+	if err != nil {
+		usageErr("-protocol: %v", err)
 	}
 	// Validate the machine shape before any simulation or output: a bad
 	// -sockets/-cores value must be a one-line diagnostic and exit 2, not a
@@ -95,7 +89,7 @@ func main() {
 
 	if *record != "" {
 		if len(protos) != 1 {
-			usageErr("-record needs a single -protocol (mesi or warden)")
+			usageErr("-record needs a single -protocol (e.g. mesi or warden)")
 		}
 		if flag.NArg() != 0 {
 			usageErr("-record runs a benchmark; unexpected trace argument %q", flag.Arg(0))
@@ -109,7 +103,7 @@ func main() {
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: wardentrace [flags] <trace-file|->")
-		fmt.Fprintln(os.Stderr, "       wardentrace -record <benchmark> -protocol <mesi|warden> [-o trace] [-jsonl events]")
+		fmt.Fprintln(os.Stderr, "       wardentrace -record <benchmark> -protocol <name> [-o trace] [-jsonl events]")
 		os.Exit(2)
 	}
 	// trace.Open sniffs the gzip magic, so plain and .gz traces (and gzip

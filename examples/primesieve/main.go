@@ -26,7 +26,7 @@ func main() {
 	fmt.Printf("prime_sieve_upto(%d) on %s, MESI vs WARDen\n\n", *n, cfg.Name)
 
 	var results []bench.Result
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		entry, err := pbbs.ByName("primes")
 		if err != nil {
 			log.Fatal(err)

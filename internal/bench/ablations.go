@@ -40,7 +40,7 @@ func Ablations(w io.Writer, r *Runner) error {
 func AblationBaselines(w io.Writer, r *Runner) error {
 	subset := []string{"msort", "suffix-array", "primes", "tokens"}
 	cfg := topology.XeonGold6126(2)
-	protos := []core.Protocol{core.MESI, core.MOESI, core.WARDen}
+	protos := core.Protocols("mesi", "moesi", "warden")
 	entries, err := entriesByName(subset)
 	if err != nil {
 		return err
@@ -61,7 +61,7 @@ func AblationBaselines(w io.Writer, r *Runner) error {
 			return err
 		}
 		fmt.Fprintf(tw, "%s", e.Name)
-		for _, p := range []core.Protocol{core.MOESI, core.WARDen} {
+		for _, p := range core.Protocols("moesi", "warden") {
 			res, err := r.runWith(cfg, p, e, r.Sizes.pick(e), hlpl.DefaultOptions())
 			if err != nil {
 				return err

@@ -322,7 +322,7 @@ func (r *Runner) warm(n int, spec func(i int) (topology.Config, core.Protocol, p
 
 // Compare runs one benchmark under both protocols on cfg.
 func (r *Runner) Compare(cfg topology.Config, e pbbs.Entry) (Comparison, error) {
-	protos := []core.Protocol{core.MESI, core.WARDen}
+	protos := core.Protocols("mesi", "warden")
 	res, err := runner.Map(r.pool, len(protos), func(i int) (Result, error) {
 		return r.run(cfg, protos[i], e)
 	})
@@ -347,7 +347,7 @@ func (r *Runner) CompareAll(cfg topology.Config, names []string) ([]Comparison, 
 			entries = append(entries, e)
 		}
 	}
-	protos := []core.Protocol{core.MESI, core.WARDen}
+	protos := core.Protocols("mesi", "warden")
 	res, err := runner.Map(r.pool, len(entries)*len(protos), func(i int) (Result, error) {
 		return r.run(cfg, protos[i%len(protos)], entries[i/len(protos)])
 	})

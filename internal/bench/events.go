@@ -108,7 +108,7 @@ func EventsReport(w io.Writer, cfg topology.Config, sizes SizeClass, names []str
 		if err != nil {
 			return err
 		}
-		for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		for _, proto := range core.Protocols("mesi", "warden") {
 			met := core.NewMetrics()
 			res, err := RunOneObserved(cfg, proto, e, sizes.pick(e), opts, func(*machine.Machine) core.Sink { return met })
 			if err != nil {

@@ -28,7 +28,7 @@ func TestInvariantChecker(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		for _, proto := range core.Protocols("mesi", "warden") {
 			t.Run(name+"/"+proto.String(), func(t *testing.T) {
 				var chk *core.Checker
 				_, err := RunOneObserved(cfg, proto, e, e.Small, hlpl.DefaultOptions(),
@@ -60,7 +60,7 @@ func TestObservedMatchesUnobserved(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := hlpl.DefaultOptions()
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		plain, err := RunOne(cfg, proto, e, e.Small, opts)
 		if err != nil {
 			t.Fatal(err)

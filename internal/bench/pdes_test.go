@@ -61,7 +61,7 @@ func TestPDESDifferentialSuite(t *testing.T) {
 		defer runtime.GOMAXPROCS(prev)
 	}
 	for _, e := range pbbs.Suite {
-		for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		for _, proto := range core.All() {
 			e, proto := e, proto
 			t.Run(fmt.Sprintf("%s/%v", e.Name, proto), func(t *testing.T) {
 				seqRes, seqText, seqJSONL := observedRun(t, machine.EngineSequential, proto, e)

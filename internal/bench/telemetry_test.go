@@ -22,7 +22,7 @@ func TestMetricsGoldenCounters(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		t.Run(proto.String(), func(t *testing.T) {
 			met := core.NewMetrics()
 			res, err := RunOneObserved(cfg, proto, e, e.Small, hlpl.DefaultOptions(),
@@ -69,7 +69,7 @@ func TestTelemetryMatchesUnobserved(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := hlpl.DefaultOptions()
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		t.Run(proto.String(), func(t *testing.T) {
 			plain, err := RunOne(cfg, proto, e, e.Small, opts)
 			if err != nil {

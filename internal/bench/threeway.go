@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"warden/internal/core"
+	"warden/internal/pbbs"
+	"warden/internal/runner"
+	"warden/internal/topology"
+
+	// SiSd registers itself on import. Linking it here puts the third
+	// protocol family into every binary built on the bench harness, so
+	// registry-driven sweeps (core.All()) — including the PDES
+	// differential suite — cover it automatically.
+	_ "warden/internal/sisd"
+)
+
+// ThreeWay compares the three protocol families — MESI (invalidation
+// baseline), WARDen (ward regions), and SiSd (self-invalidation /
+// self-downgrade, no sharer tracking for coherence actions) — over the
+// full PBBS suite on the dual-socket machine. The MESI and WARDen runs
+// share the Figure 8–11 memo matrix; only the SiSd column simulates new
+// configurations.
+func ThreeWay(w io.Writer, r *Runner) error {
+	protos := core.Protocols("mesi", "warden", "sisd")
+	cfg := topology.XeonGold6126(2)
+	entries := pbbs.Suite
+	res, err := runner.Map(r.pool, len(entries)*len(protos), func(i int) (Result, error) {
+		return r.run(cfg, protos[i%len(protos)], entries[i/len(protos)])
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "Three-way comparison: MESI vs WARDen vs SiSd on dual socket")
+	fmt.Fprintln(w, "(speedups over the MESI baseline; inv+dg = invalidations+downgrades per kilo-instruction)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "Benchmark\tWARDen speedup\tSiSd speedup\tMESI inv+dg\tWARDen inv+dg\tSiSd inv+dg")
+	var wsp, ssp []float64
+	for i, e := range entries {
+		mesi, warden, sisd := res[3*i], res[3*i+1], res[3*i+2]
+		ws := float64(mesi.Cycles) / float64(warden.Cycles)
+		ss := float64(mesi.Cycles) / float64(sisd.Cycles)
+		fmt.Fprintf(tw, "%s\t%.2fx\t%.2fx\t%.2f\t%.2f\t%.2f\n",
+			e.Name, ws, ss,
+			mesi.Counters.InvDowngradesPerKiloInstr(),
+			warden.Counters.InvDowngradesPerKiloInstr(),
+			sisd.Counters.InvDowngradesPerKiloInstr())
+		wsp = append(wsp, ws)
+		ssp = append(ssp, ss)
+	}
+	fmt.Fprintf(tw, "MEAN\t%.2fx\t%.2fx\t\t\t\n", geomean(wsp), geomean(ssp))
+	return tw.Flush()
+}

@@ -1,0 +1,71 @@
+package core
+
+// The protocol-implementation surface: exported System helpers that an
+// out-of-core ProtocolImpl (e.g. internal/sisd) builds on. Everything
+// here is generic machinery — caches, directory, fabric, counters — with
+// the same counting discipline the in-tree protocols use, so protocols
+// implemented outside this package are charged comparably.
+//
+// These methods mutate protocol state; only ProtocolImpl methods (which
+// run on the engine's serialized timeline) should call them.
+
+import (
+	"warden/internal/cache"
+	"warden/internal/coherence"
+	"warden/internal/mem"
+	"warden/internal/stats"
+)
+
+// LegacyRegionOpCycles is the local cost of the Add/Remove Region
+// instructions under protocols that ignore them. The instructions exist
+// on every machine (legacy compatibility), so every implementation
+// charges the same decode cost for the no-op.
+const LegacyRegionOpCycles = regionOpCycles
+
+// Fabric returns the interconnect model. Implementations charge message
+// traffic through it (CoreToHome, HomeToCore, CoreToCore, FlushToHome).
+func (s *System) Fabric() *coherence.Fabric { return s.fabric }
+
+// Directory returns the full-map directory. Implementations own their
+// entries' State/Owner/Sharers semantics; the generic invariant sweep
+// only requires that an entry exist for every privately cached block.
+func (s *System) Directory() *coherence.Directory { return s.dir }
+
+// Counters returns the run's counter set.
+func (s *System) Counters() *stats.Counters { return s.ctr }
+
+// LLCFetch reads block at its home LLC slice, falling back to DRAM on a
+// miss, and returns the latency beyond the already-charged L3 access.
+func (s *System) LLCFetch(block mem.Addr) uint64 { return s.llcFetch(block) }
+
+// LLCInsert installs block (clean) into its home LLC slice, e.g. after a
+// writeback. The LLC victim drops silently (non-inclusive LLC).
+func (s *System) LLCInsert(block mem.Addr) {
+	s.l3[s.fabric.HomeSocket(block)].Insert(block, cache.Shared)
+}
+
+// InstallPrivate installs block into core's L2 then L1 in state st,
+// routing the L2 capacity victim back through the protocol's EvictVictim.
+func (s *System) InstallPrivate(core int, block mem.Addr, st cache.State) {
+	s.installPrivate(core, block, st)
+}
+
+// SetPrivState updates block's state in core's L1 and L2 where present,
+// without counting a coherence action (silent upgrades/downgrades).
+func (s *System) SetPrivState(core int, block mem.Addr, st cache.State) {
+	s.setPrivState(core, block, st)
+}
+
+// InvalidatePrivate removes block from core's private caches. With
+// coherenceInv the removals count as coherence invalidations (one per
+// cache holding the block); self-invalidations pass false.
+func (s *System) InvalidatePrivate(core int, block mem.Addr, coherenceInv bool) {
+	s.invalidatePrivate(core, block, coherenceInv)
+}
+
+// DowngradePrivateTo moves block to the given (less privileged) state in
+// core's private caches, counting a coherence downgrade per cache
+// holding it.
+func (s *System) DowngradePrivateTo(core int, block mem.Addr, st cache.State) {
+	s.downgradePrivateTo(core, block, st)
+}

@@ -61,11 +61,10 @@ func (s *System) CheckInvariants() error {
 }
 
 // checkBlockInvariant verifies the directory entry e for block a against
-// every private cache: at most one M/E holder, sharer bitsets consistent
-// with private-cache states, W entries only under the WARDen protocol and
-// only while their region is active, and write masks present only under W
-// copies. e may be nil (no entry), in which case the only requirement is
-// that no write masks linger.
+// every private cache. The per-state rules are the registered protocol's
+// (ProtocolImpl.CheckBlock); the generic write-mask bookkeeping rules run
+// here for every protocol. e may be nil (no entry), in which case the
+// only requirement is that no write masks linger.
 func (s *System) checkBlockInvariant(a mem.Addr, e *coherence.Entry) error {
 	if e == nil {
 		for c := range s.wcopies {
@@ -75,68 +74,8 @@ func (s *System) checkBlockInvariant(a mem.Addr, e *coherence.Entry) error {
 		}
 		return nil
 	}
-	switch e.State {
-	case cache.Exclusive:
-		ln := s.l2[e.Owner].Peek(a)
-		if ln == nil || (ln.State != cache.Exclusive && ln.State != cache.Modified) {
-			return fmt.Errorf("dir says core %d owns %#x but its L2 has %v", e.Owner, uint64(a), lnState(ln))
-		}
-		for c := range s.l2 {
-			if c != e.Owner && s.l2[c].Peek(a) != nil {
-				return fmt.Errorf("block %#x owned by core %d also valid in core %d", uint64(a), e.Owner, c)
-			}
-		}
-	case cache.Owned:
-		ln := s.l2[e.Owner].Peek(a)
-		if ln == nil || ln.State != cache.Owned {
-			return fmt.Errorf("dir says core %d owns %#x (O) but its L2 has %v", e.Owner, uint64(a), lnState(ln))
-		}
-		for c := range s.l2 {
-			if c == e.Owner {
-				continue
-			}
-			l := s.l2[c].Peek(a)
-			if e.Sharers.Has(c) {
-				if l == nil || l.State != cache.Shared {
-					return fmt.Errorf("dir says core %d shares O-block %#x but its L2 has %v", c, uint64(a), lnState(l))
-				}
-			} else if l != nil {
-				return fmt.Errorf("core %d holds O-block %#x (%v) but is not a sharer", c, uint64(a), l.State)
-			}
-		}
-	case cache.Shared:
-		if e.Sharers.Empty() {
-			return fmt.Errorf("shared block %#x with empty sharer set", uint64(a))
-		}
-		for c := range s.l2 {
-			ln := s.l2[c].Peek(a)
-			if e.Sharers.Has(c) {
-				if ln == nil || ln.State != cache.Shared {
-					return fmt.Errorf("dir says core %d shares %#x but its L2 has %v", c, uint64(a), lnState(ln))
-				}
-			} else if ln != nil {
-				return fmt.Errorf("core %d holds %#x (%v) but is not in sharer set", c, uint64(a), ln.State)
-			}
-		}
-	case cache.Ward:
-		if s.proto != WARDen {
-			return fmt.Errorf("block %#x in W state under %v", uint64(a), s.proto)
-		}
-		if !s.regionActive(RegionID(e.Region)) {
-			return fmt.Errorf("W block %#x belongs to region %d, which is not active", uint64(a), e.Region)
-		}
-		for c := range s.l2 {
-			ln := s.l2[c].Peek(a)
-			if e.Sharers.Has(c) {
-				if ln == nil || (ln.State != cache.Ward && ln.State != cache.Shared) {
-					return fmt.Errorf("dir says core %d holds W block %#x but its L2 has %v", c, uint64(a), lnState(ln))
-				}
-			} else if ln != nil {
-				return fmt.Errorf("core %d holds W block %#x but is not in holder set", c, uint64(a))
-			}
-		}
-	default:
-		return fmt.Errorf("directory entry for %#x in state %v", uint64(a), e.State)
+	if err := s.impl.CheckBlock(a, e); err != nil {
+		return err
 	}
 	// Write masks may exist only under a W entry, and only at holders whose
 	// private line is actually in the W state.

@@ -19,9 +19,10 @@ import (
 // dirTransact performs a full coherence transaction at block's home
 // directory on behalf of core. Because the simulation engine serializes
 // cores, the transaction runs atomically; latency and messages accumulate
-// as if the message sequence executed on the fabric. Callers go through
-// dirTransaction (event.go), which wraps this with EvTransaction emission
-// when a sink is attached.
+// as if the message sequence executed on the fabric. The generic prelude
+// (request message, directory access, entry lookup) runs here; the rest is
+// the registered protocol's. Callers go through dirTransaction (event.go),
+// which wraps this with EvTransaction emission when a sink is attached.
 func (s *System) dirTransact(core int, block mem.Addr, mode AccessMode) (cache.State, uint64) {
 	req := stats.GetS
 	if mode != ModeRead {
@@ -31,35 +32,12 @@ func (s *System) dirTransact(core int, block mem.Addr, mode AccessMode) (cache.S
 	s.ctr.DirAccesses++
 	lat += s.cfg.L3Latency // directory + LLC slice access
 	e := s.dir.Ensure(block)
-
-	// WARDen: in-region blocks take the W path, which never invalidates or
-	// downgrades anyone (§5.1). Atomics are exempt.
-	if s.proto == WARDen && mode != ModeAtomic {
-		if rid, ok := s.regions.lookup(block); ok {
-			return cache.Ward, lat + s.wardGrant(core, block, e, rid)
-		}
-	}
-	// A W block reached by an atomic, or whose region disappeared without
-	// removal (defensive): reconcile it on the spot, then continue as MESI.
-	if e.State == cache.Ward {
-		s.reconcileBlock(block, e, true)
-		lat += forcedReconcileCycles
-		// Reconciliation may have dropped the entry entirely (every private
-		// copy invalidated); re-fetch so the MESI path below mutates the
-		// live entry rather than an orphan.
-		e = s.dir.Ensure(block)
-	}
-
-	switch mode {
-	case ModeRead:
-		return s.mesiGetS(core, block, e, &lat), lat
-	default:
-		return s.mesiGetM(core, block, e, &lat), lat
-	}
+	return s.impl.DirTransact(core, block, mode, e, lat)
 }
 
-// mesiGetS is the MESI read-miss transaction.
-func (s *System) mesiGetS(core int, block mem.Addr, e *coherence.Entry, lat *uint64) cache.State {
+// mesiGetS is the MESI read-miss transaction; owned enables MOESI's Owned
+// state on the dirty-sharing path.
+func (s *System) mesiGetS(core int, block mem.Addr, e *coherence.Entry, lat *uint64, owned bool) cache.State {
 	switch e.State {
 	case cache.Invalid:
 		// No cached copies: fetch from LLC/DRAM and grant Exclusive (the
@@ -86,7 +64,7 @@ func (s *System) mesiGetS(core int, block mem.Addr, e *coherence.Entry, lat *uin
 		ownerLine := s.l2[owner].Peek(block)
 		dirty := ownerLine != nil && ownerLine.State == cache.Modified
 		*lat += s.fabric.CoreToCore(stats.Data, owner, core)
-		if s.proto == MOESI && dirty {
+		if owned && dirty {
 			s.downgradePrivateTo(owner, block, cache.Owned)
 			e.State = cache.Owned
 			e.Owner = owner
@@ -123,8 +101,10 @@ func (s *System) mesiGetS(core int, block mem.Addr, e *coherence.Entry, lat *uin
 	panic(fmt.Sprintf("core: GetS with directory in state %v", e.State))
 }
 
-// mesiGetM is the MESI write-miss/upgrade transaction.
-func (s *System) mesiGetM(core int, block mem.Addr, e *coherence.Entry, lat *uint64) cache.State {
+// mesiGetM is the MESI write-miss/upgrade transaction. The owned flag is
+// accepted for symmetry with mesiGetS; the GetM transaction is identical
+// under MESI and MOESI (Owned entries are invalidated either way).
+func (s *System) mesiGetM(core int, block mem.Addr, e *coherence.Entry, lat *uint64, owned bool) cache.State {
 	switch e.State {
 	case cache.Invalid:
 		*lat += s.llcFetch(block)
@@ -310,10 +290,11 @@ func (s *System) downgradePrivateTo(core int, block mem.Addr, st cache.State) {
 	}
 }
 
-// evictL2Victim performs the protocol actions for a block displaced from a
-// private L2: maintain inclusion, notify the directory, and write back or
-// reconcile-flush dirty data. Writebacks are posted (they do not stall the
-// evicting core) but their traffic is charged.
+// evictL2Victim handles a block displaced from a private L2: maintain
+// inclusion, then let the registered protocol notify the directory and
+// write back or reconcile-flush dirty data (EvictVictim). Writebacks are
+// posted (they do not stall the evicting core) but their traffic is
+// charged.
 func (s *System) evictL2Victim(core int, ev cache.Eviction) {
 	var before stats.Snapshot
 	var db cache.State
@@ -331,6 +312,31 @@ func (s *System) evictL2Victim(core int, ev cache.Eviction) {
 	if e == nil {
 		panic(fmt.Sprintf("core: evicting %#x with no directory entry", uint64(ev.Addr)))
 	}
+	s.impl.EvictVictim(core, ev, e)
+
+	if s.sink != nil {
+		evn := &Event{
+			Kind:          EvEvict,
+			Thread:        s.evThread,
+			Core:          core,
+			Cycle:         s.evCycle,
+			Addr:          ev.Addr,
+			Block:         ev.Addr,
+			LineState:     ev.State,
+			DirBefore:     db,
+			OwnerBefore:   ob,
+			SharersBefore: sb,
+			Ctrs:          s.ctr.Snap().Sub(before),
+		}
+		evn.DirAfter, evn.OwnerAfter, evn.SharersAfter = s.dirPeek(ev.Addr)
+		s.emit(evn)
+	}
+}
+
+// evictCoherentVictim performs the MESI-family and WARDen eviction
+// actions for an L2 victim; e is its directory entry. Shared by every
+// in-tree protocol (the W case is unreachable under the MESI family).
+func (s *System) evictCoherentVictim(core int, ev cache.Eviction, e *coherence.Entry) {
 	switch ev.State {
 	case cache.Shared:
 		s.fabric.CoreToHome(stats.PutS, core, ev.Addr)
@@ -376,24 +382,6 @@ func (s *System) evictL2Victim(core int, ev cache.Eviction) {
 		}
 	default:
 		panic(fmt.Sprintf("core: evicting line in state %v", ev.State))
-	}
-
-	if s.sink != nil {
-		evn := &Event{
-			Kind:          EvEvict,
-			Thread:        s.evThread,
-			Core:          core,
-			Cycle:         s.evCycle,
-			Addr:          ev.Addr,
-			Block:         ev.Addr,
-			LineState:     ev.State,
-			DirBefore:     db,
-			OwnerBefore:   ob,
-			SharersBefore: sb,
-			Ctrs:          s.ctr.Snap().Sub(before),
-		}
-		evn.DirAfter, evn.OwnerAfter, evn.SharersAfter = s.dirPeek(ev.Addr)
-		s.emit(evn)
 	}
 }
 
@@ -540,11 +528,16 @@ func (s *System) reconcileBlock(block mem.Addr, e *coherence.Entry, forgetRegion
 // End-of-run drain
 
 // DrainAll flushes every private cache back to a coherent state; used at
-// the end of a run so final memory contents can be verified. It reconciles
-// all W blocks and writes back every dirty MESI block (counting the
-// writeback traffic), so the two protocols are charged comparably for data
-// that must eventually reach shared memory.
-func (s *System) DrainAll() {
+// the end of a run so final memory contents can be verified. The work is
+// the registered protocol's: every protocol must charge the writeback
+// traffic for data that must eventually reach shared memory, so protocols
+// are compared fairly.
+func (s *System) DrainAll() { s.impl.Drain() }
+
+// drainCoherent is the MESI-family and WARDen drain: reconcile all W
+// blocks, then write back every dirty block (counting the writeback
+// traffic).
+func (s *System) drainCoherent() {
 	var wards, dirty []mem.Addr
 	s.dir.ForEach(func(a mem.Addr, e *coherence.Entry) {
 		switch e.State {

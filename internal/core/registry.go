@@ -1,0 +1,198 @@
+package core
+
+// The protocol registry. Every coherence protocol — the in-tree MESI,
+// MOESI, and WARDen families below, and out-of-core families such as
+// internal/sisd — is a ProtocolImpl registered under a display name.
+// System dispatches every protocol-specific decision (directory
+// transactions, private-cache hits, eviction actions, sync points, region
+// instructions, drain, per-block invariants) through the registered
+// implementation, so adding a protocol never edits the dispatch sites,
+// the verifier, or the tools: they enumerate All() or resolve names with
+// Lookup.
+
+import (
+	"fmt"
+	"strings"
+
+	"warden/internal/cache"
+	"warden/internal/coherence"
+	"warden/internal/mem"
+)
+
+// Protocol selects the coherence protocol a memory system runs. It is an
+// opaque handle — an index into the package registry, assigned in
+// registration order — valid only within one process. Persisted records
+// (traces, perf history, fingerprints) must carry Protocol.String(): the
+// registered *name* is the stable identity; the numeric value renumbers
+// whenever the set of linked protocol packages changes.
+type Protocol int
+
+// ProtocolImpl is the coherence state machine behind one Protocol. One
+// instance is built per System (by ProtocolDesc.New), so implementations
+// may keep per-system state; all calls are made on the simulation
+// engine's serialized timeline, never concurrently.
+//
+// The System retains everything generic — caches, directory storage,
+// fabric, counters, the canonical store, and the access paths — and calls
+// the implementation at each protocol-specific decision point. The
+// exported helpers in impl.go (LLCFetch, InstallPrivate, Directory,
+// Fabric, ...) are the surface an out-of-core implementation builds on.
+type ProtocolImpl interface {
+	// DirTransact performs the protocol-specific remainder of a directory
+	// transaction at block's home on behalf of core, after the generic
+	// prelude (request message, directory access, entry lookup) has
+	// accumulated lat cycles. e is the live directory entry (Ensure'd). It
+	// returns the requester's resulting line state and the total latency.
+	DirTransact(core int, block mem.Addr, mode AccessMode, e *coherence.Entry, lat uint64) (cache.State, uint64)
+	// PrivHit decides whether a privately cached line in state st
+	// satisfies the access without a directory transaction, returning the
+	// (possibly silently upgraded) state.
+	PrivHit(core int, block mem.Addr, st cache.State, mode AccessMode) (bool, cache.State)
+	// EvictVictim performs the protocol actions for a block displaced from
+	// core's L2 (directory notification, writeback or flush). e is the
+	// victim's directory entry, never nil; the System has already
+	// invalidated the L1 copy for inclusion.
+	EvictVictim(core int, ev cache.Eviction, e *coherence.Entry)
+	// SyncPoint runs the protocol's synchronization-point hook for core
+	// (fences when the descriptor sets SyncFences, and atomics), returning
+	// the latency charged to the core. Eagerly coherent protocols return 0.
+	SyncPoint(core int) uint64
+	// AddRegion and RemoveRegion are WARDen's region instructions;
+	// protocols without regions treat them as cheap no-ops (legacy
+	// compatibility: the instructions exist on every machine).
+	AddRegion(core int, lo, hi mem.Addr) (RegionID, uint64, bool)
+	RemoveRegion(core int, id RegionID) uint64
+	// Drain returns every private cache to a coherent state (end of run),
+	// charging writeback traffic so protocols are compared fairly.
+	Drain()
+	// CheckBlock verifies block a's directory entry e (never nil) against
+	// the private caches: the protocol's per-state invariants.
+	CheckBlock(a mem.Addr, e *coherence.Entry) error
+}
+
+// ProtocolDesc describes one registered protocol.
+type ProtocolDesc struct {
+	// Name is the display and lookup name ("MESI"). Lookup is
+	// case-insensitive; the exact spelling appears in records and tables.
+	Name string
+	// New builds the protocol's state machine for one System. It runs at
+	// the end of NewSystem, when the caches, directory, and fabric exist.
+	New func(*System) ProtocolImpl
+	// SyncFences marks fences as protocol synchronization points: the
+	// machine then routes fences through System.SyncPoint on the
+	// serialized path. Eagerly coherent protocols leave it false, keeping
+	// fences thread-local (and PDES-parallel).
+	SyncFences bool
+}
+
+var (
+	registry []ProtocolDesc
+	byName   = map[string]Protocol{}
+)
+
+// Register adds a protocol to the registry and returns its handle.
+// Call it from package initialization only (a package-level var); the
+// registry is not synchronized. Names must be unique (case-insensitive).
+func Register(d ProtocolDesc) Protocol {
+	if d.Name == "" || d.New == nil {
+		panic("core: Register needs a Name and a New constructor")
+	}
+	key := strings.ToLower(d.Name)
+	if _, dup := byName[key]; dup {
+		panic(fmt.Sprintf("core: protocol %q registered twice", d.Name))
+	}
+	p := Protocol(len(registry))
+	registry = append(registry, d)
+	byName[key] = p
+	return p
+}
+
+// Lookup resolves a registered protocol by name, case-insensitively.
+func Lookup(name string) (Protocol, bool) {
+	p, ok := byName[strings.ToLower(name)]
+	return p, ok
+}
+
+// All returns every registered protocol in registration order.
+func All() []Protocol {
+	out := make([]Protocol, len(registry))
+	for i := range out {
+		out[i] = Protocol(i)
+	}
+	return out
+}
+
+// Names returns the registered display names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, d := range registry {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Protocols resolves an explicit per-experiment protocol set by name.
+// It panics on an unregistered name: callers pass static name sets, and a
+// typo should fail loudly at startup, not silently shrink an experiment.
+func Protocols(names ...string) []Protocol {
+	out := make([]Protocol, len(names))
+	for i, n := range names {
+		p, ok := Lookup(n)
+		if !ok {
+			panic(fmt.Sprintf("core: unregistered protocol %q (registered: %s)", n, strings.Join(Names(), ", ")))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// Describe returns p's registration record.
+func Describe(p Protocol) ProtocolDesc {
+	if int(p) < 0 || int(p) >= len(registry) {
+		panic(fmt.Sprintf("core: unregistered protocol handle %d", int(p)))
+	}
+	return registry[p]
+}
+
+// String names the protocol. Unregistered handles render as their number,
+// for debuggability of corrupted values.
+func (p Protocol) String() string {
+	if int(p) < 0 || int(p) >= len(registry) {
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+	return registry[p].Name
+}
+
+// MarshalText writes the registered name, so any serialized record
+// carries the stable identity rather than the process-local ordinal.
+func (p Protocol) MarshalText() ([]byte, error) {
+	if int(p) < 0 || int(p) >= len(registry) {
+		return nil, fmt.Errorf("core: marshaling unregistered protocol handle %d", int(p))
+	}
+	return []byte(registry[p].Name), nil
+}
+
+// UnmarshalText resolves a registered name (case-insensitive).
+func (p *Protocol) UnmarshalText(b []byte) error {
+	v, ok := Lookup(string(b))
+	if !ok {
+		return fmt.Errorf("core: unknown protocol %q (registered: %s)", b, strings.Join(Names(), ", "))
+	}
+	*p = v
+	return nil
+}
+
+// The in-tree protocol families, registered in declaration order.
+var (
+	// MESI is the baseline directory protocol of the paper; AddRegion/
+	// RemoveRegion are near-free no-ops, modelling standard hardware.
+	MESI = Register(ProtocolDesc{Name: "MESI", New: newMESI})
+	// WARDen is MESI augmented with the W state, the WARD region table,
+	// and reconciliation (§5).
+	WARDen = Register(ProtocolDesc{Name: "WARDen", New: newWARDen})
+	// MOESI is a stronger baseline than the paper evaluates: the Owned
+	// state lets a dirty block be shared without writing it back, with the
+	// owner sourcing data for readers. Useful for judging how much of
+	// WARDen's win a better legacy protocol could claw back.
+	MOESI = Register(ProtocolDesc{Name: "MOESI", New: newMOESI})
+)

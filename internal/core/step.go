@@ -38,9 +38,14 @@ type ProtocolStep interface {
 	RMW(core int, a mem.Addr, size int, fn func(old uint64) uint64) (old, lat uint64)
 
 	// AddRegion/RemoveRegion are WARDen's region instructions (no-ops
-	// under MESI/MOESI, per the legacy-compatibility story).
+	// under protocols without regions, per the legacy-compatibility story).
 	AddRegion(core int, lo, hi mem.Addr) (RegionID, uint64, bool)
 	RemoveRegion(core int, id RegionID) uint64
+
+	// SyncPoint runs the protocol's synchronization-point hook for core
+	// (a no-op returning 0 under eagerly coherent protocols; the
+	// self-invalidation/self-downgrade flush under SiSd-style ones).
+	SyncPoint(core int) uint64
 
 	// DrainAll returns every private cache to a coherent state (end of
 	// run; the model checker's terminal-state check).

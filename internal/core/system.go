@@ -10,35 +10,6 @@ import (
 	"warden/internal/topology"
 )
 
-// Protocol selects the coherence protocol the memory system runs.
-type Protocol int
-
-const (
-	// MESI is the baseline directory protocol of the paper; AddRegion/
-	// RemoveRegion are near-free no-ops, modelling standard hardware.
-	MESI Protocol = iota
-	// WARDen is MESI augmented with the W state, the WARD region table, and
-	// reconciliation (§5).
-	WARDen
-	// MOESI is a stronger baseline than the paper evaluates: the Owned
-	// state lets a dirty block be shared without writing it back, with the
-	// owner sourcing data for readers. Useful for judging how much of
-	// WARDen's win a better legacy protocol could claw back.
-	MOESI
-)
-
-// String names the protocol.
-func (p Protocol) String() string {
-	switch p {
-	case WARDen:
-		return "WARDen"
-	case MOESI:
-		return "MOESI"
-	default:
-		return "MESI"
-	}
-}
-
 // wardCopy is a core's private copy of a W-state block, with a sector mask
 // recording which sectors this core wrote. This is the sectored-cache
 // storage of §6.1 plus the private data that real hardware keeps in the
@@ -80,6 +51,7 @@ const (
 type System struct {
 	cfg    topology.Config
 	proto  Protocol
+	impl   ProtocolImpl // the registered state machine proto names
 	mem    *mem.Memory
 	ctr    *stats.Counters
 	fabric *coherence.Fabric
@@ -134,6 +106,9 @@ func NewSystem(cfg topology.Config, proto Protocol, m *mem.Memory, ctr *stats.Co
 	for k := 0; k < cfg.Sockets; k++ {
 		s.l3 = append(s.l3, cache.New(fmt.Sprintf("L3-%d", k), cfg.L3SizePerSocket(), cfg.L3Assoc, cfg.BlockSize))
 	}
+	// The registered state machine is built last: its constructor may
+	// inspect the caches, directory, and fabric above.
+	s.impl = Describe(proto).New(s)
 	return s
 }
 
@@ -295,34 +270,16 @@ func (s *System) acquire(core int, block mem.Addr, mode AccessMode) (cache.State
 
 // privHit decides whether a privately cached line in state st satisfies the
 // access without a directory transaction, returning the (possibly silently
-// upgraded) state.
+// upgraded) state. The decision is the protocol's.
 func (s *System) privHit(core int, block mem.Addr, st cache.State, mode AccessMode) (bool, cache.State) {
-	switch mode {
-	case ModeRead:
-		return true, st
-	case ModeWrite:
-		switch st {
-		case cache.Modified, cache.Ward:
-			return true, st
-		case cache.Exclusive:
-			// Silent E->M upgrade; the directory's E entry already names
-			// this core as owner.
-			s.setPrivState(core, block, cache.Modified)
-			return true, cache.Modified
-		}
-		return false, st // S needs an upgrade
-	case ModeAtomic:
-		switch st {
-		case cache.Modified:
-			return true, st
-		case cache.Exclusive:
-			s.setPrivState(core, block, cache.Modified)
-			return true, cache.Modified
-		}
-		return false, st // S upgrade; Ward must reconcile at the directory
-	}
-	panic("core: unknown access mode")
+	return s.impl.PrivHit(core, block, st, mode)
 }
+
+// SyncPoint runs the protocol's synchronization-point hook for core and
+// returns the latency charged. The machine calls it on fences when the
+// protocol's descriptor sets SyncFences (self-invalidation protocols);
+// eagerly coherent protocols return 0 and never see the call.
+func (s *System) SyncPoint(core int) uint64 { return s.impl.SyncPoint(core) }
 
 // ---------------------------------------------------------------------------
 // WARD region instructions
@@ -339,44 +296,12 @@ func (s *System) privHit(core int, block mem.Addr, st cache.State, mode AccessMo
 // The paper's page-granular heap regions are always block-aligned; this
 // matters for the library's byte-granular bulk-operation scopes.
 func (s *System) AddRegion(core int, lo, hi mem.Addr) (RegionID, uint64, bool) {
-	if s.proto != WARDen {
-		return NullRegion, regionOpCycles, false
-	}
-	lo = (lo + mem.Addr(s.cfg.BlockSize) - 1).Block(s.cfg.BlockSize)
-	hi = hi.Block(s.cfg.BlockSize)
-	id, ok := s.regions.add(lo, hi)
-	if !ok {
-		s.ctr.RegionOverflows++
-		return NullRegion, regionOpCycles, false
-	}
-	s.ctr.RegionAdds++
-	// The region-add message is posted: its traffic and energy count, but
-	// the instruction retires without waiting for the directory.
-	s.fabric.CoreToHome(stats.RegionAdd, core, lo)
-	return id, regionOpCycles, true
+	return s.impl.AddRegion(core, lo, hi)
 }
 
 // RemoveRegion executes the "Remove Region" instruction: it deactivates the
 // region and reconciles every block it holds in the W state (§5.2),
 // returning the latency charged to the removing core.
 func (s *System) RemoveRegion(core int, id RegionID) uint64 {
-	if s.proto != WARDen || id == NullRegion {
-		return regionOpCycles
-	}
-	blocks, ok := s.regions.remove(id)
-	if !ok {
-		return regionOpCycles
-	}
-	s.ctr.RegionRemoves++
-	s.fabric.CoreToHome(stats.RegionRemove, core, 0) // posted
-	if len(blocks) == 0 {
-		return regionOpCycles
-	}
-	s.ctr.Reconciliations++
-	for _, b := range blocks {
-		if e := s.dir.Lookup(b); e != nil && e.State == cache.Ward {
-			s.reconcileBlock(b, e, false)
-		}
-	}
-	return regionOpCycles + uint64(len(blocks))/reconcileBlocksPerCycle
+	return s.impl.RemoveRegion(core, id)
 }

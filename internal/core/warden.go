@@ -1,0 +1,118 @@
+package core
+
+// The WARDen state machine: MESI (protocol.go's shared transaction
+// bodies) plus the W state, the WARD region table, and reconciliation.
+// The wardGrant path and reconcileBlock live in protocol.go next to the
+// machinery they share with the eviction and drain paths.
+
+import (
+	"warden/internal/cache"
+	"warden/internal/coherence"
+	"warden/internal/mem"
+	"warden/internal/stats"
+)
+
+// wardenImpl is MESI augmented with the W state (§5).
+type wardenImpl struct {
+	s *System
+}
+
+func newWARDen(s *System) ProtocolImpl { return &wardenImpl{s: s} }
+
+// DirTransact implements ProtocolImpl: in-region blocks take the W path,
+// which never invalidates or downgrades anyone (§5.1); everything else is
+// legacy MESI traffic. Atomics are exempt from the W path.
+func (p *wardenImpl) DirTransact(core int, block mem.Addr, mode AccessMode, e *coherence.Entry, lat uint64) (cache.State, uint64) {
+	s := p.s
+	if mode != ModeAtomic {
+		if rid, ok := s.regions.lookup(block); ok {
+			return cache.Ward, lat + s.wardGrant(core, block, e, rid)
+		}
+	}
+	// A W block reached by an atomic, or whose region disappeared without
+	// removal (defensive): reconcile it on the spot, then continue as MESI.
+	if e.State == cache.Ward {
+		s.reconcileBlock(block, e, true)
+		lat += forcedReconcileCycles
+		// Reconciliation may have dropped the entry entirely (every private
+		// copy invalidated); re-fetch so the MESI path below mutates the
+		// live entry rather than an orphan.
+		e = s.dir.Ensure(block)
+	}
+	switch mode {
+	case ModeRead:
+		return s.mesiGetS(core, block, e, &lat, false), lat
+	default:
+		return s.mesiGetM(core, block, e, &lat, false), lat
+	}
+}
+
+// PrivHit implements ProtocolImpl: the MESI rules, with W lines hitting
+// for reads and writes (and reconciling at the directory for atomics).
+func (p *wardenImpl) PrivHit(core int, block mem.Addr, st cache.State, mode AccessMode) (bool, cache.State) {
+	return p.s.mesiPrivHit(core, block, st, mode)
+}
+
+// EvictVictim implements ProtocolImpl via the shared coherent-eviction
+// actions, which include the W proactive-flush case (§5.3).
+func (p *wardenImpl) EvictVictim(core int, ev cache.Eviction, e *coherence.Entry) {
+	p.s.evictCoherentVictim(core, ev, e)
+}
+
+// SyncPoint implements ProtocolImpl: WARDen synchronizes through atomics
+// (forced reconciliation in DirTransact), not through fences.
+func (p *wardenImpl) SyncPoint(core int) uint64 { return 0 }
+
+// AddRegion implements ProtocolImpl: register [lo, hi) in the directory's
+// region table (§6.1). See System.AddRegion for the interval-rounding
+// contract.
+func (p *wardenImpl) AddRegion(core int, lo, hi mem.Addr) (RegionID, uint64, bool) {
+	s := p.s
+	lo = (lo + mem.Addr(s.cfg.BlockSize) - 1).Block(s.cfg.BlockSize)
+	hi = hi.Block(s.cfg.BlockSize)
+	id, ok := s.regions.add(lo, hi)
+	if !ok {
+		s.ctr.RegionOverflows++
+		return NullRegion, regionOpCycles, false
+	}
+	s.ctr.RegionAdds++
+	// The region-add message is posted: its traffic and energy count, but
+	// the instruction retires without waiting for the directory.
+	s.fabric.CoreToHome(stats.RegionAdd, core, lo)
+	return id, regionOpCycles, true
+}
+
+// RemoveRegion implements ProtocolImpl: deactivate the region and
+// reconcile every block it holds in the W state (§5.2).
+func (p *wardenImpl) RemoveRegion(core int, id RegionID) uint64 {
+	s := p.s
+	if id == NullRegion {
+		return regionOpCycles
+	}
+	blocks, ok := s.regions.remove(id)
+	if !ok {
+		return regionOpCycles
+	}
+	s.ctr.RegionRemoves++
+	s.fabric.CoreToHome(stats.RegionRemove, core, 0) // posted
+	if len(blocks) == 0 {
+		return regionOpCycles
+	}
+	s.ctr.Reconciliations++
+	for _, b := range blocks {
+		if e := s.dir.Lookup(b); e != nil && e.State == cache.Ward {
+			s.reconcileBlock(b, e, false)
+		}
+	}
+	return regionOpCycles + uint64(len(blocks))/reconcileBlocksPerCycle
+}
+
+// Drain implements ProtocolImpl via the shared coherent drain, which
+// reconciles every W block before writing back dirty MESI blocks.
+func (p *wardenImpl) Drain() { p.s.drainCoherent() }
+
+// CheckBlock implements ProtocolImpl: the MESI-family invariants plus the
+// W-state rules (entry only while its region is active; holders in W/S).
+func (p *wardenImpl) CheckBlock(a mem.Addr, e *coherence.Entry) error {
+	return p.s.checkCoherentBlock(a, e, true)
+}

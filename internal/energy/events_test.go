@@ -26,7 +26,7 @@ func TestAccumulatorMatchesCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	model := energy.Default(cfg)
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		var acc *energy.Accumulator
 		res, err := bench.RunOneObserved(cfg, proto, e, e.Small, hlpl.DefaultOptions(),
 			func(*machine.Machine) core.Sink {

@@ -38,7 +38,7 @@ func runFill(t *testing.T, proto core.Protocol, n int) (*machine.Machine, U64, u
 
 func TestParallelFillBothProtocols(t *testing.T) {
 	const n = 4096
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		m, arr, cycles := runFill(t, proto, n)
 		if cycles == 0 {
 			t.Fatalf("%v: zero cycles", proto)
@@ -56,7 +56,7 @@ func TestParallelFillBothProtocols(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		_, _, c1 := runFill(t, proto, 2048)
 		m2, _, c2 := runFill(t, proto, 2048)
 		if c1 != c2 {

@@ -35,6 +35,12 @@ type Machine struct {
 
 	cycles uint64 // final clock after Run
 
+	// syncFences marks fences as protocol synchronization points (the
+	// protocol descriptor's SyncFences): Ctx.Fence then issues the global
+	// syncFenceOp, which runs System.SyncPoint on the serialized path,
+	// instead of the thread-local fenceOp.
+	syncFences bool
+
 	// PDES state (see pdes.go). locals is non-nil iff emode is EnginePDES;
 	// observing caches Sink() != nil for the concurrent local handler,
 	// which must not read the (mutable) sink field itself.
@@ -47,10 +53,11 @@ type Machine struct {
 // New builds a machine with the given topology and protocol.
 func New(cfg topology.Config, proto core.Protocol) *Machine {
 	m := &Machine{
-		cfg:   cfg,
-		proto: proto,
-		mem:   mem.New(0),
-		ctr:   &stats.Counters{},
+		cfg:        cfg,
+		proto:      proto,
+		mem:        mem.New(0),
+		ctr:        &stats.Counters{},
+		syncFences: core.Describe(proto).SyncFences,
 	}
 	m.sys = core.NewSystem(cfg, proto, m.mem, m.ctr)
 	m.eng = engine.New(cfg.Threads(), m.exec)
@@ -158,6 +165,12 @@ type computeOp struct{ cycles uint64 }
 
 type fenceOp struct{}
 
+// syncFenceOp is the fence of a protocol whose descriptor sets
+// SyncFences: beyond draining the store buffer it runs the protocol's
+// SyncPoint hook against the shared memory system, so — unlike fenceOp —
+// it is a global op (no EngineLocal marker; see pdes.go).
+type syncFenceOp struct{}
+
 type addRegionOp struct {
 	lo, hi mem.Addr
 	id     core.RegionID
@@ -234,6 +247,8 @@ func (m *Machine) execObserved(t *engine.Thread, op engine.Op) uint64 {
 		ev.Arg1 = o.cycles
 	case *fenceOp:
 		ev.Kind = core.EvFence
+	case *syncFenceOp:
+		ev.Kind = core.EvFence
 	case *addRegionOp:
 		ev.Kind = core.EvRegionAdd
 		ev.Lo, ev.Hi = o.lo, o.hi
@@ -301,6 +316,12 @@ func (m *Machine) execOp(t *engine.Thread, op engine.Op) uint64 {
 		m.ctr.Instructions++
 		m.ctr.FenceDrains++
 		return 1 + m.sbufs[t.ID()].drain(t.Now())
+
+	case *syncFenceOp:
+		m.ctr.Instructions++
+		m.ctr.FenceDrains++
+		lat := 1 + m.sbufs[t.ID()].drain(t.Now())
+		return lat + m.sys.SyncPoint(m.cfg.CoreOf(t.ID()))
 
 	case *addRegionOp:
 		m.ctr.Instructions++
@@ -417,6 +438,7 @@ type Ctx struct {
 	st   storeOp
 	cmp  computeOp
 	fnc  fenceOp
+	sfnc syncFenceOp
 	rmw  rmwOp
 	host hostOp
 	buf  [8]byte // backing store for scalar Load/Store data
@@ -486,8 +508,15 @@ func (c *Ctx) Compute(n uint64) {
 	c.t.Call(&c.cmp)
 }
 
-// Fence drains the store buffer (a full memory barrier under TSO).
+// Fence drains the store buffer (a full memory barrier under TSO). Under
+// a protocol with SyncFences it is also the protocol's synchronization
+// point: the memory system's SyncPoint hook runs (self-invalidation /
+// self-downgrade protocols flush their shared data here).
 func (c *Ctx) Fence() {
+	if c.m.syncFences {
+		c.t.Call(&c.sfnc)
+		return
+	}
 	c.t.Call(&c.fnc)
 }
 

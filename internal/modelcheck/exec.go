@@ -256,8 +256,13 @@ func (e *exec) step(a Action) error {
 	case ActFetchAdd:
 		err = e.doFetchAdd(a)
 	case ActFence:
-		// A fence is pure ordering; with the buffer already drained
-		// (feasibility) it is a no-op for both the SUT and the ghost.
+		// A fence orders the store buffer (already drained, per
+		// feasibility) and runs the protocol's synchronization-point
+		// hook: a no-op under eagerly coherent protocols, the
+		// self-invalidation/self-downgrade flush under SiSd-style ones.
+		// The ghost needs no update either way — sync points may only
+		// discard stale private copies, never change visible values.
+		e.sut.SyncPoint(a.Core)
 	case ActBegin:
 		err = e.doBegin(a)
 	case ActEnd:

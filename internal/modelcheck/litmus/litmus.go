@@ -41,7 +41,14 @@ func (s Scenario) Run(p core.Protocol) (modelcheck.Result, error) {
 	return modelcheck.Explore(s.Build(p))
 }
 
-var both = []core.Protocol{core.MESI, core.WARDen}
+// universal returns every registered protocol. It is computed at call
+// time (never captured in a package variable) so that protocols
+// registered outside internal/core — e.g. internal/sisd — are included
+// regardless of package initialization order. Scenarios that open
+// regions remain valid under protocols without region support: their
+// Add Region is rejected and the accesses stay plainly coherent, the
+// same arc the region-overflow scenario pins.
+func universal() []core.Protocol { return core.All() }
 
 // base returns a scenario topology/addressing skeleton: cores cores whose
 // L1/L2 hold l2Lines lines (1 makes distinct blocks conflict), blocks
@@ -75,7 +82,7 @@ func Scenarios() []Scenario {
 				"functional store-buffer model: issue and commit interleave as " +
 				"separate transitions with TSO same-address forwarding, so the " +
 				"checker sees every buffered/committed combination.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 2)
 				cfg.StoreBufferDepth = 2
@@ -91,7 +98,7 @@ func Scenarios() []Scenario {
 			Doc: "MP shape (c0: St data; St flag ‖ c1: Ld flag; Ld data): the " +
 				"message race between the flag's invalidation and the data's " +
 				"GetS — every load must still return the last committed store.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 2)
 				cfg.Programs = [][]modelcheck.Action{
@@ -102,12 +109,32 @@ func Scenarios() []Scenario {
 			},
 		},
 		{
+			Name: "fence-sync-point",
+			Doc: "MP shape with a fence on each side (c0: St data; Fence; St flag " +
+				"‖ c1: Ld flag; Fence; Ld data): the fence drains the store buffer " +
+				"and runs the protocol's synchronization-point hook — a no-op under " +
+				"eagerly coherent protocols, the self-invalidation/self-downgrade " +
+				"flush under SiSd-style ones. Every load must still return the " +
+				"last committed store, and the sync sweep must leave the " +
+				"directory, private tags, and drain image coherent.",
+			Protocols: universal(),
+			Build: func(p core.Protocol) modelcheck.Config {
+				cfg := base(p, 2, 2, 2)
+				cfg.StoreBufferDepth = 2
+				cfg.Programs = [][]modelcheck.Action{
+					{modelcheck.St(0, 0, 0, 8), modelcheck.Fence(0), modelcheck.St(0, 1, 0, 8)},
+					{modelcheck.Ld(1, 1, 0, 8), modelcheck.Fence(1), modelcheck.Ld(1, 0, 0, 8)},
+				}
+				return cfg
+			},
+		},
+		{
 			Name: "ward-stale-read",
 			Doc: "One core ward-writes a block while the other reads it: inside " +
 				"the open region the reader may see a stale value (the sanctioned " +
 				"relaxation); the moment the region ends, reads must be coherent " +
 				"again. Under MESI the region is a no-op and every read is strict.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 1, span(0, 0))
 				cfg.Programs = [][]modelcheck.Action{
@@ -123,7 +150,7 @@ func Scenarios() []Scenario {
 				"region — the paper's target pattern. Reconciliation's sector " +
 				"masks must merge both halves exactly; the drain check requires " +
 				"the final block to carry each core's bytes (no lost update).",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 1, span(0, 0))
 				cfg.Programs = [][]modelcheck.Action{
@@ -140,7 +167,7 @@ func Scenarios() []Scenario {
 				"order-dependent (reconcile order vs. mid-tenure eviction " +
 				"flushes), which the ghost model tolerates via per-byte race " +
 				"tracking, but every structural invariant must still hold.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 1, span(0, 0))
 				cfg.Programs = [][]modelcheck.Action{
@@ -156,7 +183,7 @@ func Scenarios() []Scenario {
 				"evicting its own W line mid-tenure: the proactive flush applies " +
 				"its sector mask early, and the later region end must reconcile " +
 				"the remaining copies without resurrecting flushed state.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 1, 2, span(0, 1))
 				cfg.Programs = [][]modelcheck.Action{
@@ -172,7 +199,7 @@ func Scenarios() []Scenario {
 				"another core ward-writes it: granting W must not lose the dirty " +
 				"data, and the eventual writeback/reconcile must land both the " +
 				"pre-region value and the warded writes correctly.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 1, span(0, 0))
 				cfg.Programs = [][]modelcheck.Action{
@@ -187,7 +214,7 @@ func Scenarios() []Scenario {
 			Doc: "An atomic hits a ward-written block inside an open region: " +
 				"WARDen must force an early reconciliation — the RMW's old value " +
 				"must be the last committed store and the block must not remain W.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 1, span(0, 0))
 				cfg.Programs = [][]modelcheck.Action{
@@ -203,7 +230,7 @@ func Scenarios() []Scenario {
 				"the directory's sharer set must stay conservative — the upgrade " +
 				"invalidates a possibly-already-evicted copy without wedging " +
 				"either core.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 1, 2)
 				cfg.Programs = [][]modelcheck.Action{
@@ -219,7 +246,7 @@ func Scenarios() []Scenario {
 				"reader and sourced from the owner, then written again — the " +
 				"owner transition must keep exactly one writable copy and the " +
 				"dirty data must survive the O→M/I arcs.",
-			Protocols: []core.Protocol{core.MOESI},
+			Protocols: core.Protocols("moesi"),
 			Build: func(p core.Protocol) modelcheck.Config {
 				cfg := base(p, 2, 2, 1)
 				cfg.Programs = [][]modelcheck.Action{
@@ -236,7 +263,7 @@ func Scenarios() []Scenario {
 				"null region, and accesses under the rejected region stay fully " +
 				"coherent — the fallback the paper requires when hardware " +
 				"resources run out.",
-			Protocols: both,
+			Protocols: universal(),
 			Build: func(p core.Protocol) modelcheck.Config {
 				top := modelcheck.TinyTopology(2, 2, 1)
 				cfg := modelcheck.Config{

@@ -37,7 +37,7 @@ func TestScenarios(t *testing.T) {
 // deliberate.
 func TestSuiteShape(t *testing.T) {
 	want := []string{
-		"store-buffering", "message-passing", "ward-stale-read",
+		"store-buffering", "message-passing", "fence-sync-point", "ward-stale-read",
 		"ward-false-sharing", "ward-true-sharing", "evict-during-reconcile",
 		"w-dirty-writeback-race", "atomic-forces-reconcile",
 		"upgrade-eviction", "moesi-owned-sourcing", "region-overflow",

@@ -30,7 +30,7 @@ func twoCoreOneBlock(p core.Protocol) Config {
 }
 
 func TestExhaustiveTwoCoreOneBlock(t *testing.T) {
-	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, p := range core.Protocols("mesi", "warden") {
 		p := p
 		t.Run(p.String(), func(t *testing.T) {
 			res, err := Explore(twoCoreOneBlock(p))
@@ -53,7 +53,7 @@ func TestExhaustiveTwoCoreOneBlock(t *testing.T) {
 // store issue and commit interleave as separate transitions (store
 // buffering litmus behaviour, TSO forwarding).
 func TestExhaustiveStoreBuffer(t *testing.T) {
-	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, p := range core.Protocols("mesi", "warden") {
 		cfg := twoCoreOneBlock(p)
 		cfg.StoreBufferDepth = 2
 		cfg.MaxDepth = 5
@@ -75,7 +75,7 @@ func TestExhaustiveTwoBlocksConflict(t *testing.T) {
 	if testing.Short() {
 		t.Skip("larger alphabet; covered by the full run and CI")
 	}
-	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, p := range core.Protocols("mesi", "warden") {
 		top := TinyTopology(2, 1, 2)
 		blocks := DefaultBlocks(2, top.BlockSize)
 		cfg := Config{
@@ -193,7 +193,7 @@ func TestWalkClean(t *testing.T) {
 	if testing.Short() {
 		steps = 100
 	}
-	for _, p := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, p := range core.Protocols("mesi", "warden") {
 		for seed := int64(1); seed <= 3; seed++ {
 			res, err := Walk(twoCoreOneBlock(p), seed, steps)
 			if err != nil {
@@ -214,7 +214,7 @@ func TestDiffWalkClean(t *testing.T) {
 		steps = 80
 	}
 	for seed := int64(1); seed <= 3; seed++ {
-		res, err := DiffWalk(twoCoreOneBlock(core.WARDen), seed, steps)
+		res, err := DiffWalk(twoCoreOneBlock(core.WARDen), core.WARDen, core.MESI, seed, steps)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -247,7 +247,7 @@ func TestDiffWalkAtomicOverRacyByte(t *testing.T) {
 		Alphabet: WordAlphabet(3, 2, 1, true),
 	}
 	for seed := int64(1); seed <= seeds; seed++ {
-		res, err := DiffWalk(cfg, seed, steps)
+		res, err := DiffWalk(cfg, core.WARDen, core.MESI, seed, steps)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}

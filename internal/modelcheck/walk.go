@@ -49,29 +49,34 @@ func Walk(cfg Config, seed int64, steps int) (WalkResult, error) {
 	return res, nil
 }
 
-// DiffWalk runs the same seeded random walk on WARDen and MESI in
-// lockstep (the action schedule is a function of model state only, which
-// the two executions share) and additionally requires the two final
-// memories to agree on every tracked byte not affected by a true-sharing
-// WARD merge — the paper's contract that WARDen is observationally
-// equivalent to MESI outside WARD regions. "Affected" is transitive
-// through atomics: a fetch-add that consumes a racy byte bakes the
-// (order-dependent) merge outcome into its result, so the byte stays
-// exempt from the comparison until a plain store — whose value both
-// protocols agree on — overwrites it. cfg.Protocol is ignored.
-func DiffWalk(cfg Config, seed int64, steps int) (WalkResult, error) {
+// DiffWalk runs the same seeded random walk on two registered protocols
+// in lockstep (the action schedule is a function of model state only,
+// which the two executions share) and additionally requires the two
+// final memories to agree on every tracked byte not affected by a
+// true-sharing WARD merge — the paper's contract that WARDen is
+// observationally equivalent to MESI outside WARD regions, generalized
+// to any protocol pair. "Affected" is transitive through atomics: a
+// fetch-add that consumes a racy byte bakes the (order-dependent) merge
+// outcome into its result, so the byte stays exempt from the comparison
+// until a plain store — whose value both protocols agree on —
+// overwrites it. Racy bytes only arise under WARD tenures, so for pairs
+// with no region support (e.g. SiSd vs MESI) the comparison demands
+// full byte equality. cfg.Protocol is ignored; subject is the protocol
+// reported in the result and whose execution drives the divergence
+// bookkeeping.
+func DiffWalk(cfg Config, subject, baseline core.Protocol, seed int64, steps int) (WalkResult, error) {
 	if cfg.Alphabet == nil {
 		return WalkResult{}, fmt.Errorf("modelcheck: DiffWalk needs a free alphabet")
 	}
 	wcfg, mcfg := cfg, cfg
-	wcfg.Protocol, mcfg.Protocol = core.WARDen, core.MESI
+	wcfg.Protocol, mcfg.Protocol = subject, baseline
 	if err := wcfg.validate(); err != nil {
 		return WalkResult{}, err
 	}
 	if err := mcfg.validate(); err != nil {
 		return WalkResult{}, err
 	}
-	res := WalkResult{Protocol: core.WARDen, Seed: seed}
+	res := WalkResult{Protocol: subject, Seed: seed}
 	rng := rand.New(rand.NewSource(seed))
 	ew, em := newExec(&wcfg), newExec(&mcfg)
 	// div marks bytes whose WARDen value may legitimately differ from
@@ -157,8 +162,8 @@ func DiffWalk(cfg Config, seed int64, steps int) (WalkResult, error) {
 			}
 			if bw[j] != bm[j] {
 				res.Violation = newCounterexample(&wcfg, appendPath(path, finW), len(path), ew.beginOK,
-					fmt.Errorf("differential violation: block %d byte %d drains to %#02x under WARDen but %#02x under MESI",
-						i, j, bw[j], bm[j]))
+					fmt.Errorf("differential violation: block %d byte %d drains to %#02x under %v but %#02x under %v",
+						i, j, bw[j], subject, bm[j], baseline))
 				return res, nil
 			}
 		}

@@ -45,7 +45,7 @@ func TestSuiteCorrectUnderAllProtocols(t *testing.T) {
 	for _, e := range Suite {
 		e := e
 		t.Run(e.Name, func(t *testing.T) {
-			for _, proto := range []core.Protocol{core.MESI, core.MOESI, core.WARDen} {
+			for _, proto := range core.Protocols("mesi", "moesi", "warden") {
 				runWorkload(t, e, proto, 1)
 			}
 		})

@@ -1,0 +1,63 @@
+package perfdb_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/perfdb"
+	"warden/internal/runner"
+)
+
+// TestBaselineFingerprintsStable proves the protocol-registry refactor
+// did not disturb the perf-history pairing key: every record in the
+// committed baseline still carries exactly the fingerprint wardendiff
+// recomputes today, so old snapshots keep gating new runs.
+func TestBaselineFingerprintsStable(t *testing.T) {
+	recs, err := perfdb.Read(filepath.Join("..", "..", "perf", "baseline.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("committed baseline is empty")
+	}
+	want := runner.Fingerprint("wardenbench", "all", "small")
+	for i, rec := range recs {
+		if rec.Fingerprint != want {
+			t.Errorf("baseline record %d (step %s): fingerprint %q, want %q",
+				i, rec.Step, rec.Fingerprint, want)
+		}
+	}
+}
+
+// TestFingerprintsEmbedProtocolNames pins that a protocol contributes
+// its registered *name* to fingerprints and formatted records, never the
+// registry ordinal: serialized artifacts survive registration-order
+// changes (SiSd registering fourth moved no existing protocol's ordinal,
+// and even if it had, no stored record would notice).
+func TestFingerprintsEmbedProtocolNames(t *testing.T) {
+	for _, tc := range []struct {
+		p    core.Protocol
+		name string
+	}{
+		{core.MESI, "MESI"},
+		{core.WARDen, "WARDen"},
+		{core.MOESI, "MOESI"},
+	} {
+		if got := runner.Fingerprint(tc.p); got != tc.name {
+			t.Errorf("Fingerprint(%s) = %q, want the registered name", tc.name, got)
+		}
+		if got := fmt.Sprint(tc.p); got != tc.name {
+			t.Errorf("Sprint = %q, want %q", got, tc.name)
+		}
+		b, err := tc.p.MarshalText()
+		if err != nil || string(b) != tc.name {
+			t.Errorf("MarshalText = %q, %v; want %q", b, err, tc.name)
+		}
+		var q core.Protocol
+		if err := q.UnmarshalText(b); err != nil || q != tc.p {
+			t.Errorf("UnmarshalText(%q) = %v, %v; want %v", b, q, err, tc.p)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package protocols_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// The registry contract (DESIGN.md §11): protocol sets come from the
+// registry (core.All, core.Protocols) and behaviour differences live
+// behind ProtocolImpl, so adding a protocol never means editing a
+// hand-enumerated list. These patterns catch the two ways that contract
+// erodes — literal protocol slices and enum comparisons — anywhere
+// outside internal/core, which owns the registry itself.
+var banned = []*regexp.Regexp{
+	// No whitespace before the brace: a gofmt'd composite literal abuts
+	// it, while a space after the type is a function body following a
+	// slice return type (fine — that is registry use).
+	regexp.MustCompile(`\[\]core\.Protocol\{`),
+	regexp.MustCompile(`[=!]=\s*core\.(MESI|MOESI|WARDen)\b`),
+}
+
+// TestNoProtocolLiteralsOutsideRegistry walks every .go file in the
+// module and fails on a banned pattern outside internal/core.
+func TestNoProtocolLiteralsOutsideRegistry(t *testing.T) {
+	_, self, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate test source")
+	}
+	root := filepath.Clean(filepath.Join(filepath.Dir(self), "..", ".."))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not at %s: %v", root, err)
+	}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || path == filepath.Join(root, "internal", "core") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, re := range banned {
+				if re.MatchString(line) {
+					rel, _ := filepath.Rel(root, path)
+					t.Errorf("%s:%d: %q matches %s — use the core registry (core.All, core.Protocols) instead",
+						rel, i+1, strings.TrimSpace(line), re)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+// Package protocols links every protocol implementation into the binary
+// that imports it and provides the shared -protocol flag parser used by
+// all the command-line tools. A CLI that imports this package (even
+// blank) can resolve every registered protocol by name; the parser's
+// error messages enumerate the live registry, so they stay correct as
+// protocol packages come and go.
+package protocols
+
+import (
+	"fmt"
+	"strings"
+
+	"warden/internal/core"
+
+	// Out-of-core protocol families register themselves on import.
+	_ "warden/internal/sisd"
+)
+
+// Usage is the canonical help text for a -protocol flag.
+func Usage() string {
+	return fmt.Sprintf("protocol: %s, a comma-separated list, or all (alias: both)",
+		strings.ToLower(strings.Join(core.Names(), "|")))
+}
+
+// Parse resolves a -protocol flag value: a registered name
+// (case-insensitive), a comma-separated list of names, or "all"/"both"
+// for every registered protocol. The error lists the registered names;
+// CLIs report it and exit 2 (a usage error).
+func Parse(s string) ([]core.Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "":
+		return nil, fmt.Errorf("no protocol given (registered: %s; also: all, both)", registered())
+	case "all", "both":
+		return core.All(), nil
+	}
+	var out []core.Protocol
+	for _, name := range strings.Split(s, ",") {
+		p, ok := core.Lookup(strings.TrimSpace(name))
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q (registered: %s; also: all, both)",
+				strings.TrimSpace(name), registered())
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ParseOne resolves a single registered protocol name.
+func ParseOne(s string) (core.Protocol, error) {
+	p, ok := core.Lookup(strings.TrimSpace(s))
+	if !ok {
+		return 0, fmt.Errorf("unknown protocol %q (registered: %s)", strings.TrimSpace(s), registered())
+	}
+	return p, nil
+}
+
+// ParsePair resolves a "subject:baseline" pair of registered protocol
+// names (e.g. "sisd:mesi"), as taken by differential modes.
+func ParsePair(s string) (subject, baseline core.Protocol, err error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("want a protocol pair %q (registered: %s)", "subject:baseline", registered())
+	}
+	if subject, err = ParseOne(a); err != nil {
+		return 0, 0, err
+	}
+	if baseline, err = ParseOne(b); err != nil {
+		return 0, 0, err
+	}
+	return subject, baseline, nil
+}
+
+func registered() string {
+	return strings.ToLower(strings.Join(core.Names(), ", "))
+}

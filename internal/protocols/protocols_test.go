@@ -1,0 +1,77 @@
+package protocols_test
+
+import (
+	"strings"
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/protocols"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"mesi", []string{"MESI"}},
+		{"WARDen", []string{"WARDen"}},
+		{"MOESI", []string{"MOESI"}},
+		{"sisd", []string{"SiSd"}},
+		{"mesi,warden", []string{"MESI", "WARDen"}},
+		{" mesi , sisd ", []string{"MESI", "SiSd"}},
+		{"all", []string{"MESI", "WARDen", "MOESI", "SiSd"}},
+		{"both", []string{"MESI", "WARDen", "MOESI", "SiSd"}},
+	} {
+		got, err := protocols.Parse(tc.in)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.in, err)
+			continue
+		}
+		var names []string
+		for _, p := range got {
+			names = append(names, p.String())
+		}
+		if strings.Join(names, ",") != strings.Join(tc.want, ",") {
+			t.Errorf("Parse(%q) = %v, want %v", tc.in, names, tc.want)
+		}
+	}
+}
+
+func TestParseErrorsListRegistry(t *testing.T) {
+	for _, in := range []string{"", "mosi", "mesi,bogus"} {
+		_, err := protocols.Parse(in)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", in)
+			continue
+		}
+		for _, name := range []string{"mesi", "moesi", "warden", "sisd"} {
+			if !strings.Contains(err.Error(), name) {
+				t.Errorf("Parse(%q) error %q does not list %q", in, err, name)
+			}
+		}
+	}
+}
+
+func TestParsePair(t *testing.T) {
+	sub, base, err := protocols.ParsePair("sisd:mesi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.String() != "SiSd" || base.String() != "MESI" {
+		t.Fatalf("ParsePair(sisd:mesi) = %v, %v", sub, base)
+	}
+	for _, in := range []string{"sisd", "sisd:", ":mesi", "sisd:nope"} {
+		if _, _, err := protocols.ParsePair(in); err == nil {
+			t.Errorf("ParsePair(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestUsageListsEveryRegisteredName(t *testing.T) {
+	u := protocols.Usage()
+	for _, name := range core.Names() {
+		if !strings.Contains(strings.ToLower(u), strings.ToLower(name)) {
+			t.Errorf("Usage() %q does not mention %q", u, name)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package protocols_test
+
+import (
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/mem"
+	"warden/internal/stats"
+	"warden/internal/topology"
+
+	_ "warden/internal/protocols"
+)
+
+// Tiny direct-mapped machine: 4 cores, 4-line L1 and 8-line L2, so a
+// five-address working set overflows both private levels and every
+// protocol's eviction paths run constantly.
+func sweepSystem(p core.Protocol) (*core.System, *mem.Memory) {
+	cfg := topology.XeonGold6126(1)
+	cfg.CoresPerSocket = 4
+	cfg.L1Size = 4 * 64
+	cfg.L1Assoc = 1
+	cfg.L2Size = 8 * 64
+	cfg.L2Assoc = 1
+	m := mem.New(0)
+	return core.NewSystem(cfg, p, m, &stats.Counters{}), m
+}
+
+// conflictStride maps two addresses to the same set of the 8-set L2.
+const conflictStride = 8 * 64
+
+// TestRegistrySweep drives every registered protocol — whatever is
+// linked, with no per-protocol case — through a deterministic mixed
+// workload (reads, writes, fetch-adds, sync points, region open/close,
+// capacity evictions) with the whole-system invariant sweep after every
+// step. Each word has a single writer core, so after DrainAll the
+// canonical memory must hold the last value written regardless of the
+// protocol's write-propagation policy (eager invalidation, ward
+// reconciliation, or self-downgrade).
+func TestRegistrySweep(t *testing.T) {
+	if len(core.All()) < 4 {
+		t.Fatalf("registry has %d protocols, want at least mesi/moesi/warden/sisd", len(core.All()))
+	}
+	for _, p := range core.All() {
+		t.Run(p.String(), func(t *testing.T) {
+			s, m := sweepSystem(p)
+			base := m.Alloc(4096, mem.PageSize)
+			addrs := []mem.Addr{
+				base, base + 64,
+				base + conflictStride, base + conflictStride + 64,
+				base + 2*conflictStride,
+			}
+			writer := func(i int) int { return i % s.Config().Cores() }
+
+			last := make([]uint64, len(addrs))
+			rng := uint64(0x9e3779b97f4a7c15)
+			next := func(n uint64) uint64 {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return (rng >> 33) % n
+			}
+
+			var openRegion core.RegionID
+			regionOpen := false
+			for step := 0; step < 1500; step++ {
+				i := int(next(uint64(len(addrs))))
+				a := addrs[i]
+				c := writer(i)
+				switch next(10) {
+				case 0, 1, 2, 3:
+					var buf [8]byte
+					s.Read(int(next(uint64(s.Config().Cores()))), a, buf[:])
+				case 4, 5, 6:
+					v := rng
+					var buf [8]byte
+					for b := 0; b < 8; b++ {
+						buf[b] = byte(v >> (8 * b))
+					}
+					s.Write(c, a, buf[:])
+					last[i] = v
+				case 7:
+					old, _ := s.RMW(c, a, 8, func(o uint64) uint64 { return o + 3 })
+					last[i] = old + 3
+				case 8:
+					s.SyncPoint(int(next(uint64(s.Config().Cores()))))
+				case 9:
+					if !regionOpen {
+						if id, _, ok := s.AddRegion(0, base, base+conflictStride); ok {
+							openRegion, regionOpen = id, true
+						}
+					} else {
+						s.RemoveRegion(0, openRegion)
+						regionOpen = false
+					}
+				}
+				if err := s.CheckInvariants(); err != nil {
+					t.Fatalf("step %d: %v", step, err)
+				}
+			}
+			if regionOpen {
+				s.RemoveRegion(0, openRegion)
+			}
+			s.DrainAll()
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after drain: %v", err)
+			}
+			for i, a := range addrs {
+				if got := m.ReadUint(a, 8); got != last[i] {
+					t.Errorf("addr %#x drains to %#x, want %#x", a, got, last[i])
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryEvictionStates pins the eviction sweep: every registered
+// protocol must keep its directory consistent while each private cache
+// state (fresh fill, silently upgraded dirty line, shared copy) is
+// pushed out by direct-mapped conflicts.
+func TestRegistryEvictionStates(t *testing.T) {
+	for _, p := range core.All() {
+		t.Run(p.String(), func(t *testing.T) {
+			s, m := sweepSystem(p)
+			base := m.Alloc(4096, mem.PageSize)
+			a, b, c := base, base+conflictStride, base+2*conflictStride
+			one := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+			var buf [8]byte
+
+			// Clean exclusive fill, then conflict-evict it.
+			s.Read(0, a, buf[:])
+			s.Read(0, b, buf[:])
+			s.Read(0, c, buf[:])
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("clean evictions: %v", err)
+			}
+
+			// Dirty line, then conflict-evict it.
+			s.Write(1, a, one)
+			s.Read(1, b, buf[:])
+			s.Read(1, c, buf[:])
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("dirty eviction: %v", err)
+			}
+
+			// Shared in two cores, evicted from one of them.
+			s.Read(2, a, buf[:])
+			s.Read(3, a, buf[:])
+			s.Read(2, b, buf[:])
+			s.Read(2, c, buf[:])
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("shared eviction: %v", err)
+			}
+
+			s.DrainAll()
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("after drain: %v", err)
+			}
+			if got := m.ReadUint(a, 8); got != 1 {
+				t.Errorf("addr %#x drains to %#x, want 1", a, got)
+			}
+		})
+	}
+}

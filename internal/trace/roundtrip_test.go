@@ -33,7 +33,7 @@ func TestRecordReplayRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+		for _, proto := range core.Protocols("mesi", "warden") {
 			t.Run(name+"/"+proto.String(), func(t *testing.T) {
 				var text strings.Builder
 				rec := trace.NewRecorder(&text, nil)

@@ -155,7 +155,7 @@ func TestReplayNullRegionEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, proto := range []core.Protocol{core.MESI, core.WARDen} {
+	for _, proto := range core.Protocols("mesi", "warden") {
 		m := testMachine(proto)
 		if _, err := Replay(tr, m); err != nil {
 			t.Fatalf("%v: %v", proto, err)
