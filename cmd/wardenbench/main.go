@@ -217,13 +217,16 @@ func main() {
 		logger.Info("observability server listening",
 			"addr", ln.Addr().String(), "endpoints", "/metrics /runs /healthz /debug/pprof/")
 		shutdown = func() {
+			// SIGINT/SIGTERM during the lingering window cuts it short and
+			// proceeds to the graceful drain, instead of killing the process
+			// with scrapes mid-flight.
+			ctx, stop := obs.SignalContext(context.Background())
+			defer stop()
 			if *serveLinger > 0 {
 				logger.Info("experiments done; lingering for late scrapes", "linger", *serveLinger)
-				time.Sleep(*serveLinger)
+				obs.Linger(ctx, *serveLinger)
 			}
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			hs.Shutdown(ctx)
+			obs.Drain(hs, 5*time.Second, logger)
 		}
 	}
 

@@ -1,0 +1,195 @@
+// Command wardenfleet runs the distributed sweep fabric: a coordinator
+// service that shards experiment sweeps into per-configuration work units,
+// workers that execute them, and a submit/query client — all speaking
+// plain JSON over HTTP (see internal/fleet).
+//
+// Usage:
+//
+//	wardenfleet -coordinator -addr :9090 -cache perf/fleet-cache.jsonl
+//	wardenfleet -worker -join http://host:9090 -name w1
+//	wardenfleet -submit -join http://host:9090 -benchmarks fib,msort -size small
+//	wardenfleet -local -benchmarks fib,msort -size small
+//
+// The coordinator leases units to workers under a TTL: workers heartbeat
+// while executing, expired leases are requeued with exponential backoff
+// and jitter, and units that keep failing are quarantined as poison after
+// -max-attempts. Results are memoized in a content-addressed cache keyed
+// by config fingerprint (persisted with -cache), so resubmitting any
+// previously-run sweep completes instantly without executing a simulation
+// — across clients and coordinator restarts. Simulations are
+// bit-reproducible, which makes the sharded sweep's output byte-identical
+// to the sequential -local reference.
+//
+// The coordinator also serves the observability plane on the same port:
+// Prometheus metrics at /metrics (queue depth, active leases, retries,
+// cache hit/miss, per-worker throughput), the run registry at /runs, and
+// net/http/pprof. All three long-running modes shut down gracefully on
+// SIGINT/SIGTERM, draining in-flight HTTP requests.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"warden/internal/fleet"
+	"warden/internal/obs"
+)
+
+func main() {
+	coordinator := flag.Bool("coordinator", false, "run the coordinator service")
+	worker := flag.Bool("worker", false, "run a worker against -join")
+	submit := flag.Bool("submit", false, "submit a sweep to -join, wait, and print its results")
+	local := flag.Bool("local", false, "run the sweep sequentially in-process (the reference a fleet run must match)")
+
+	addr := flag.String("addr", ":9090", "coordinator listen address")
+	join := flag.String("join", "http://127.0.0.1:9090", "coordinator base URL for -worker and -submit")
+	name := flag.String("name", "", "worker name (defaults to a coordinator-assigned one)")
+	poll := flag.Duration("poll", 200*time.Millisecond, "worker idle poll interval / submit status poll interval")
+
+	cache := flag.String("cache", "", "coordinator: persist the content-addressed result cache to this JSONL file")
+	history := flag.String("history", "", "coordinator: append worker perfdb records to this JSONL history file (see wardendiff)")
+	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: lease TTL workers must heartbeat within")
+	maxAttempts := flag.Int("max-attempts", 4, "coordinator: failures before a unit is quarantined as poison")
+
+	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names (empty = full PBBS suite)")
+	protocolsFlag := flag.String("protocols", "", "comma-separated protocol names (empty = mesi,warden)")
+	machineFlag := flag.String("machine", "", "topology preset (empty = xeon-gold-6126-2s)")
+	sizeFlag := flag.String("size", "", "input size class: small or medium (empty = small)")
+	engineFlag := flag.String("engine", "", "simulation engine: seq or pdes (empty = seq)")
+
+	logLevel := flag.String("log-level", "info", "slog level: debug, info, warn, or error")
+	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wardenfleet: -log-level: %v\n", err)
+		os.Exit(2)
+	}
+
+	modes := 0
+	for _, m := range []bool{*coordinator, *worker, *submit, *local} {
+		if m {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fmt.Fprintln(os.Stderr, "wardenfleet: pick exactly one of -coordinator, -worker, -submit, -local")
+		os.Exit(2)
+	}
+
+	spec := fleet.SweepSpec{
+		Benchmarks: splitList(*benchmarks),
+		Protocols:  splitList(*protocolsFlag),
+		Machine:    *machineFlag,
+		Size:       *sizeFlag,
+		Engine:     *engineFlag,
+	}
+
+	// Long-running modes live under a signal context: the first
+	// SIGINT/SIGTERM starts a graceful drain, a second one kills the
+	// process the default way.
+	ctx, stop := obs.SignalContext(context.Background())
+	defer stop()
+
+	switch {
+	case *coordinator:
+		c, err := fleet.NewCoordinator(fleet.Options{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *maxAttempts,
+			CachePath:   *cache,
+			HistoryPath: *history,
+			Registry:    obs.NewRegistry(),
+			Log:         logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("coordinator listening", "addr", *addr,
+			"cache", *cache, "cached_results", c.Cache().Len(),
+			"endpoints", "/jobs /queue /fleet/* /metrics /runs /healthz /debug/pprof/")
+		if err := fleet.Serve(ctx, *addr, c, 5*time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+
+	case *worker:
+		w := &fleet.Worker{
+			Coordinator:  &fleet.Client{Base: *join},
+			Name:         *name,
+			PollInterval: *poll,
+			Log:          logger,
+		}
+		if err := w.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+
+	case *submit:
+		client := &fleet.Client{Base: *join}
+		st, err := client.Submit(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+		logger.Info("job submitted", "job", st.ID, "units", st.Units, "cached", st.CacheHits)
+		st, err = client.Wait(ctx, st.ID, *poll)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+		if st.State != "done" {
+			fmt.Fprintf(os.Stderr, "wardenfleet: job %s %s: %s\n",
+				st.ID, st.State, strings.Join(st.Errors, "; "))
+			os.Exit(1)
+		}
+		results, err := client.Results(st.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := fleet.WriteResultsTable(os.Stdout, results); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+		// The summary goes to stderr so stdout stays byte-comparable with
+		// -local output; CI greps "executed 0" here to prove a resubmitted
+		// sweep was served entirely from the cache.
+		fmt.Fprintf(os.Stderr, "wardenfleet: job %s done: %d units, executed %d, cache hits %d, coalesced %d, retries %d\n",
+			st.ID, st.Units, st.Executed, st.CacheHits, st.Coalesced, st.Retries)
+
+	case *local:
+		results, err := fleet.RunLocal(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := fleet.WriteResultsTable(os.Stdout, results); err != nil {
+			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// splitList parses a comma-separated flag into a name list; empty input
+// means nil (the spec's defaults).
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}

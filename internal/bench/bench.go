@@ -214,22 +214,21 @@ func (r *Runner) SetObserver(reg *obs.Registry) { r.reg = reg }
 func (r *Runner) MemoStats() runner.MemoStats { return r.memo.Stats() }
 
 // MetricFamilies implements obs.Source: memo-cache effectiveness and the
-// uncached-simulation totals, for /metrics.
+// uncached-simulation totals, for /metrics. The memo families go through
+// obs.CacheFamilies, the same surface the fleet coordinator's result cache
+// uses, so local and distributed cache behaviour read identically on a
+// dashboard (warden_memo_* vs warden_fleet_cache_*).
 func (r *Runner) MetricFamilies() []obs.Family {
 	ms := r.memo.Stats()
 	cycles, runs := r.SimulatedCycles()
-	return []obs.Family{
-		obs.Counter("warden_memo_hits_total",
-			"Simulation memo lookups satisfied by an existing entry.", float64(ms.Hits)),
-		obs.Counter("warden_memo_misses_total",
-			"Simulation memo lookups that had to simulate.", float64(ms.Misses)),
-		obs.Gauge("warden_memo_entries",
-			"Distinct simulation configurations memoized.", float64(ms.Entries)),
+	fams := obs.CacheFamilies("warden_memo", "Simulation memo",
+		obs.CacheStats{Hits: ms.Hits, Misses: ms.Misses, Entries: ms.Entries})
+	return append(fams,
 		obs.Counter("warden_sim_completed_cycles_total",
 			"Simulated cycles of completed uncached simulations.", float64(cycles)),
 		obs.Counter("warden_sim_completed_runs_total",
 			"Completed uncached simulations.", float64(runs)),
-	}
+	)
 }
 
 // runCounterSet is the per-run counter subset published to the run

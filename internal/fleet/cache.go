@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"warden/internal/obs"
+)
+
+// Cache is the coordinator's content-addressed result store: config
+// fingerprint → result blob. Entries are immutable — a fingerprint fully
+// determines its (bit-reproducible) result — so the store is append-only,
+// persisted as JSONL next to the perfdb history, and a restarted
+// coordinator reloads it to keep memoization global across processes and
+// time: resubmitting any previously-run sweep is served without executing
+// a simulation.
+type Cache struct {
+	mu     sync.Mutex
+	path   string // "" = memory-only
+	m      map[string]json.RawMessage
+	hits   uint64
+	misses uint64
+}
+
+// cacheLine is the JSONL persistence schema: one entry per line.
+type cacheLine struct {
+	Fingerprint string          `json:"fingerprint"`
+	Result      json.RawMessage `json:"result"`
+}
+
+// OpenCache loads (or starts) a cache persisted at path; an empty path
+// yields a memory-only cache. A missing file is an empty cache, not an
+// error; a malformed line is an error naming its line number, because a
+// silently-truncated cache would re-execute work it claims to remember.
+func OpenCache(path string) (*Cache, error) {
+	c := &Cache{path: path, m: make(map[string]json.RawMessage)}
+	if path == "" {
+		return c, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return c, nil
+		}
+		return nil, fmt.Errorf("fleet: cache: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var cl cacheLine
+		if err := json.Unmarshal(b, &cl); err != nil {
+			return nil, fmt.Errorf("fleet: cache %s:%d: %w", path, line, err)
+		}
+		if cl.Fingerprint == "" {
+			return nil, fmt.Errorf("fleet: cache %s:%d: entry without fingerprint", path, line)
+		}
+		// Last write wins on duplicate fingerprints (e.g. two coordinators
+		// sharing a file); results are deterministic so the blobs agree.
+		c.m[cl.Fingerprint] = append(json.RawMessage(nil), cl.Result...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: cache %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Get returns the cached result blob for a fingerprint, counting the
+// lookup as a hit or miss.
+func (c *Cache) Get(fp string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	blob, ok := c.m[fp]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return blob, ok
+}
+
+// Put stores a result blob under its fingerprint, appending it to the
+// persistence file when one is configured. Re-putting an existing
+// fingerprint is a no-op (the first result is as good as any — they are
+// byte-identical by construction) so a stale-lease duplicate completion
+// never doubles a line.
+func (c *Cache) Put(fp string, blob json.RawMessage) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[fp]; ok {
+		return nil
+	}
+	c.m[fp] = append(json.RawMessage(nil), blob...)
+	if c.path == "" {
+		return nil
+	}
+	line, err := json.Marshal(cacheLine{Fingerprint: fp, Result: blob})
+	if err != nil {
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	f, err := os.OpenFile(c.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("fleet: cache: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of cached fingerprints.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats reports the cache's lookup counters in the shared obs shape.
+func (c *Cache) Stats() obs.CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return obs.CacheStats{Hits: c.hits, Misses: c.misses, Entries: len(c.m)}
+}

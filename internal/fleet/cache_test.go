@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCachePersistsAcrossOpens(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c1, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	if _, ok := c1.Get("fp1"); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	blob := json.RawMessage(`{"Cycles":42}`)
+	if err := c1.Put("fp1", blob); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := c1.Put("fp2", json.RawMessage(`{"Cycles":7}`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// A fresh open — a restarted coordinator — sees both entries.
+	c2, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if c2.Len() != 2 {
+		t.Fatalf("reopened Len = %d, want 2", c2.Len())
+	}
+	got, ok := c2.Get("fp1")
+	if !ok || string(got) != string(blob) {
+		t.Fatalf("reopened Get(fp1) = %s,%v, want %s,true", got, ok, blob)
+	}
+	st := c2.Stats()
+	if st.Hits != 1 || st.Misses != 0 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 1 hit, 0 misses, 2 entries", st)
+	}
+}
+
+func TestCachePutIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	c, err := OpenCache(path)
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := c.Put("fp", json.RawMessage(`{"Cycles":1}`)); err != nil {
+			t.Fatalf("Put #%d: %v", i, err)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate puts, want 1", c.Len())
+	}
+	// The file holds exactly one line: duplicates never touch disk.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if n := countLines(b); n != 1 {
+		t.Fatalf("file has %d lines after duplicate puts, want 1", n)
+	}
+}
+
+func countLines(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c == '\n' {
+			n++
+		}
+	}
+	return n
+}
+
+func TestCacheMemoryOnly(t *testing.T) {
+	c, err := OpenCache("")
+	if err != nil {
+		t.Fatalf("OpenCache: %v", err)
+	}
+	if err := c.Put("fp", json.RawMessage(`1`)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, ok := c.Get("fp"); !ok {
+		t.Fatal("memory-only cache lost its entry")
+	}
+}
+
+func TestCacheRejectsMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	if err := os.WriteFile(path, []byte(`{"fingerprint":"a","result":1}`+"\nnot json\n"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Fatal("OpenCache accepted a malformed line")
+	}
+}
+
+func TestCacheRejectsMissingFingerprint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	if err := os.WriteFile(path, []byte(`{"result":1}`+"\n"), 0o644); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if _, err := OpenCache(path); err == nil {
+		t.Fatal("OpenCache accepted an entry without a fingerprint")
+	}
+}

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/perfdb"
+)
+
+// Client speaks the coordinator's HTTP API: the submit/poll side used by
+// `wardenfleet -submit`, and the lease protocol (it implements WorkerAPI)
+// used by `wardenfleet -worker`.
+type Client struct {
+	// Base is the coordinator's base URL, e.g. "http://127.0.0.1:9090".
+	Base string
+	// HTTP overrides the transport; nil uses a client with sane timeouts
+	// for a localhost control plane.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// apiError is a non-2xx response: status code plus the server's message.
+type apiError struct {
+	Status int
+	Msg    string
+}
+
+func (e *apiError) Error() string {
+	return fmt.Sprintf("fleet: coordinator replied %d: %s", e.Status, e.Msg)
+}
+
+// post sends a JSON body and decodes a JSON reply into out (skipped when
+// out is nil, e.g. for 204 endpoints).
+func (c *Client) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("fleet: encode request: %w", err)
+	}
+	resp, err := c.httpClient().Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return decodeReply(resp, out)
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.httpClient().Get(c.Base + path)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	return decodeReply(resp, out)
+}
+
+func decodeReply(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("fleet: decode reply: %w", err)
+	}
+	return nil
+}
+
+// Submit posts a sweep spec and returns the accepted job's status.
+func (c *Client) Submit(spec SweepSpec) (JobStatus, error) {
+	var st JobStatus
+	err := c.post("/jobs", spec, &st)
+	return st, err
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.get("/jobs/"+id, &st)
+	return st, err
+}
+
+// Wait polls a job until it settles (done or failed) or ctx expires,
+// returning the final status. A failed job is returned with a nil error —
+// the caller inspects State and Errors.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State != "running" {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, fmt.Errorf("fleet: wait for %s: %w (%d/%d done)", id, ctx.Err(), st.Done, st.Units)
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Results fetches a done job's results in unit-index order.
+func (c *Client) Results(id string) ([]bench.Result, error) {
+	var view jobView
+	if err := c.get("/jobs/"+id+"?results=1", &view); err != nil {
+		return nil, err
+	}
+	return view.Results, nil
+}
+
+// Queue fetches the coordinator's queue snapshot.
+func (c *Client) Queue() (QueueStatus, error) {
+	var st QueueStatus
+	err := c.get("/queue", &st)
+	return st, err
+}
+
+// --- WorkerAPI over HTTP ---
+
+// RegisterWorker implements WorkerAPI. Registration failures (coordinator
+// down) degrade to a zero TTL and empty id; the worker's lease calls will
+// keep erroring and retrying until the coordinator is reachable.
+func (c *Client) RegisterWorker(name string) (string, time.Duration) {
+	var resp registerResponse
+	if err := c.post("/fleet/register", registerRequest{Name: name}, &resp); err != nil {
+		return "", 0
+	}
+	return resp.WorkerID, time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+}
+
+// Lease implements WorkerAPI.
+func (c *Client) Lease(workerID string, max int) ([]Unit, error) {
+	var resp leaseResponse
+	if err := c.post("/fleet/lease", leaseRequest{WorkerID: workerID, Max: max}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Units, nil
+}
+
+// Heartbeat implements WorkerAPI.
+func (c *Client) Heartbeat(workerID string, unitIDs []string) error {
+	return c.post("/fleet/heartbeat", heartbeatRequest{WorkerID: workerID, UnitIDs: unitIDs}, nil)
+}
+
+// Complete implements WorkerAPI.
+func (c *Client) Complete(workerID, unitID string, res bench.Result, rec perfdb.Record) error {
+	return c.post("/fleet/complete", completeRequest{
+		WorkerID: workerID, UnitID: unitID, Result: res, Record: rec,
+	}, nil)
+}
+
+// Fail implements WorkerAPI.
+func (c *Client) Fail(workerID, unitID, msg string) error {
+	return c.post("/fleet/fail", failRequest{WorkerID: workerID, UnitID: unitID, Error: msg}, nil)
+}

@@ -1,0 +1,773 @@
+package fleet
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/obs"
+	"warden/internal/perfdb"
+)
+
+// Options tunes the coordinator. The zero value selects production
+// defaults; tests inject a fake clock and a fixed jitter source.
+type Options struct {
+	// LeaseTTL is how long a worker holds a unit before the coordinator
+	// considers the lease dead and requeues the unit. Workers heartbeat at
+	// a fraction of this. Default 30s.
+	LeaseTTL time.Duration
+	// MaxAttempts bounds retries: a unit whose execution has failed (or
+	// whose lease has expired) this many times is quarantined as poison
+	// instead of requeued. Default 4.
+	MaxAttempts int
+	// BackoffBase is the first retry delay; attempt n waits
+	// BackoffBase·2^(n-1), capped at BackoffMax, stretched by up to
+	// JitterFrac. Defaults 250ms / 30s / 0.2.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	JitterFrac  float64
+	// Clock overrides the wall clock (tests drive lease expiry and backoff
+	// schedules without sleeping). Default time.Now.
+	Clock func() time.Time
+	// Rand overrides the jitter source with a func returning [0,1).
+	// Default math/rand.
+	Rand func() float64
+	// CachePath persists the content-addressed result cache as JSONL;
+	// empty keeps it in memory.
+	CachePath string
+	// HistoryPath, if set, appends every worker-produced perfdb record to
+	// this JSONL history file (the same store wardenbench -history writes
+	// and wardendiff reads).
+	HistoryPath string
+	// Registry, if set, registers one run per unit execution attempt so
+	// the coordinator's /runs mirrors the single-process plane.
+	Registry *obs.Registry
+	// Log, if set, receives lifecycle records.
+	Log *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 250 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 30 * time.Second
+	}
+	if o.JitterFrac < 0 {
+		o.JitterFrac = 0
+	} else if o.JitterFrac == 0 {
+		o.JitterFrac = 0.2
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
+	}
+	return o
+}
+
+// unitState is the lifecycle of one work unit.
+type unitState int
+
+const (
+	// unitPending: waiting for a lease — either eligible now or waiting
+	// out a retry backoff (readyAt in the future).
+	unitPending unitState = iota
+	// unitFollowing: an identical unit (same fingerprint) is already
+	// pending or leased; this one waits for its result instead of
+	// executing a duplicate simulation — the fleet-wide analogue of the
+	// runner memo's single-flight.
+	unitFollowing
+	// unitLeased: held by a worker under a live lease.
+	unitLeased
+	// unitDone: result available.
+	unitDone
+	// unitPoisoned: quarantined after MaxAttempts failures; never
+	// rescheduled.
+	unitPoisoned
+)
+
+// unit is the coordinator's mutable state for one work unit.
+type unit struct {
+	Unit
+	jobID    string
+	state    unitState
+	attempts int       // failed attempts (explicit failures + lease expiries)
+	readyAt  time.Time // earliest next lease (backoff gate)
+	worker   string    // holder while leased
+	expiry   time.Time // lease deadline while leased
+	lastErr  string
+	cached   bool // filled from the result cache at submit time
+	followed bool // completed by following an identical in-flight unit
+	result   json.RawMessage
+	run      *obs.Run // current execution attempt's registry run
+}
+
+// Job is one submitted sweep.
+type job struct {
+	id        string
+	spec      SweepSpec
+	units     []*unit
+	submitted time.Time
+	done      chan struct{} // closed when every unit is done or poisoned
+}
+
+// workerState tracks a registered worker.
+type workerState struct {
+	id        string
+	name      string
+	joined    time.Time
+	lastSeen  time.Time
+	completed uint64
+	failed    uint64
+}
+
+// Coordinator shards jobs into units, leases them to workers, retries
+// failures with backoff, quarantines poison units, and memoizes results in
+// a content-addressed cache. All methods are safe for concurrent use; the
+// HTTP layer in http.go is a thin JSON veneer over them, so tests drive
+// the state machine directly with an injected clock.
+type Coordinator struct {
+	mu      sync.Mutex
+	opts    Options
+	cache   *Cache
+	jobs    map[string]*job
+	jobSeq  int
+	units   map[string]*unit // by unit ID
+	pending []*unit          // pending + following admission order (stable scheduling)
+	workers map[string]*workerState
+	wseq    int
+
+	// Monotonic counters for /metrics and QueueStatus.
+	leasesGranted uint64
+	leasesExpired uint64
+	retries       uint64
+	unitsExecuted uint64 // completions accepted from workers
+	unitsFailed   uint64 // explicit worker-reported failures
+	coalesced     uint64 // units completed by following an identical in-flight unit
+}
+
+// NewCoordinator builds a coordinator, loading the persisted cache when
+// opts.CachePath names one.
+func NewCoordinator(opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	cache, err := OpenCache(opts.CachePath)
+	if err != nil {
+		return nil, err
+	}
+	return &Coordinator{
+		opts:    opts,
+		cache:   cache,
+		jobs:    make(map[string]*job),
+		units:   make(map[string]*unit),
+		workers: make(map[string]*workerState),
+	}, nil
+}
+
+// Cache exposes the coordinator's result cache (metrics, tests).
+func (c *Coordinator) Cache() *Cache { return c.cache }
+
+// logf emits a lifecycle record when a logger is configured.
+func (c *Coordinator) logf(msg string, args ...any) {
+	if c.opts.Log != nil {
+		c.opts.Log.Info(msg, args...)
+	}
+}
+
+// Submit resolves a spec into units, serves what the cache already knows,
+// queues the rest, and returns the job's status snapshot. Duplicate
+// fingerprints already pending or leased (from a concurrently running job)
+// are attached as followers rather than queued twice.
+func (c *Coordinator) Submit(spec SweepSpec) (JobStatus, error) {
+	resolved, err := ResolveSpec(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+
+	c.jobSeq++
+	j := &job{
+		id:        fmt.Sprintf("J%d", c.jobSeq),
+		spec:      spec,
+		submitted: now,
+		done:      make(chan struct{}),
+	}
+	for i := range resolved {
+		u := &unit{Unit: resolved[i], jobID: j.id}
+		u.ID = fmt.Sprintf("%s/%d", j.id, u.Index)
+		if blob, ok := c.cache.Get(u.Fingerprint); ok {
+			u.state = unitDone
+			u.cached = true
+			u.result = blob
+		} else if leader := c.inflightLocked(u.Fingerprint); leader != nil {
+			u.state = unitFollowing
+			c.pending = append(c.pending, u)
+		} else {
+			u.state = unitPending
+			u.readyAt = now
+			c.pending = append(c.pending, u)
+		}
+		j.units = append(j.units, u)
+		c.units[u.ID] = u
+	}
+	c.jobs[j.id] = j
+	c.maybeFinishJobLocked(j)
+	c.logf("job submitted", "job", j.id, "units", len(j.units),
+		"cached", countCached(j.units), "machine", resolved[0].Machine)
+	return c.jobStatusLocked(j), nil
+}
+
+func countCached(units []*unit) int {
+	n := 0
+	for _, u := range units {
+		if u.cached {
+			n++
+		}
+	}
+	return n
+}
+
+// inflightLocked returns a pending/leased unit with the given fingerprint,
+// or nil. Followers don't count — they are themselves waiting on a leader.
+func (c *Coordinator) inflightLocked(fp string) *unit {
+	for _, u := range c.pending {
+		if u.Fingerprint == fp && u.state == unitPending {
+			return u
+		}
+	}
+	for _, u := range c.units {
+		if u.Fingerprint == fp && u.state == unitLeased {
+			return u
+		}
+	}
+	return nil
+}
+
+// RegisterWorker admits a worker and returns its id plus the lease TTL it
+// must heartbeat within.
+func (c *Coordinator) RegisterWorker(name string) (id string, leaseTTL time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.wseq++
+	if name == "" {
+		name = fmt.Sprintf("worker-%d", c.wseq)
+	}
+	w := &workerState{
+		id:       fmt.Sprintf("W%d-%s", c.wseq, name),
+		name:     name,
+		joined:   now,
+		lastSeen: now,
+	}
+	c.workers[w.id] = w
+	c.logf("worker registered", "worker", w.id)
+	return w.id, c.opts.LeaseTTL
+}
+
+var errUnknownWorker = errors.New("fleet: unknown worker id (coordinator restarted? re-register)")
+
+// Lease hands up to max eligible units to a worker. Eligibility is
+// readyAt <= now; among eligible units the admission order decides, so
+// scheduling is deterministic given a clock. An empty slice means nothing
+// is currently eligible (there may still be units waiting out backoff).
+func (c *Coordinator) Lease(workerID string, max int) ([]Unit, error) {
+	if max <= 0 {
+		max = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	w, ok := c.workers[workerID]
+	if !ok {
+		return nil, errUnknownWorker
+	}
+	w.lastSeen = now
+
+	var out []Unit
+	for _, u := range c.pending {
+		if len(out) >= max {
+			break
+		}
+		if u.state != unitPending || u.readyAt.After(now) {
+			continue
+		}
+		u.state = unitLeased
+		u.worker = workerID
+		u.expiry = now.Add(c.opts.LeaseTTL)
+		c.leasesGranted++
+		if c.opts.Registry != nil {
+			u.run = c.opts.Registry.NewRun("unit", u.Name(), map[string]string{
+				"job": u.jobID, "unit": u.ID, "worker": w.name,
+				"benchmark": u.Benchmark, "protocol": u.Protocol,
+				"machine": u.Machine, "attempt": fmt.Sprint(u.attempts + 1),
+			})
+			u.run.Start()
+		}
+		out = append(out, u.Unit)
+	}
+	c.compactPendingLocked()
+	return out, nil
+}
+
+// Heartbeat marks the worker live and renews its leases on the named
+// units. Renewal is idempotent; units the worker no longer holds (expired
+// and re-leased elsewhere) are skipped silently — the worker finds out
+// when it reports completion.
+func (c *Coordinator) Heartbeat(workerID string, unitIDs []string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	w, ok := c.workers[workerID]
+	if !ok {
+		return errUnknownWorker
+	}
+	w.lastSeen = now
+	for _, id := range unitIDs {
+		if u, ok := c.units[id]; ok && u.state == unitLeased && u.worker == workerID {
+			u.expiry = now.Add(c.opts.LeaseTTL)
+		}
+	}
+	return nil
+}
+
+// Complete accepts a unit's result from a worker, fills the cache, feeds
+// every follower of the same fingerprint, and appends the worker's perfdb
+// record to the history file when one is configured.
+//
+// A stale completion — the lease expired and the unit was re-leased or
+// even finished elsewhere — is accepted gracefully: results are
+// deterministic, so the blob is as good as any other execution's. An
+// already-done unit makes it a no-op.
+func (c *Coordinator) Complete(workerID, unitID string, res bench.Result, rec perfdb.Record) error {
+	blob, err := json.Marshal(res)
+	if err != nil {
+		return fmt.Errorf("fleet: encode result: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = now
+		w.completed++
+	}
+	u, ok := c.units[unitID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown unit %q", unitID)
+	}
+	if u.state == unitDone || u.state == unitPoisoned {
+		return nil
+	}
+	c.unitsExecuted++
+	c.finishUnitLocked(u, blob, res.Cycles)
+	if c.opts.HistoryPath != "" {
+		if err := perfdb.Append(c.opts.HistoryPath, []perfdb.Record{rec}); err != nil {
+			c.logf("history append failed", "err", err)
+		}
+	}
+	c.logf("unit done", "unit", unitID, "worker", workerID, "cycles", res.Cycles)
+	return nil
+}
+
+// finishUnitLocked marks a unit done with blob, caches it, and completes
+// every follower (and any pending twin) sharing its fingerprint.
+func (c *Coordinator) finishUnitLocked(u *unit, blob json.RawMessage, cycles uint64) {
+	if err := c.cache.Put(u.Fingerprint, blob); err != nil {
+		c.logf("cache append failed", "err", err)
+	}
+	complete := func(v *unit, follower bool) {
+		v.state = unitDone
+		v.result = append(json.RawMessage(nil), blob...)
+		if v.run != nil {
+			v.run.Finish(cycles, nil)
+			v.run = nil
+		}
+		if follower {
+			v.followed = true
+			c.coalesced++
+		}
+		c.maybeFinishJobLocked(c.jobs[v.jobID])
+	}
+	complete(u, false)
+	for _, v := range c.pending {
+		if v.Fingerprint == u.Fingerprint && (v.state == unitFollowing || v.state == unitPending) {
+			complete(v, true)
+		}
+	}
+	c.compactPendingLocked()
+}
+
+// Fail records a worker-reported execution failure and requeues or
+// poisons the unit.
+func (c *Coordinator) Fail(workerID, unitID, msg string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	if w, ok := c.workers[workerID]; ok {
+		w.lastSeen = now
+		w.failed++
+	}
+	u, ok := c.units[unitID]
+	if !ok {
+		return fmt.Errorf("fleet: unknown unit %q", unitID)
+	}
+	if u.state != unitLeased || u.worker != workerID {
+		// Stale failure report for a lease we already expired (and maybe
+		// completed elsewhere): the authoritative attempt count was already
+		// charged by the reaper.
+		return nil
+	}
+	c.unitsFailed++
+	c.requeueLocked(u, now, "worker "+workerID+": "+msg)
+	return nil
+}
+
+// reapLocked requeues (or poisons) every unit whose lease has expired. It
+// runs at the top of every mutating call, so lease expiry needs no
+// background goroutine and is exact under an injected clock.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for _, u := range c.units {
+		if u.state == unitLeased && u.expiry.Before(now) {
+			c.leasesExpired++
+			c.requeueLocked(u, now, "lease expired on worker "+u.worker)
+		}
+	}
+}
+
+// requeueLocked charges a failed attempt to a unit and either schedules
+// its retry (exponential backoff + jitter) or quarantines it as poison.
+// Callers hold the lock.
+func (c *Coordinator) requeueLocked(u *unit, now time.Time, why string) {
+	if u.run != nil {
+		u.run.Finish(0, errors.New(why))
+		u.run = nil
+	}
+	u.attempts++
+	u.worker = ""
+	u.lastErr = why
+	if u.attempts >= c.opts.MaxAttempts {
+		u.state = unitPoisoned
+		c.logf("unit poisoned", "unit", u.ID, "attempts", u.attempts, "last", why)
+		// A poison leader takes its followers down with it: they asked for
+		// the same simulation, which has now failed MaxAttempts times.
+		for _, v := range c.pending {
+			if v.state == unitFollowing && v.Fingerprint == u.Fingerprint {
+				v.state = unitPoisoned
+				v.attempts = u.attempts
+				v.lastErr = why
+				c.maybeFinishJobLocked(c.jobs[v.jobID])
+			}
+		}
+		c.compactPendingLocked()
+		c.maybeFinishJobLocked(c.jobs[u.jobID])
+		return
+	}
+	c.retries++
+	u.state = unitPending
+	u.readyAt = now.Add(c.backoff(u.attempts))
+	// The unit left the pending list when it was leased; requeue it at the
+	// back so retries don't starve first-time units.
+	c.pending = append(c.pending, u)
+	c.logf("unit requeued", "unit", u.ID, "attempt", u.attempts, "ready_in", u.readyAt.Sub(now), "why", why)
+}
+
+// backoff returns the delay before retry attempt n (n >= 1):
+// base·2^(n-1) capped at max, stretched by up to JitterFrac so synchronized
+// retry storms decorrelate.
+func (c *Coordinator) backoff(n int) time.Duration {
+	d := c.opts.BackoffBase
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= c.opts.BackoffMax {
+			d = c.opts.BackoffMax
+			break
+		}
+	}
+	if d > c.opts.BackoffMax {
+		d = c.opts.BackoffMax
+	}
+	return d + time.Duration(float64(d)*c.opts.JitterFrac*c.opts.Rand())
+}
+
+// compactPendingLocked drops settled units from the pending list, keeping
+// admission order for the rest.
+func (c *Coordinator) compactPendingLocked() {
+	kept := c.pending[:0]
+	for _, u := range c.pending {
+		if u.state == unitPending || u.state == unitFollowing {
+			kept = append(kept, u)
+		}
+	}
+	for i := len(kept); i < len(c.pending); i++ {
+		c.pending[i] = nil
+	}
+	c.pending = kept
+}
+
+// maybeFinishJobLocked closes the job's done channel once no unit can make
+// further progress.
+func (c *Coordinator) maybeFinishJobLocked(j *job) {
+	if j == nil {
+		return
+	}
+	for _, u := range j.units {
+		if u.state != unitDone && u.state != unitPoisoned {
+			return
+		}
+	}
+	select {
+	case <-j.done:
+	default:
+		close(j.done)
+	}
+}
+
+// JobStatus is the JSON view of a job served by POST /jobs and
+// GET /jobs/{id}.
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"` // running, done, or failed (poisoned units)
+	Units int    `json:"units"`
+	Done  int    `json:"done"`
+	// CacheHits counts units served straight from the content-addressed
+	// cache at submit time; Executed counts worker completions for this
+	// job; Coalesced counts units fed by an identical in-flight unit. A
+	// fully-memoized resubmission has CacheHits == Units and Executed == 0.
+	CacheHits int `json:"cache_hits"`
+	Executed  int `json:"executed"`
+	Coalesced int `json:"coalesced"`
+	Leased    int `json:"leased"`
+	Pending   int `json:"pending"`
+	Poisoned  int `json:"poisoned"`
+	// Retries sums the failed attempts charged to this job's units so far.
+	Retries int `json:"retries"`
+	// Errors carries each poisoned unit's last failure, "unit: why".
+	Errors []string `json:"errors,omitempty"`
+}
+
+func (c *Coordinator) jobStatusLocked(j *job) JobStatus {
+	st := JobStatus{ID: j.id, Units: len(j.units)}
+	for _, u := range j.units {
+		switch u.state {
+		case unitDone:
+			st.Done++
+			switch {
+			case u.cached:
+				st.CacheHits++
+			case u.followed:
+				st.Coalesced++
+			default:
+				st.Executed++
+			}
+		case unitLeased:
+			st.Leased++
+		case unitPending, unitFollowing:
+			st.Pending++
+		case unitPoisoned:
+			st.Poisoned++
+			st.Errors = append(st.Errors, u.ID+": "+u.lastErr)
+		}
+		st.Retries += u.attempts
+	}
+	switch {
+	case st.Poisoned > 0 && st.Done+st.Poisoned == st.Units:
+		st.State = "failed"
+	case st.Done == st.Units:
+		st.State = "done"
+	default:
+		st.State = "running"
+	}
+	return st
+}
+
+// Job returns a job's status snapshot.
+func (c *Coordinator) Job(id string) (JobStatus, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked(c.opts.Clock())
+	j, ok := c.jobs[id]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return c.jobStatusLocked(j), true
+}
+
+// Results returns a finished job's results in unit-index order. It errors
+// on an unknown job, an unfinished job, or a failed one — callers should
+// poll Job (or use the client's Wait) first.
+func (c *Coordinator) Results(id string) ([]bench.Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("fleet: unknown job %q", id)
+	}
+	st := c.jobStatusLocked(j)
+	switch st.State {
+	case "running":
+		return nil, fmt.Errorf("fleet: job %s still running (%d/%d done)", id, st.Done, st.Units)
+	case "failed":
+		return nil, fmt.Errorf("fleet: job %s failed: %d poisoned unit(s): %v", id, st.Poisoned, st.Errors)
+	}
+	out := make([]bench.Result, len(j.units))
+	for _, u := range j.units {
+		var res bench.Result
+		if err := json.Unmarshal(u.result, &res); err != nil {
+			return nil, fmt.Errorf("fleet: job %s unit %s: decode cached result: %w", id, u.ID, err)
+		}
+		out[u.Index] = res
+	}
+	return out, nil
+}
+
+// WaitDone returns a channel closed when the job settles (all units done
+// or poisoned); a nil channel for unknown jobs.
+func (c *Coordinator) WaitDone(id string) <-chan struct{} {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j, ok := c.jobs[id]; ok {
+		return j.done
+	}
+	return nil
+}
+
+// WorkerStatus is one worker's row in QueueStatus.
+type WorkerStatus struct {
+	ID        string `json:"id"`
+	Name      string `json:"name"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	LastSeen  string `json:"last_seen"`
+}
+
+// QueueStatus is the GET /queue snapshot: queue depth, lease and retry
+// counters, cache effectiveness, and per-worker throughput.
+type QueueStatus struct {
+	// Depth counts units eligible for a lease right now; Backoff counts
+	// pending units still waiting out a retry delay; Following counts
+	// units waiting on an identical in-flight unit.
+	Depth     int `json:"depth"`
+	Backoff   int `json:"backoff"`
+	Following int `json:"following"`
+	Leased    int `json:"leased"`
+	Done      int `json:"done"`
+	Poisoned  int `json:"poisoned"`
+	Jobs      int `json:"jobs"`
+
+	LeasesGranted uint64 `json:"leases_granted"`
+	LeasesExpired uint64 `json:"leases_expired"`
+	Retries       uint64 `json:"retries"`
+	Executed      uint64 `json:"executed"`
+	Failed        uint64 `json:"failed"`
+	Coalesced     uint64 `json:"coalesced"`
+
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CacheEntries int    `json:"cache_entries"`
+
+	Workers []WorkerStatus `json:"workers"`
+}
+
+// Queue returns the coordinator-wide queue snapshot.
+func (c *Coordinator) Queue() QueueStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.Clock()
+	c.reapLocked(now)
+	var st QueueStatus
+	st.Jobs = len(c.jobs)
+	for _, u := range c.units {
+		switch u.state {
+		case unitPending:
+			if u.readyAt.After(now) {
+				st.Backoff++
+			} else {
+				st.Depth++
+			}
+		case unitFollowing:
+			st.Following++
+		case unitLeased:
+			st.Leased++
+		case unitDone:
+			st.Done++
+		case unitPoisoned:
+			st.Poisoned++
+		}
+	}
+	st.LeasesGranted = c.leasesGranted
+	st.LeasesExpired = c.leasesExpired
+	st.Retries = c.retries
+	st.Executed = c.unitsExecuted
+	st.Failed = c.unitsFailed
+	st.Coalesced = c.coalesced
+	cs := c.cache.Stats()
+	st.CacheHits, st.CacheMisses, st.CacheEntries = cs.Hits, cs.Misses, cs.Entries
+	for _, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			ID: w.id, Name: w.name, Completed: w.completed, Failed: w.failed,
+			LastSeen: w.lastSeen.UTC().Format(time.RFC3339Nano),
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].ID < st.Workers[j].ID })
+	return st
+}
+
+// MetricFamilies implements obs.Source: the coordinator's /metrics view —
+// queue depth, active leases, retry and expiry counters, poison
+// quarantine, per-worker throughput, and the result cache through the
+// shared obs.CacheFamilies surface.
+func (c *Coordinator) MetricFamilies() []obs.Family {
+	st := c.Queue()
+	perWorker := obs.Family{
+		Name: "warden_fleet_worker_units_total",
+		Help: "Units completed per worker.",
+		Type: "counter",
+	}
+	for _, w := range st.Workers {
+		perWorker.Metrics = append(perWorker.Metrics, obs.Metric{
+			Labels: []obs.Label{{Name: "worker", Value: w.Name}},
+			Value:  float64(w.Completed),
+		})
+	}
+	fams := []obs.Family{
+		obs.Gauge("warden_fleet_queue_depth", "Units eligible for a lease right now.", float64(st.Depth)),
+		obs.Gauge("warden_fleet_backoff_units", "Units waiting out a retry backoff.", float64(st.Backoff)),
+		obs.Gauge("warden_fleet_following_units", "Units waiting on an identical in-flight unit.", float64(st.Following)),
+		obs.Gauge("warden_fleet_active_leases", "Units currently leased to workers.", float64(st.Leased)),
+		obs.Gauge("warden_fleet_poisoned_units", "Units quarantined after repeated failures.", float64(st.Poisoned)),
+		obs.Gauge("warden_fleet_workers", "Registered workers.", float64(len(st.Workers))),
+		obs.Gauge("warden_fleet_jobs", "Jobs submitted to this coordinator.", float64(st.Jobs)),
+		obs.Counter("warden_fleet_leases_granted_total", "Leases handed to workers.", float64(st.LeasesGranted)),
+		obs.Counter("warden_fleet_leases_expired_total", "Leases reaped after their TTL.", float64(st.LeasesExpired)),
+		obs.Counter("warden_fleet_retries_total", "Unit retries scheduled after failures or expiries.", float64(st.Retries)),
+		obs.Counter("warden_fleet_units_executed_total", "Unit completions accepted from workers.", float64(st.Executed)),
+		obs.Counter("warden_fleet_units_failed_total", "Explicit unit failures reported by workers.", float64(st.Failed)),
+		obs.Counter("warden_fleet_units_coalesced_total", "Units completed by following an identical in-flight unit.", float64(st.Coalesced)),
+	}
+	fams = append(fams, obs.CacheFamilies("warden_fleet_cache", "Fleet result cache", obs.CacheStats{
+		Hits: st.CacheHits, Misses: st.CacheMisses, Entries: st.CacheEntries,
+	})...)
+	if len(perWorker.Metrics) > 0 {
+		fams = append(fams, perWorker)
+	}
+	return fams
+}

@@ -1,0 +1,398 @@
+package fleet
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/perfdb"
+)
+
+// fakeClock is a hand-advanced clock: lease expiry and backoff schedules
+// become exact assertions instead of sleeps.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// testCoordinator builds a coordinator on a fake clock with fixed jitter
+// (Rand ≡ 0.5 ⇒ every backoff is stretched by exactly JitterFrac/2) and a
+// one-unit job (fib under MESI) submitted.
+func testCoordinator(t *testing.T, opts Options) (*Coordinator, *fakeClock, JobStatus) {
+	t.Helper()
+	clk := newFakeClock()
+	opts.Clock = clk.Now
+	if opts.Rand == nil {
+		opts.Rand = func() float64 { return 0.5 }
+	}
+	c, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	st, err := c.Submit(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	return c, clk, st
+}
+
+// leaseOne leases exactly one unit or fails the test.
+func leaseOne(t *testing.T, c *Coordinator, worker string) Unit {
+	t.Helper()
+	units, err := c.Lease(worker, 1)
+	if err != nil {
+		t.Fatalf("Lease(%s): %v", worker, err)
+	}
+	if len(units) != 1 {
+		t.Fatalf("Lease(%s) returned %d units, want 1", worker, len(units))
+	}
+	return units[0]
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	ttl := 30 * time.Second
+	c, clk, _ := testCoordinator(t, Options{LeaseTTL: ttl})
+	w1, _ := c.RegisterWorker("w1")
+	w2, _ := c.RegisterWorker("w2")
+
+	u := leaseOne(t, c, w1)
+
+	// Within the TTL the unit stays leased: another worker gets nothing.
+	clk.Advance(ttl - time.Second)
+	if units, _ := c.Lease(w2, 1); len(units) != 0 {
+		t.Fatalf("unit re-leased before TTL: %+v", units)
+	}
+
+	// Past the TTL the reaper requeues it, charges an attempt, and applies
+	// backoff — immediately after expiry the unit is still in backoff, so
+	// it becomes leasable only once the retry delay passes too.
+	clk.Advance(2 * time.Second)
+	q := c.Queue()
+	if q.LeasesExpired != 1 || q.Retries != 1 {
+		t.Fatalf("after expiry: LeasesExpired=%d Retries=%d, want 1,1", q.LeasesExpired, q.Retries)
+	}
+	if q.Backoff != 1 || q.Depth != 0 {
+		t.Fatalf("after expiry: Backoff=%d Depth=%d, want 1,0", q.Backoff, q.Depth)
+	}
+	clk.Advance(time.Minute) // well past any first-attempt backoff
+	u2 := leaseOne(t, c, w2)
+	if u2.ID != u.ID {
+		t.Fatalf("requeued unit %s != original %s", u2.ID, u.ID)
+	}
+}
+
+func TestHeartbeatRenewsLease(t *testing.T) {
+	ttl := 30 * time.Second
+	c, clk, _ := testCoordinator(t, Options{LeaseTTL: ttl})
+	w1, _ := c.RegisterWorker("w1")
+	w2, _ := c.RegisterWorker("w2")
+
+	u := leaseOne(t, c, w1)
+
+	// Heartbeat every 20s for 2 minutes: four TTLs elapse in total, yet the
+	// lease never expires because each beat pushes the deadline out.
+	for i := 0; i < 6; i++ {
+		clk.Advance(20 * time.Second)
+		if err := c.Heartbeat(w1, []string{u.ID}); err != nil {
+			t.Fatalf("Heartbeat: %v", err)
+		}
+	}
+	q := c.Queue()
+	if q.LeasesExpired != 0 || q.Leased != 1 {
+		t.Fatalf("after heartbeats: LeasesExpired=%d Leased=%d, want 0,1", q.LeasesExpired, q.Leased)
+	}
+	if units, _ := c.Lease(w2, 1); len(units) != 0 {
+		t.Fatalf("heartbeated unit was re-leased: %+v", units)
+	}
+
+	// Stop heartbeating: one TTL later the unit is reaped, and once its
+	// retry backoff passes it is leasable by another worker.
+	clk.Advance(ttl + time.Second)
+	if q := c.Queue(); q.LeasesExpired != 1 {
+		t.Fatalf("LeasesExpired = %d after heartbeats stopped, want 1", q.LeasesExpired)
+	}
+	clk.Advance(time.Minute) // clear the retry backoff
+	if got := leaseOne(t, c, w2); got.ID != u.ID {
+		t.Fatalf("expired unit %s != original %s", got.ID, u.ID)
+	}
+}
+
+// TestBackoffSchedule pins the retry delay formula: base·2^(n-1) capped at
+// max, stretched by JitterFrac·Rand(). With Rand ≡ 0.5 and JitterFrac 0.2
+// every delay is exactly 1.1× the deterministic schedule.
+func TestBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{1, 1100 * time.Millisecond}, // 1s · 1.1
+		{2, 2200 * time.Millisecond}, // 2s · 1.1
+		{3, 4400 * time.Millisecond}, // 4s · 1.1
+		{4, 8800 * time.Millisecond}, // 8s · 1.1
+		{5, 11 * time.Second},        // capped at 10s · 1.1
+		{9, 11 * time.Second},        // still capped
+	}
+	c, _, _ := testCoordinator(t, Options{
+		BackoffBase: time.Second,
+		BackoffMax:  10 * time.Second,
+		JitterFrac:  0.2,
+	})
+	for _, tc := range cases {
+		if got := c.backoff(tc.attempt); got != tc.want {
+			t.Errorf("backoff(attempt %d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+// TestBackoffGatesLease proves a failed unit is not leasable until its
+// backoff passes on the injected clock.
+func TestBackoffGatesLease(t *testing.T) {
+	c, clk, _ := testCoordinator(t, Options{
+		BackoffBase: time.Second,
+		BackoffMax:  10 * time.Second,
+		JitterFrac:  0.2,
+		MaxAttempts: 5,
+	})
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	if err := c.Fail(w, u.ID, "synthetic"); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	// Delay is exactly 1.1s (attempt 1, Rand 0.5). Just short: nothing.
+	clk.Advance(1099 * time.Millisecond)
+	if units, _ := c.Lease(w, 1); len(units) != 0 {
+		t.Fatalf("unit leased during backoff: %+v", units)
+	}
+	clk.Advance(2 * time.Millisecond)
+	if got := leaseOne(t, c, w); got.ID != u.ID {
+		t.Fatalf("leased %s, want %s", got.ID, u.ID)
+	}
+}
+
+func TestPoisonQuarantine(t *testing.T) {
+	const maxAttempts = 3
+	c, clk, job := testCoordinator(t, Options{
+		MaxAttempts: maxAttempts,
+		BackoffBase: time.Second,
+		BackoffMax:  10 * time.Second,
+	})
+	w, _ := c.RegisterWorker("w")
+	var u Unit
+	for i := 0; i < maxAttempts; i++ {
+		clk.Advance(time.Minute) // clear any backoff
+		u = leaseOne(t, c, w)
+		if err := c.Fail(w, u.ID, "synthetic failure"); err != nil {
+			t.Fatalf("Fail #%d: %v", i+1, err)
+		}
+	}
+
+	// Attempt maxAttempts exhausted the budget: quarantined, never leased
+	// again no matter how long we wait.
+	clk.Advance(time.Hour)
+	if units, _ := c.Lease(w, 1); len(units) != 0 {
+		t.Fatalf("poisoned unit re-leased: %+v", units)
+	}
+	q := c.Queue()
+	if q.Poisoned != 1 {
+		t.Fatalf("Poisoned = %d, want 1", q.Poisoned)
+	}
+	// Retries counts only the requeues (the final failure poisons instead).
+	if q.Retries != maxAttempts-1 {
+		t.Fatalf("Retries = %d, want %d", q.Retries, maxAttempts-1)
+	}
+	st, ok := c.Job(job.ID)
+	if !ok {
+		t.Fatalf("job %s vanished", job.ID)
+	}
+	if st.State != "failed" || st.Poisoned != 1 {
+		t.Fatalf("job state %q Poisoned=%d, want failed,1", st.State, st.Poisoned)
+	}
+	if len(st.Errors) != 1 || !strings.Contains(st.Errors[0], "synthetic failure") {
+		t.Fatalf("job errors = %v, want the last failure message", st.Errors)
+	}
+	if _, err := c.Results(job.ID); err == nil {
+		t.Fatal("Results of a failed job returned nil error")
+	}
+
+	// A poisoned job's done channel still closes: waiters are released.
+	select {
+	case <-c.WaitDone(job.ID):
+	default:
+		t.Fatal("WaitDone channel not closed for a settled (failed) job")
+	}
+}
+
+// TestStaleCompletionAccepted proves a worker whose lease expired can still
+// deliver a useful result: results are deterministic, so the late blob is
+// accepted and the unit (re-leased or not) completes without re-execution.
+func TestStaleCompletionAccepted(t *testing.T) {
+	ttl := 30 * time.Second
+	c, clk, job := testCoordinator(t, Options{LeaseTTL: ttl})
+	w1, _ := c.RegisterWorker("w1")
+	u := leaseOne(t, c, w1)
+
+	clk.Advance(ttl + time.Second) // lease dies
+	res := bench.Result{Benchmark: u.Benchmark, Cycles: 42}
+	if err := c.Complete(w1, u.ID, res, perfdb.Record{}); err != nil {
+		t.Fatalf("stale Complete: %v", err)
+	}
+	st, _ := c.Job(job.ID)
+	if st.State != "done" || st.Executed != 1 {
+		t.Fatalf("job = %+v, want done with Executed=1", st)
+	}
+	got, err := c.Results(job.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if len(got) != 1 || got[0].Cycles != 42 {
+		t.Fatalf("results = %+v, want the stale worker's blob", got)
+	}
+	// A duplicate completion from the requeued path is a no-op.
+	if err := c.Complete(w1, u.ID, res, perfdb.Record{}); err != nil {
+		t.Fatalf("duplicate Complete: %v", err)
+	}
+	if q := c.Queue(); q.Executed != 1 {
+		t.Fatalf("Executed = %d after duplicate completion, want 1", q.Executed)
+	}
+}
+
+// TestCacheHitAtSubmit proves a resubmitted job is served entirely from
+// the result cache: no pending units, CacheHits == Units, Executed == 0.
+func TestCacheHitAtSubmit(t *testing.T) {
+	c, _, job := testCoordinator(t, Options{})
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 7}, perfdb.Record{}); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	if st, _ := c.Job(job.ID); st.State != "done" {
+		t.Fatalf("first job state = %q, want done", st.State)
+	}
+
+	st2, err := c.Submit(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}})
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if st2.State != "done" || st2.CacheHits != st2.Units || st2.Executed != 0 {
+		t.Fatalf("resubmitted job = %+v, want done entirely from cache", st2)
+	}
+	res, err := c.Results(st2.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if len(res) != 1 || res[0].Cycles != 7 {
+		t.Fatalf("cached results = %+v, want the original blob", res)
+	}
+}
+
+// TestFollowerCoalescing proves two jobs wanting the same fingerprint
+// execute it once: the second job's unit follows the first's in-flight
+// unit and both complete from one worker report.
+func TestFollowerCoalescing(t *testing.T) {
+	c, _, job1 := testCoordinator(t, Options{})
+	st2, err := c.Submit(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}})
+	if err != nil {
+		t.Fatalf("second Submit: %v", err)
+	}
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	// Only one unit is leasable: the twin is following, not pending.
+	if units, _ := c.Lease(w, 10); len(units) != 0 {
+		t.Fatalf("follower was leased: %+v", units)
+	}
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 9}, perfdb.Record{}); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	s1, _ := c.Job(job1.ID)
+	s2, _ := c.Job(st2.ID)
+	if s1.State != "done" || s2.State != "done" {
+		t.Fatalf("states = %q,%q, want done,done", s1.State, s2.State)
+	}
+	if got := s1.Executed + s2.Executed; got != 1 {
+		t.Fatalf("total executed = %d across twin jobs, want 1", got)
+	}
+	if s1.Coalesced+s2.Coalesced != 1 {
+		t.Fatalf("coalesced = %d+%d, want exactly 1", s1.Coalesced, s2.Coalesced)
+	}
+	r2, err := c.Results(st2.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	if r2[0].Cycles != 9 {
+		t.Fatalf("follower result = %+v, want the leader's blob", r2[0])
+	}
+}
+
+// TestSubmitValidation proves bad specs fail at submit time, before any
+// unit reaches a worker.
+func TestSubmitValidation(t *testing.T) {
+	c, _, _ := testCoordinator(t, Options{})
+	for _, spec := range []SweepSpec{
+		{Benchmarks: []string{"no-such-benchmark"}},
+		{Protocols: []string{"no-such-protocol"}},
+		{Machine: "no-such-machine"},
+		{Size: "no-such-size"},
+		{Engine: "no-such-engine"},
+	} {
+		if _, err := c.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted an invalid spec", spec)
+		}
+	}
+}
+
+// TestMetricFamilies spot-checks the /metrics surface the CI job greps.
+func TestMetricFamilies(t *testing.T) {
+	c, _, _ := testCoordinator(t, Options{})
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 1}, perfdb.Record{}); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+	got := map[string]float64{}
+	for _, f := range c.MetricFamilies() {
+		if len(f.Metrics) == 1 && len(f.Metrics[0].Labels) == 0 {
+			got[f.Name] = f.Metrics[0].Value
+		} else {
+			got[f.Name] = -1 // labelled family: presence only
+		}
+	}
+	for name, want := range map[string]float64{
+		"warden_fleet_queue_depth":          0,
+		"warden_fleet_active_leases":        0,
+		"warden_fleet_leases_granted_total": 1,
+		"warden_fleet_leases_expired_total": 0,
+		"warden_fleet_retries_total":        0,
+		"warden_fleet_poisoned_units":       0,
+		"warden_fleet_units_executed_total": 1,
+		"warden_fleet_workers":              1,
+		"warden_fleet_cache_misses_total":   1, // the submit-time lookup missed
+		"warden_fleet_cache_entries":        1,
+	} {
+		if v, ok := got[name]; !ok {
+			t.Errorf("missing family %q", name)
+		} else if v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+	}
+	if _, ok := got["warden_fleet_worker_units_total"]; !ok {
+		t.Error("missing per-worker throughput family")
+	}
+}

@@ -1,0 +1,222 @@
+// Package fleet is the distributed sweep fabric: a coordinator/worker
+// system that promotes the single-process experiment runner into a sharded
+// service. A coordinator accepts sweep jobs over HTTP, shards them into
+// per-configuration work units keyed by the runner's config fingerprints,
+// and hands units to workers under lease semantics — registration and
+// heartbeats, a lease TTL, expired leases requeued, bounded retries with
+// exponential backoff and jitter, and poison-unit quarantine after
+// repeated failures. Workers wrap bench.RunOneProbedOn and stream results
+// plus perfdb records back.
+//
+// Memoization is global: the coordinator keeps a content-addressed result
+// cache (fingerprint → result blob, persisted as append-only JSONL
+// alongside the perfdb history), so resubmitting any previously-run sweep
+// — from any client, against a restarted coordinator — completes without
+// executing a single simulation. Because every simulation in this
+// repository is bit-reproducible, a unit's fingerprint fully determines
+// its result, and the fleet's sharded output is byte-identical to the
+// single-process runner's (asserted by the integration tests).
+//
+// Everything is stdlib-only, like the rest of the observability plane; the
+// coordinator serves obs /metrics and /runs next to its own job API.
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"warden/internal/bench"
+	"warden/internal/core"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/pbbs"
+	"warden/internal/runner"
+	"warden/internal/topology"
+)
+
+// SweepSpec is a job request: the cross product of benchmarks × protocols
+// on one machine at one size class under one engine. Zero values select
+// the canonical sweep (full PBBS suite, MESI vs WARDen, the paper's
+// dual-socket machine, small inputs, sequential engine).
+type SweepSpec struct {
+	// Benchmarks are PBBS suite names; empty means the full suite.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Protocols are registered protocol names; empty means mesi,warden.
+	Protocols []string `json:"protocols,omitempty"`
+	// Machine is a topology preset name (see MachineByName); empty means
+	// the paper's dual-socket Xeon.
+	Machine string `json:"machine,omitempty"`
+	// Size is the input size class: "small" (default) or "medium".
+	Size string `json:"size,omitempty"`
+	// Engine is the simulation engine: "seq" (default) or "pdes". Both
+	// produce byte-identical results; the engine joins the fingerprint so
+	// cache entries record which scheduler produced them, mirroring the
+	// bench runner's memo key.
+	Engine string `json:"engine,omitempty"`
+}
+
+// Unit is one fully-resolved work unit: a single (benchmark, protocol,
+// machine, size, engine) simulation. Units are the fleet's scheduling and
+// caching granule; Fingerprint is the content address of the result.
+type Unit struct {
+	// ID is the coordinator-assigned unit id, "<job>/<index>".
+	ID string `json:"id"`
+	// Index is the unit's position in its job's deterministic order;
+	// results are reassembled by index, which is what makes a sharded
+	// sweep byte-identical to a sequential one.
+	Index     int    `json:"index"`
+	Benchmark string `json:"benchmark"`
+	Protocol  string `json:"protocol"`
+	Machine   string `json:"machine"`
+	// Size is the concrete input size (already resolved from the spec's
+	// size class through the benchmark's presets).
+	Size   int    `json:"size"`
+	Engine string `json:"engine"`
+	// Fingerprint is the unit's config fingerprint — exactly the key the
+	// bench runner's in-process memo would use for this simulation, so
+	// fleet cache entries and local memo entries address the same content.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// MachineByName resolves a topology preset name. Names match the presets'
+// own Config.Name fields so specs, fingerprints, and reports all speak the
+// same vocabulary.
+func MachineByName(name string) (topology.Config, error) {
+	switch name {
+	case "", "xeon-gold-6126-2s":
+		return topology.XeonGold6126(2), nil
+	case "xeon-gold-6126-1s":
+		return topology.XeonGold6126(1), nil
+	case "disaggregated-2n":
+		return topology.Disaggregated(), nil
+	}
+	if strings.HasPrefix(name, "many-socket-") {
+		var s int
+		if _, err := fmt.Sscanf(name, "many-socket-%ds", &s); err == nil && s > 0 {
+			return topology.ManySocket(s), nil
+		}
+	}
+	return topology.Config{}, fmt.Errorf("fleet: unknown machine %q (want xeon-gold-6126-1s, xeon-gold-6126-2s, disaggregated-2n, or many-socket-<N>s)", name)
+}
+
+// sizeClass resolves a spec's size-class string.
+func sizeClass(s string) (bench.SizeClass, error) {
+	switch s {
+	case "", "small":
+		return bench.Small, nil
+	case "medium":
+		return bench.Medium, nil
+	}
+	return 0, fmt.Errorf("fleet: unknown size class %q (want small or medium)", s)
+}
+
+// engineMode resolves a spec's engine string, defaulting to sequential.
+func engineMode(s string) (machine.EngineMode, error) {
+	if s == "" {
+		return machine.EngineSequential, nil
+	}
+	m, err := machine.ParseEngineMode(s)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: %w", err)
+	}
+	return m, nil
+}
+
+// ResolveSpec expands a sweep spec into its deterministic unit order:
+// benchmark-major over the suite order given, protocols inner — the same
+// orientation bench.Runner.CompareAll fans out. Every name is validated
+// here, at submit time, so a bad spec fails the POST instead of poisoning
+// units worker-side. Unit IDs are assigned later by the coordinator.
+func ResolveSpec(spec SweepSpec) ([]Unit, error) {
+	cfg, err := MachineByName(spec.Machine)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := sizeClass(spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	emode, err := engineMode(spec.Engine)
+	if err != nil {
+		return nil, err
+	}
+
+	benchNames := spec.Benchmarks
+	if len(benchNames) == 0 {
+		benchNames = pbbs.Names()
+	}
+	protoNames := spec.Protocols
+	if len(protoNames) == 0 {
+		protoNames = []string{"mesi", "warden"}
+	}
+
+	opts := hlpl.DefaultOptions()
+	var units []Unit
+	for _, bn := range benchNames {
+		entry, err := pbbs.ByName(bn)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		size := entry.Small
+		if sizes == bench.Medium {
+			size = entry.Medium
+		}
+		for _, pn := range protoNames {
+			proto, ok := core.Lookup(pn)
+			if !ok {
+				return nil, fmt.Errorf("fleet: unknown protocol %q (registered: %s)",
+					pn, strings.ToLower(strings.Join(core.Names(), ", ")))
+			}
+			units = append(units, Unit{
+				Index:       len(units),
+				Benchmark:   entry.Name,
+				Protocol:    proto.String(),
+				Machine:     cfg.Name,
+				Size:        size,
+				Engine:      emode.String(),
+				Fingerprint: runner.Fingerprint(cfg, proto, entry.Name, size, opts, emode),
+			})
+		}
+	}
+	if len(units) == 0 {
+		return nil, fmt.Errorf("fleet: spec resolves to zero units")
+	}
+	return units, nil
+}
+
+// Resolve maps a unit back to the concrete simulation inputs a worker
+// needs. It re-derives the fingerprint and refuses a unit whose recorded
+// fingerprint disagrees — a coordinator/worker version skew guard: a stale
+// worker must not silently cache a result under a key computed by
+// different code.
+func (u Unit) Resolve() (topology.Config, core.Protocol, pbbs.Entry, hlpl.Options, machine.EngineMode, error) {
+	fail := func(err error) (topology.Config, core.Protocol, pbbs.Entry, hlpl.Options, machine.EngineMode, error) {
+		return topology.Config{}, 0, pbbs.Entry{}, hlpl.Options{}, 0, err
+	}
+	cfg, err := MachineByName(u.Machine)
+	if err != nil {
+		return fail(err)
+	}
+	proto, ok := core.Lookup(u.Protocol)
+	if !ok {
+		return fail(fmt.Errorf("fleet: unit %s: unknown protocol %q", u.ID, u.Protocol))
+	}
+	entry, err := pbbs.ByName(u.Benchmark)
+	if err != nil {
+		return fail(fmt.Errorf("fleet: unit %s: %w", u.ID, err))
+	}
+	emode, err := engineMode(u.Engine)
+	if err != nil {
+		return fail(fmt.Errorf("fleet: unit %s: %w", u.ID, err))
+	}
+	opts := hlpl.DefaultOptions()
+	if fp := runner.Fingerprint(cfg, proto, entry.Name, u.Size, opts, emode); fp != u.Fingerprint {
+		return fail(fmt.Errorf("fleet: unit %s: fingerprint mismatch (coordinator %q, worker derives %q) — version skew",
+			u.ID, u.Fingerprint, fp))
+	}
+	return cfg, proto, entry, opts, emode, nil
+}
+
+// Name is the unit's human-readable identity used in logs, run registries,
+// and perfdb step names: "benchmark/PROTOCOL".
+func (u Unit) Name() string { return u.Benchmark + "/" + u.Protocol }

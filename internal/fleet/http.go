@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/obs"
+	"warden/internal/perfdb"
+)
+
+// The wire protocol is plain JSON over HTTP, stdlib end to end. Client-
+// facing endpoints:
+//
+//	POST /jobs            SweepSpec → JobStatus (spec validated at submit)
+//	GET  /jobs/{id}       JobStatus; ?results=1 adds the ordered results
+//	GET  /queue           QueueStatus snapshot
+//
+// Worker-facing endpoints (the lease protocol):
+//
+//	POST /fleet/register  registerRequest → registerResponse (id + TTL)
+//	POST /fleet/lease     leaseRequest → leaseResponse (0..max units)
+//	POST /fleet/heartbeat heartbeatRequest → 204
+//	POST /fleet/complete  completeRequest → 204
+//	POST /fleet/fail      failRequest → 204
+//
+// Everything else falls through to the obs server (/metrics, /runs,
+// /healthz, /debug/pprof) so one coordinator port carries both the job API
+// and the observability plane.
+
+type registerRequest struct {
+	Name string `json:"name"`
+}
+
+type registerResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMillis is the lease TTL the worker must heartbeat within.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+type leaseRequest struct {
+	WorkerID string `json:"worker_id"`
+	Max      int    `json:"max"`
+}
+
+type leaseResponse struct {
+	Units []Unit `json:"units"`
+}
+
+type heartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	UnitIDs  []string `json:"unit_ids"`
+}
+
+type completeRequest struct {
+	WorkerID string        `json:"worker_id"`
+	UnitID   string        `json:"unit_id"`
+	Result   bench.Result  `json:"result"`
+	Record   perfdb.Record `json:"record"`
+}
+
+type failRequest struct {
+	WorkerID string `json:"worker_id"`
+	UnitID   string `json:"unit_id"`
+	Error    string `json:"error"`
+}
+
+// jobView is GET /jobs/{id}?results=1: the status plus ordered results.
+type jobView struct {
+	JobStatus
+	Results []bench.Result `json:"results,omitempty"`
+}
+
+// Handler builds the coordinator's HTTP handler. The obs server — with the
+// coordinator itself registered as a metrics source — handles every path
+// the job API doesn't claim.
+func (c *Coordinator) Handler() http.Handler {
+	obsSrv := &obs.Server{
+		Registry: c.opts.Registry,
+		Sources:  []obs.Source{c},
+		Log:      c.opts.Log,
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", c.handleSubmit)
+	mux.HandleFunc("/jobs/", c.handleJob)
+	mux.HandleFunc("/queue", c.handleQueue)
+	mux.HandleFunc("/fleet/register", c.handleRegister)
+	mux.HandleFunc("/fleet/lease", c.handleLease)
+	mux.HandleFunc("/fleet/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("/fleet/complete", c.handleComplete)
+	mux.HandleFunc("/fleet/fail", c.handleFail)
+	mux.Handle("/", obsSrv.Handler())
+	return mux
+}
+
+// decode reads a JSON request body into v, replying 400 on malformed
+// input. It returns false when the caller should stop.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// workerError maps coordinator errors onto status codes workers dispatch
+// on: 409 tells a worker its registration is gone (re-register), 400
+// everything else.
+func workerError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errUnknownWorker) {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusBadRequest)
+}
+
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if !decode(w, r, &spec) {
+		return
+	}
+	st, err := c.Submit(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reply(w, http.StatusAccepted, st)
+}
+
+func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	st, ok := c.Job(id)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	view := jobView{JobStatus: st}
+	if r.URL.Query().Get("results") == "1" {
+		if st.State != "done" {
+			http.Error(w, fmt.Sprintf("job %s is %s; results require state done", id, st.State),
+				http.StatusConflict)
+			return
+		}
+		res, err := c.Results(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		view.Results = res
+	}
+	reply(w, http.StatusOK, view)
+}
+
+func (c *Coordinator) handleQueue(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	reply(w, http.StatusOK, c.Queue())
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	id, ttl := c.RegisterWorker(req.Name)
+	reply(w, http.StatusOK, registerResponse{
+		WorkerID:       id,
+		LeaseTTLMillis: ttl.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	units, err := c.Lease(req.WorkerID, req.Max)
+	if err != nil {
+		workerError(w, err)
+		return
+	}
+	if units == nil {
+		units = []Unit{}
+	}
+	reply(w, http.StatusOK, leaseResponse{Units: units})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := c.Heartbeat(req.WorkerID, req.UnitIDs); err != nil {
+		workerError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := c.Complete(req.WorkerID, req.UnitID, req.Result, req.Record); err != nil {
+		workerError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := c.Fail(req.WorkerID, req.UnitID, req.Error); err != nil {
+		workerError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// Serve runs the coordinator's HTTP server on addr until ctx is cancelled,
+// then drains in-flight requests for up to drainDeadline. It is the
+// long-running entrypoint cmd/wardenfleet -coordinator uses.
+func Serve(ctx context.Context, addr string, c *Coordinator, drainDeadline time.Duration) error {
+	hs := &http.Server{Addr: addr, Handler: c.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		return obs.Drain(hs, drainDeadline, c.opts.Log)
+	}
+}

@@ -1,0 +1,340 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/obs"
+	"warden/internal/perfdb"
+	"warden/internal/topology"
+)
+
+// startFleet boots a coordinator behind a real HTTP server and n workers
+// speaking to it through the Client — the full wire path, in-process.
+func startFleet(t *testing.T, opts Options, n int, hook func(i int, w *Worker)) (*Coordinator, *Client, func()) {
+	t.Helper()
+	coord, err := NewCoordinator(opts)
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	ts := httptest.NewServer(coord.Handler())
+	client := &Client{Base: ts.URL}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Coordinator:  client,
+			Name:         []string{"alpha", "beta", "gamma", "delta"}[i%4],
+			PollInterval: 10 * time.Millisecond,
+		}
+		if hook != nil {
+			hook(i, w)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker %s: %v", w.Name, err)
+			}
+		}()
+	}
+	return coord, client, func() {
+		cancel()
+		wg.Wait()
+		ts.Close()
+	}
+}
+
+// waitJob submits nothing; it waits for an already-submitted job with a
+// test-scoped deadline.
+func waitJob(t *testing.T, client *Client, id string) JobStatus {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	st, err := client.Wait(ctx, id, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Wait(%s): %v", id, err)
+	}
+	return st
+}
+
+// TestFleetMatchesSequentialRunner is the headline proof: a full small
+// sweep (every PBBS benchmark × MESI and WARDen) sharded across three
+// workers over real HTTP produces results byte-identical — as JSON and as
+// the rendered table — to the single-process bench.Runner, and a
+// resubmission is served entirely from the cache without executing a
+// single simulation.
+func TestFleetMatchesSequentialRunner(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full small sweep is not -short work")
+	}
+	reg := obs.NewRegistry()
+	coord, client, stop := startFleet(t, Options{Registry: reg}, 3, nil)
+	defer stop()
+
+	spec := SweepSpec{} // zero spec = full suite, mesi+warden, small, seq
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st = waitJob(t, client, st.ID)
+	if st.State != "done" {
+		t.Fatalf("job = %+v, want done", st)
+	}
+	if st.Executed != st.Units {
+		t.Fatalf("first pass executed %d of %d units (cache was supposed to be cold)", st.Executed, st.Units)
+	}
+	fleetRes, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+
+	// Reference: the single-process runner's CompareAll on the same
+	// machine. Unit order is benchmark-major with protocols inner
+	// (mesi, warden), so comparison i covers units 2i and 2i+1.
+	r := bench.NewRunner(bench.Small)
+	cmps, err := r.CompareAll(topology.XeonGold6126(2), nil)
+	if err != nil {
+		t.Fatalf("CompareAll: %v", err)
+	}
+	if len(fleetRes) != 2*len(cmps) {
+		t.Fatalf("fleet returned %d results for %d comparisons", len(fleetRes), len(cmps))
+	}
+	for i, cmp := range cmps {
+		for j, want := range []bench.Result{cmp.MESI, cmp.WARDen} {
+			got := fleetRes[2*i+j]
+			gb, _ := json.Marshal(got)
+			wb, _ := json.Marshal(want)
+			if !bytes.Equal(gb, wb) {
+				t.Errorf("unit %d (%s): fleet result differs from sequential runner\nfleet: %s\nlocal: %s",
+					2*i+j, cmp.Name, gb, wb)
+			}
+		}
+	}
+
+	// The rendered tables agree byte for byte with the -local path.
+	localRes, err := RunLocal(spec)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	var ft, lt bytes.Buffer
+	if err := WriteResultsTable(&ft, fleetRes); err != nil {
+		t.Fatalf("render fleet table: %v", err)
+	}
+	if err := WriteResultsTable(&lt, localRes); err != nil {
+		t.Fatalf("render local table: %v", err)
+	}
+	if !bytes.Equal(ft.Bytes(), lt.Bytes()) {
+		t.Errorf("fleet table differs from local table\nfleet:\n%s\nlocal:\n%s", ft.String(), lt.String())
+	}
+
+	// All three workers pulled their weight: with 14+ units across 3
+	// workers polling a shared queue, each should complete at least one.
+	q, err := client.Queue()
+	if err != nil {
+		t.Fatalf("Queue: %v", err)
+	}
+	if len(q.Workers) != 3 {
+		t.Fatalf("registered workers = %d, want 3", len(q.Workers))
+	}
+	var total uint64
+	for _, w := range q.Workers {
+		total += w.Completed
+	}
+	if total != uint64(st.Units) {
+		t.Errorf("workers completed %d units in aggregate, want %d", total, st.Units)
+	}
+
+	// Resubmission: the whole sweep is a cache hit — zero executions, the
+	// job is done at submit time, and the results are the same bytes.
+	execBefore := coord.Queue().Executed
+	st2, err := client.Submit(spec)
+	if err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	if st2.State != "done" || st2.CacheHits != st2.Units || st2.Executed != 0 {
+		t.Fatalf("resubmitted job = %+v, want done entirely from cache", st2)
+	}
+	if execAfter := coord.Queue().Executed; execAfter != execBefore {
+		t.Fatalf("resubmission executed %d new units, want 0", execAfter-execBefore)
+	}
+	res2, err := client.Results(st2.ID)
+	if err != nil {
+		t.Fatalf("Results(resubmit): %v", err)
+	}
+	b1, _ := json.Marshal(fleetRes)
+	b2, _ := json.Marshal(res2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("resubmitted results differ from the first pass")
+	}
+}
+
+// TestFleetSurvivesKilledWorker kills a worker after it finishes a
+// simulation but before it reports — the lease dies silently, exactly like
+// a crashed process — and proves the coordinator reaps the lease, retries
+// the unit on a surviving worker, and completes the sweep correctly.
+func TestFleetSurvivesKilledWorker(t *testing.T) {
+	spec := SweepSpec{Benchmarks: []string{"fib", "nqueens"}, Protocols: []string{"mesi", "warden"}}
+
+	var mu sync.Mutex
+	killed := false
+	hook := func(i int, w *Worker) {
+		if i != 0 {
+			return
+		}
+		// Worker 0 dies on its first unit, dropping the result.
+		w.FailBeforeReport = func(Unit) bool {
+			mu.Lock()
+			defer mu.Unlock()
+			if killed {
+				return false
+			}
+			killed = true
+			return true
+		}
+	}
+	// A short real TTL keeps the test fast: the reaper requeues the dead
+	// worker's unit within a couple hundred milliseconds.
+	coord, client, stop := startFleet(t, Options{
+		LeaseTTL:    200 * time.Millisecond,
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		MaxAttempts: 5,
+	}, 3, hook)
+	defer stop()
+
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st = waitJob(t, client, st.ID)
+	if st.State != "done" {
+		t.Fatalf("job = %+v, want done despite the killed worker", st)
+	}
+
+	mu.Lock()
+	wasKilled := killed
+	mu.Unlock()
+	if !wasKilled {
+		t.Fatal("crash hook never fired — the test proved nothing")
+	}
+	q := coord.Queue()
+	if q.LeasesExpired < 1 {
+		t.Errorf("LeasesExpired = %d, want >= 1 (the killed worker's lease)", q.LeasesExpired)
+	}
+	if q.Retries < 1 {
+		t.Errorf("Retries = %d, want >= 1 (the reaped unit's requeue)", q.Retries)
+	}
+
+	// Despite the crash, the results match the sequential reference.
+	fleetRes, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	localRes, err := RunLocal(spec)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	gb, _ := json.Marshal(fleetRes)
+	wb, _ := json.Marshal(localRes)
+	if !bytes.Equal(gb, wb) {
+		t.Errorf("post-recovery results differ from sequential reference\nfleet: %s\nlocal: %s", gb, wb)
+	}
+}
+
+// TestFleetCacheSurvivesRestart proves global memoization across
+// coordinator lifetimes: a sweep executed against one coordinator is
+// served entirely from the persisted cache by a brand-new coordinator —
+// with zero workers attached.
+func TestFleetCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cachePath := filepath.Join(dir, "cache.jsonl")
+	spec := SweepSpec{Benchmarks: []string{"fib", "palindrome"}, Protocols: []string{"mesi", "warden"}}
+
+	_, client, stop := startFleet(t, Options{CachePath: cachePath}, 2, nil)
+	st, err := client.Submit(spec)
+	if err != nil {
+		stop()
+		t.Fatalf("Submit: %v", err)
+	}
+	st = waitJob(t, client, st.ID)
+	if st.State != "done" {
+		stop()
+		t.Fatalf("job = %+v, want done", st)
+	}
+	firstRes, err := client.Results(st.ID)
+	if err != nil {
+		stop()
+		t.Fatalf("Results: %v", err)
+	}
+	stop() // coordinator and all workers gone
+
+	// A fresh coordinator, same cache file, no workers: the resubmitted
+	// sweep must complete at submit time, purely from disk.
+	coord2, err := NewCoordinator(Options{CachePath: cachePath})
+	if err != nil {
+		t.Fatalf("restart NewCoordinator: %v", err)
+	}
+	ts := httptest.NewServer(coord2.Handler())
+	defer ts.Close()
+	client2 := &Client{Base: ts.URL}
+	st2, err := client2.Submit(spec)
+	if err != nil {
+		t.Fatalf("resubmit after restart: %v", err)
+	}
+	if st2.State != "done" || st2.CacheHits != st2.Units || st2.Executed != 0 {
+		t.Fatalf("restarted-coordinator job = %+v, want done entirely from cache", st2)
+	}
+	res2, err := client2.Results(st2.ID)
+	if err != nil {
+		t.Fatalf("Results after restart: %v", err)
+	}
+	b1, _ := json.Marshal(firstRes)
+	b2, _ := json.Marshal(res2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("results served by the restarted coordinator differ from the original execution")
+	}
+}
+
+// TestFleetWritesHistory proves worker perfdb records land in the
+// coordinator's history file with the worker provenance field set and the
+// step/fingerprint schema wardendiff expects.
+func TestFleetWritesHistory(t *testing.T) {
+	dir := t.TempDir()
+	histPath := filepath.Join(dir, "history.jsonl")
+	spec := SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}}
+
+	_, client, stop := startFleet(t, Options{HistoryPath: histPath}, 1, nil)
+	defer stop()
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	waitJob(t, client, st.ID)
+
+	recs, err := perfdb.Read(histPath)
+	if err != nil {
+		t.Fatalf("read history: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("history has %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Step != "fib/MESI" {
+		t.Errorf("Step = %q, want fib/MESI", rec.Step)
+	}
+	if rec.Worker == "" {
+		t.Error("Worker field empty; fleet records must carry provenance")
+	}
+	if rec.Fingerprint == "" || rec.SimulatedCycles == 0 || rec.Engine != "seq" {
+		t.Errorf("record incomplete: %+v", rec)
+	}
+}

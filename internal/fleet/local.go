@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"warden/internal/bench"
+)
+
+// RunLocal executes a sweep spec sequentially in-process, in unit order —
+// the reference a distributed run must match byte for byte. It is what
+// `wardenfleet -local` runs, and what the CI fleet-integration job diffs
+// the coordinator's output against.
+func RunLocal(spec SweepSpec) ([]bench.Result, error) {
+	units, err := ResolveSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bench.Result, len(units))
+	for i, u := range units {
+		cfg, proto, entry, opts, emode, err := u.Resolve()
+		if err != nil {
+			return nil, err
+		}
+		res, err := bench.RunOneProbedOn(emode, cfg, proto, entry, u.Size, opts, nil)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %s: %w", u.Name(), err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// WriteResultsTable renders results as a deterministic text table: only
+// simulated quantities (cycles, IPC, messages, inter-socket flits, energy),
+// never wall-clock — so two runs of the same sweep, local or distributed,
+// produce byte-identical tables.
+func WriteResultsTable(w io.Writer, results []bench.Result) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "BENCHMARK\tPROTOCOL\tMACHINE\tSIZE\tCYCLES\tIPC\tMSGS\tXSOCKET-FLITS\tENERGY(pJ)")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%v\t%s\t%d\t%d\t%.3f\t%d\t%d\t%.0f\n",
+			r.Benchmark, r.Protocol, r.Config.Name, r.Size,
+			r.Cycles, r.IPC(), r.Counters.TotalMsgs(), r.Counters.IntersocketFlits,
+			r.Energy.Total)
+	}
+	return tw.Flush()
+}

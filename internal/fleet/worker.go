@@ -1,0 +1,187 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/engine"
+	"warden/internal/perfdb"
+)
+
+// Worker executes leased units against a coordinator: register, then loop
+// lease → simulate (bench.RunOneProbedOn) → report, heartbeating while a
+// simulation runs so long units outlive the lease TTL. A worker is
+// stateless — killing one mid-unit loses nothing but the lease, which the
+// coordinator reaps and requeues.
+type Worker struct {
+	// Coordinator speaks the lease protocol; either a Client (HTTP) or a
+	// *Coordinator directly (in-process workers, used by tests).
+	Coordinator WorkerAPI
+	// Name labels the worker in metrics and perfdb records; defaulted by
+	// the coordinator at registration when empty.
+	Name string
+	// PollInterval is how long to idle when no unit is eligible (the queue
+	// may be empty or entirely in backoff). Default 200ms.
+	PollInterval time.Duration
+	// MaxUnits stops the worker after executing this many units; 0 means
+	// run until ctx is cancelled. Tests use 1-unit workers for
+	// deterministic interleavings.
+	MaxUnits int
+	// FailBeforeReport, if set, is consulted after a unit is simulated but
+	// before its completion is reported; returning true makes the worker
+	// drop the result and stop, simulating a crash mid-unit. Test hook for
+	// the lease-expiry path.
+	FailBeforeReport func(Unit) bool
+	// Log, if set, receives lifecycle records.
+	Log *slog.Logger
+
+	workerID string
+	leaseTTL time.Duration
+	executed int
+}
+
+// WorkerAPI is the coordinator surface a worker consumes. *Coordinator
+// implements it natively; Client implements it over HTTP.
+type WorkerAPI interface {
+	RegisterWorker(name string) (id string, leaseTTL time.Duration)
+	Lease(workerID string, max int) ([]Unit, error)
+	Heartbeat(workerID string, unitIDs []string) error
+	Complete(workerID, unitID string, res bench.Result, rec perfdb.Record) error
+	Fail(workerID, unitID, msg string) error
+}
+
+func (w *Worker) logf(msg string, args ...any) {
+	if w.Log != nil {
+		w.Log.Info(msg, args...)
+	}
+}
+
+// Run is the worker loop. It returns nil when ctx is cancelled or MaxUnits
+// is reached, and an error only on protocol-level failures that survive
+// re-registration.
+func (w *Worker) Run(ctx context.Context) error {
+	poll := w.PollInterval
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	w.workerID, w.leaseTTL = w.Coordinator.RegisterWorker(w.Name)
+	w.logf("registered", "worker", w.workerID, "lease_ttl", w.leaseTTL)
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		if w.MaxUnits > 0 && w.executed >= w.MaxUnits {
+			return nil
+		}
+		units, err := w.Coordinator.Lease(w.workerID, 1)
+		if err != nil {
+			// A 409/unknown-worker means the coordinator restarted and lost
+			// our registration: re-register and retry.
+			w.workerID, w.leaseTTL = w.Coordinator.RegisterWorker(w.Name)
+			w.logf("re-registered", "worker", w.workerID, "after", err)
+			continue
+		}
+		if len(units) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		for _, u := range units {
+			stop, err := w.executeOne(ctx, u)
+			if err != nil {
+				return err
+			}
+			if stop {
+				return nil
+			}
+		}
+	}
+}
+
+// executeOne simulates one leased unit under a heartbeat and reports the
+// outcome. The returned stop flag ends the worker loop (crash hook or
+// MaxUnits).
+func (w *Worker) executeOne(ctx context.Context, u Unit) (stop bool, err error) {
+	// Heartbeat at a third of the TTL while the simulation runs, so units
+	// longer than one TTL keep their lease. Simulations are host-bound and
+	// uninterruptible; the heartbeat goroutine is host-side only and
+	// cannot perturb simulated state.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		interval := w.leaseTTL / 3
+		if interval <= 0 {
+			interval = time.Second
+		}
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := w.Coordinator.Heartbeat(w.workerID, []string{u.ID}); err != nil {
+					w.logf("heartbeat failed", "unit", u.ID, "err", err)
+				}
+			}
+		}
+	}()
+	defer func() { stopHB(); <-hbDone }()
+
+	cfg, proto, entry, opts, emode, rerr := u.Resolve()
+	if rerr != nil {
+		w.logf("unit unresolvable", "unit", u.ID, "err", rerr)
+		return false, w.Coordinator.Fail(w.workerID, u.ID, rerr.Error())
+	}
+	w.logf("executing", "unit", u.ID, "name", u.Name())
+	start := time.Now()
+	var probe engine.Probe
+	res, runErr := bench.RunOneProbedOn(emode, cfg, proto, entry, u.Size, opts, &probe)
+	wall := time.Since(start)
+	if runErr != nil {
+		w.logf("unit failed", "unit", u.ID, "err", runErr)
+		return false, w.Coordinator.Fail(w.workerID, u.ID, runErr.Error())
+	}
+	if w.FailBeforeReport != nil && w.FailBeforeReport(u) {
+		w.logf("dropping result (crash hook)", "unit", u.ID)
+		return true, nil
+	}
+	rec := perfdb.Record{
+		Schema:          perfdb.SchemaVersion,
+		RunID:           jobOf(u.ID),
+		Time:            start.UTC().Format(time.RFC3339),
+		Fingerprint:     u.Fingerprint,
+		Step:            u.Name(),
+		Engine:          u.Engine,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		SimulatedCycles: res.Cycles,
+		SimulatedRuns:   1,
+		WallSeconds:     wall.Seconds(),
+		CyclesPerSecond: float64(res.Cycles) / wall.Seconds(),
+		Worker:          w.Name,
+	}
+	if err := w.Coordinator.Complete(w.workerID, u.ID, res, rec); err != nil {
+		return false, fmt.Errorf("fleet: report unit %s: %w", u.ID, err)
+	}
+	w.executed++
+	w.logf("unit complete", "unit", u.ID, "cycles", res.Cycles, "wall", wall)
+	return w.MaxUnits > 0 && w.executed >= w.MaxUnits, nil
+}
+
+// jobOf strips the unit index from "<job>/<index>".
+func jobOf(unitID string) string {
+	for i := 0; i < len(unitID); i++ {
+		if unitID[i] == '/' {
+			return unitID[:i]
+		}
+	}
+	return unitID
+}

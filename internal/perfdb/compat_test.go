@@ -1,7 +1,11 @@
 package perfdb_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -28,6 +32,88 @@ func TestBaselineFingerprintsStable(t *testing.T) {
 			t.Errorf("baseline record %d (step %s): fingerprint %q, want %q",
 				i, rec.Step, rec.Fingerprint, want)
 		}
+	}
+}
+
+// TestBaselineRoundTripsByteStable proves the fleet-era Worker field is a
+// purely additive schema change: every committed baseline line — all of
+// which predate the field — decodes and re-encodes to exactly its original
+// bytes, so pre-fleet history files are untouched by the new reader and
+// writer. (Fleet-produced records carry "worker"; single-process ones
+// never gain the key.)
+func TestBaselineRoundTripsByteStable(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "perf", "baseline.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		orig := bytes.TrimSpace(sc.Bytes())
+		if len(orig) == 0 {
+			continue
+		}
+		var rec perfdb.Record
+		if err := json.Unmarshal(orig, &rec); err != nil {
+			t.Fatalf("baseline line %d: %v", line, err)
+		}
+		if rec.Worker != "" {
+			t.Fatalf("baseline line %d: pre-fleet record decoded a worker id %q", line, rec.Worker)
+		}
+		out, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatalf("baseline line %d: re-encode: %v", line, err)
+		}
+		if !bytes.Equal(out, orig) {
+			t.Fatalf("baseline line %d not byte-stable:\n old %s\n new %s", line, orig, out)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if line == 0 {
+		t.Fatal("committed baseline is empty")
+	}
+}
+
+// TestWorkerFieldTolerated pins the wardendiff-facing contract for
+// fleet-produced records: the worker id parses, survives a round trip, and
+// never participates in snapshot pairing or step comparison.
+func TestWorkerFieldTolerated(t *testing.T) {
+	const in = `{"schema":1,"run_id":"J1","fingerprint":"fp","step":"primes/MESI","simulated_cycles":42,"simulated_runs":1,"wall_seconds":0.5,"cycles_per_second":84,"worker":"w1"}`
+	var rec perfdb.Record
+	if err := json.Unmarshal([]byte(in), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Worker != "w1" {
+		t.Fatalf("worker = %q, want w1", rec.Worker)
+	}
+	if rec.Fingerprint != "fp" {
+		t.Fatalf("fingerprint = %q: worker id must not disturb the pairing key", rec.Fingerprint)
+	}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != in {
+		t.Fatalf("worker-bearing record not byte-stable:\n old %s\n new %s", in, out)
+	}
+
+	// Comparison is worker-blind: a fleet snapshot gates against a
+	// single-process baseline of the same fingerprint with no deltas beyond
+	// the measurements themselves.
+	base := perfdb.Snapshot{RunID: "base", Fingerprint: "fp",
+		Steps: []perfdb.Record{{Step: "primes/MESI", SimulatedCycles: 42, WallSeconds: 0.4}}}
+	next := perfdb.Snapshot{RunID: "J1", Fingerprint: "fp", Steps: []perfdb.Record{rec}}
+	deltas := perfdb.Compare(base, next, perfdb.DefaultThresholds())
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Regression {
+		t.Fatalf("identical cycles flagged as regression: %+v", deltas[0])
 	}
 }
 

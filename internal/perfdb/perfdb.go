@@ -54,6 +54,14 @@ type Record struct {
 	HostAllocs      uint64  `json:"host_allocs,omitempty"`      // heap allocations during the step
 	HostAllocBytes  uint64  `json:"host_alloc_bytes,omitempty"` // bytes allocated during the step
 	HostHeapBytes   uint64  `json:"host_heap_bytes,omitempty"`  // live heap at step end
+
+	// Worker names the fleet worker that executed the step when the record
+	// was produced by a distributed sweep (internal/fleet); empty for
+	// single-process runs. It is provenance only: fingerprints and the
+	// wardendiff pairing/compare logic ignore it, and the field is additive
+	// (omitempty, schema version unchanged) so pre-fleet history — including
+	// the committed perf/baseline.jsonl — round-trips byte-identically.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Append writes recs to path as JSONL, creating the file if needed and
