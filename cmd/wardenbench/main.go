@@ -113,6 +113,8 @@ func main() {
 		"write per-run telemetry artifacts (windowed series, phase tables, sharing heatmaps) under this directory")
 	traceDir := flag.String("trace-out", "",
 		"with -telemetry, also write a Perfetto trace_event JSON timeline per run under this directory")
+	traceGz := flag.Bool("trace-gz", false,
+		"gzip-compress the Perfetto timelines (suffix .gz); wardenreport -validate reads both forms")
 	window := flag.Uint64("window", 0,
 		"telemetry sampling window width in simulated cycles (0 = default)")
 	serve := flag.String("serve", "",
@@ -157,6 +159,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wardenbench: -trace-out requires -telemetry")
 		os.Exit(2)
 	}
+	if *traceGz && *traceDir == "" {
+		fmt.Fprintln(os.Stderr, "wardenbench: -trace-gz requires -trace-out")
+		os.Exit(2)
+	}
 	if *serveLinger != 0 && *serve == "" {
 		fmt.Fprintln(os.Stderr, "wardenbench: -serve-linger requires -serve")
 		os.Exit(2)
@@ -182,6 +188,7 @@ func main() {
 		r.SetTelemetry(bench.TelemetryConfig{
 			Dir:          *teleDir,
 			TraceDir:     *traceDir,
+			TraceGzip:    *traceGz,
 			WindowCycles: *window,
 			Artifacts:    &artifacts,
 		})

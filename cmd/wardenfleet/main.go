@@ -8,6 +8,7 @@
 //	wardenfleet -coordinator -addr :9090 -cache perf/fleet-cache.jsonl
 //	wardenfleet -worker -join http://host:9090 -name w1
 //	wardenfleet -submit -join http://host:9090 -benchmarks fib,msort -size small
+//	wardenfleet -submit -join http://host:9090 -benchmarks fib,msort -trace-out sweep.trace.json.gz
 //	wardenfleet -local -benchmarks fib,msort -size small
 //
 // The coordinator leases units to workers under a TTL: workers heartbeat
@@ -20,15 +21,25 @@
 // bit-reproducible, which makes the sharded sweep's output byte-identical
 // to the sequential -local reference.
 //
+// -submit follows the job's SSE event feed for live per-unit progress on
+// stderr (stdout stays byte-comparable with -local), and with -trace-out
+// roots a W3C trace through every hop — coordinator job/unit/attempt
+// spans, worker execution, PDES epochs — written as Perfetto trace_event
+// JSON (.gz by suffix; open at ui.perfetto.dev, check with wardenreport
+// -validate). Exit codes are scriptable: 0 done, 1 settled with poisoned
+// units, 2 bad request, 3 transport trouble.
+//
 // The coordinator also serves the observability plane on the same port:
 // Prometheus metrics at /metrics (queue depth, active leases, retries,
-// cache hit/miss, per-worker throughput), the run registry at /runs, and
-// net/http/pprof. All three long-running modes shut down gracefully on
-// SIGINT/SIGTERM, draining in-flight HTTP requests.
+// cache hit/miss, per-worker throughput, span-duration histograms), the
+// run registry at /runs, and net/http/pprof. All three long-running modes
+// shut down gracefully on SIGINT/SIGTERM, draining in-flight HTTP
+// requests.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +48,8 @@ import (
 
 	"warden/internal/fleet"
 	"warden/internal/obs"
+	"warden/internal/span"
+	"warden/internal/trace"
 )
 
 func main() {
@@ -54,6 +67,8 @@ func main() {
 	history := flag.String("history", "", "coordinator: append worker perfdb records to this JSONL history file (see wardendiff)")
 	leaseTTL := flag.Duration("lease-ttl", 30*time.Second, "coordinator: lease TTL workers must heartbeat within")
 	maxAttempts := flag.Int("max-attempts", 4, "coordinator: failures before a unit is quarantined as poison")
+
+	traceOut := flag.String("trace-out", "", "submit: write the job's Perfetto trace_event JSON to this file (.gz compresses) and sample worker spans")
 
 	benchmarks := flag.String("benchmarks", "", "comma-separated benchmark names (empty = full PBBS suite)")
 	protocolsFlag := flag.String("protocols", "", "comma-separated protocol names (empty = mesi,warden)")
@@ -131,26 +146,37 @@ func main() {
 
 	case *submit:
 		client := &fleet.Client{Base: *join}
-		st, err := client.Submit(spec)
+		// The submission roots a trace; its sampled flag — set iff the
+		// caller asked for a trace file — is what makes workers collect
+		// execute and PDES epoch spans.
+		sctx := span.NewContext(nil, *traceOut != "")
+		st, err := client.SubmitTraced(spec, sctx)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
-			os.Exit(1)
+			os.Exit(fleet.SubmitExitCode(st, err))
 		}
-		logger.Info("job submitted", "job", st.ID, "units", st.Units, "cached", st.CacheHits)
-		st, err = client.Wait(ctx, st.ID, *poll)
+		logger.Info("job submitted", "job", st.ID, "units", st.Units,
+			"cached", st.CacheHits, "trace", sctx.TraceID)
+		st, err = watchJob(ctx, client, st.ID, *poll)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
-			os.Exit(1)
+			os.Exit(fleet.SubmitExitCode(st, err))
 		}
 		if st.State != "done" {
-			fmt.Fprintf(os.Stderr, "wardenfleet: job %s %s: %s\n",
-				st.ID, st.State, strings.Join(st.Errors, "; "))
-			os.Exit(1)
+			// A settled-but-failed job is its own exit code (1): the
+			// poisoned units are listed so the failure is actionable, and
+			// scripts can distinguish it from transport trouble (3).
+			fmt.Fprintf(os.Stderr, "wardenfleet: job %s %s (%d poisoned unit(s), %d retries)\n",
+				st.ID, st.State, st.Poisoned, st.Retries)
+			for _, e := range st.Errors {
+				fmt.Fprintf(os.Stderr, "wardenfleet:   poisoned %s\n", e)
+			}
+			os.Exit(fleet.SubmitExitCode(st, nil))
 		}
 		results, err := client.Results(st.ID)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
-			os.Exit(1)
+			os.Exit(fleet.SubmitExitCode(st, err))
 		}
 		if err := fleet.WriteResultsTable(os.Stdout, results); err != nil {
 			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
@@ -161,6 +187,13 @@ func main() {
 		// sweep was served entirely from the cache.
 		fmt.Fprintf(os.Stderr, "wardenfleet: job %s done: %d units, executed %d, cache hits %d, coalesced %d, retries %d\n",
 			st.ID, st.Units, st.Executed, st.CacheHits, st.Coalesced, st.Retries)
+		if *traceOut != "" {
+			if err := writeTrace(client, st.ID, *traceOut); err != nil {
+				fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
+				os.Exit(fleet.ExitTransport)
+			}
+			fmt.Fprintf(os.Stderr, "wardenfleet: wrote trace %s\n", *traceOut)
+		}
 
 	case *local:
 		results, err := fleet.RunLocal(spec)
@@ -173,6 +206,74 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// watchJob follows a job to settlement with a live progress line per SSE
+// event (unit leases, completions, requeues, and the terminal job state,
+// all on stderr so stdout stays byte-comparable with -local). When the
+// stream is unavailable it degrades to status polling; either way the
+// final status comes from one authoritative GET.
+func watchJob(ctx context.Context, client *fleet.Client, id string, poll time.Duration) (fleet.JobStatus, error) {
+	serr := client.StreamEvents(ctx, id, func(ev obs.StreamEvent) error {
+		switch ev.Type {
+		case "unit":
+			var ue struct {
+				Unit    string `json:"unit"`
+				State   string `json:"state"`
+				Worker  string `json:"worker"`
+				Attempt int    `json:"attempt"`
+				Outcome string `json:"outcome"`
+				Why     string `json:"why"`
+			}
+			if json.Unmarshal(ev.Data, &ue) != nil {
+				return nil
+			}
+			switch ue.State {
+			case "leased":
+				fmt.Fprintf(os.Stderr, "wardenfleet: unit %s leased to %s (attempt %d)\n", ue.Unit, ue.Worker, ue.Attempt)
+			case "done":
+				fmt.Fprintf(os.Stderr, "wardenfleet: unit %s done (%s)\n", ue.Unit, ue.Outcome)
+			case "requeued", "poisoned":
+				fmt.Fprintf(os.Stderr, "wardenfleet: unit %s %s after attempt %d: %s\n", ue.Unit, ue.State, ue.Attempt, ue.Why)
+			}
+		case "job":
+			var je struct {
+				Job   string `json:"job"`
+				State string `json:"state"`
+				Done  int    `json:"done"`
+				Units int    `json:"units"`
+			}
+			if json.Unmarshal(ev.Data, &je) != nil {
+				return nil
+			}
+			if je.State != "running" {
+				fmt.Fprintf(os.Stderr, "wardenfleet: job %s settled (%s): %d/%d units\n", je.Job, je.State, je.Done, je.Units)
+			}
+		}
+		return nil
+	})
+	if serr != nil {
+		fmt.Fprintf(os.Stderr, "wardenfleet: event stream unavailable (%v); falling back to polling\n", serr)
+	}
+	return client.Wait(ctx, id, poll)
+}
+
+// writeTrace fetches a job's Perfetto trace and writes it to path,
+// gzip-compressing when the name ends in .gz.
+func writeTrace(client *fleet.Client, id, path string) error {
+	b, err := client.Trace(id)
+	if err != nil {
+		return err
+	}
+	f, err := trace.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write(b)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // splitList parses a comma-separated flag into a name list; empty input

@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -39,6 +40,7 @@ import (
 	"warden/internal/protocols"
 	"warden/internal/telemetry"
 	"warden/internal/topology"
+	"warden/internal/trace"
 )
 
 func main() {
@@ -48,6 +50,7 @@ func main() {
 	sockets := flag.Int("sockets", 2, "number of sockets in the simulated machine")
 	out := flag.String("o", "report.html", "output HTML file")
 	traceOut := flag.String("trace-out", "", "also write each run's Perfetto trace_event JSON under this directory")
+	traceGz := flag.Bool("trace-gz", false, "gzip-compress the Perfetto traces (suffix .gz); -validate reads both forms")
 	window := flag.Uint64("window", 0, "telemetry sampling window width in simulated cycles (0 = default)")
 	validate := flag.String("validate", "", "validate a Perfetto trace_event JSON file and print its shape (no simulation)")
 	flag.Parse()
@@ -84,7 +87,7 @@ func main() {
 
 	var runs []*telemetry.RunReport
 	for _, proto := range protos {
-		rep, err := observe(cfg, proto, e, n, *size, *window, *traceOut)
+		rep, err := observe(cfg, proto, e, n, *size, *window, *traceOut, *traceGz)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wardenreport: %v\n", err)
 			os.Exit(1)
@@ -111,16 +114,19 @@ func main() {
 
 // observe runs one simulation with the telemetry capture attached and
 // returns its report view.
-func observe(cfg topology.Config, proto core.Protocol, e pbbs.Entry, n int, sizeLabel string, window uint64, traceDir string) (*telemetry.RunReport, error) {
+func observe(cfg topology.Config, proto core.Protocol, e pbbs.Entry, n int, sizeLabel string, window uint64, traceDir string, traceGz bool) (*telemetry.RunReport, error) {
 	tcfg := telemetry.Config{Topology: cfg, WindowCycles: window}
-	var traceF *os.File
+	var traceF io.WriteCloser
 	if traceDir != "" {
 		if err := os.MkdirAll(traceDir, 0o755); err != nil {
 			return nil, err
 		}
 		path := filepath.Join(traceDir, fmt.Sprintf("%s_%s.trace.json", e.Name, strings.ToLower(proto.String())))
+		if traceGz {
+			path += ".gz"
+		}
 		var err error
-		traceF, err = os.Create(path)
+		traceF, err = trace.Create(path)
 		if err != nil {
 			return nil, err
 		}
@@ -151,9 +157,10 @@ func observe(cfg topology.Config, proto core.Protocol, e pbbs.Entry, n int, size
 	}, nil
 }
 
-// runValidate checks one Perfetto trace file and prints its shape.
+// runValidate checks one Perfetto trace file and prints its shape. Gzip
+// traces are detected by magic bytes and decompressed transparently.
 func runValidate(path string) error {
-	f, err := os.Open(path)
+	f, err := trace.Open(path)
 	if err != nil {
 		return err
 	}

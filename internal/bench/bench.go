@@ -41,7 +41,7 @@ func (r Result) IPC() float64 { return r.Counters.IPC(r.Cycles) }
 // returns its measurements. Results are verified; a verification failure is
 // an error (a coherence bug, not a measurement).
 func RunOne(cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options) (Result, error) {
-	return runObserved(cfg, proto, entry, size, opts, machine.EngineSequential, nil, nil)
+	return runObserved(cfg, proto, entry, size, opts, machine.EngineSequential, nil, nil, nil)
 }
 
 // Comparison is one benchmark's MESI-vs-WARDen measurement pair with the
@@ -287,7 +287,7 @@ func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry,
 		if r.tele.Dir != "" {
 			res, err = r.runTelemetry(cfg, proto, e, size, opts, run)
 		} else {
-			res, err = runObserved(cfg, proto, e, size, opts, r.Engine, nil, r.probe)
+			res, err = runObserved(cfg, proto, e, size, opts, r.Engine, nil, r.probe, nil)
 		}
 		if run != nil {
 			if err == nil {

@@ -25,6 +25,7 @@ import (
 	"warden/internal/runner"
 	"warden/internal/telemetry"
 	"warden/internal/topology"
+	"warden/internal/trace"
 )
 
 // TelemetryConfig enables per-run telemetry artifacts on a Runner.
@@ -35,6 +36,10 @@ type TelemetryConfig struct {
 	// TraceDir, when non-empty, additionally streams a Chrome
 	// trace_event/Perfetto JSON timeline per run into this directory.
 	TraceDir string
+	// TraceGzip gzip-compresses the timeline files (suffix .trace.json.gz).
+	// Readers are magic-byte transparent (trace.Open / wardenreport
+	// -validate), so compressed traces replay and validate unchanged.
+	TraceGzip bool
 	// WindowCycles overrides the sampling window width (0 = default).
 	WindowCycles uint64
 	// Artifacts, when non-nil, collects every file written.
@@ -62,13 +67,14 @@ func artifactBase(e string, proto core.Protocol, cfg topology.Config, size int, 
 // createArtifact creates dir/name, making the directory as needed, and
 // registers the path with the shared artifact registry (which may
 // relativize it) and, when the simulation is observed, with its run
-// record, so /runs/{id} lists what the run wrote.
-func (tc *TelemetryConfig) createArtifact(dir, name string, run *obs.Run) (*os.File, string, error) {
+// record, so /runs/{id} lists what the run wrote. Names ending in ".gz"
+// are gzip-compressed on the way out (trace.Create).
+func (tc *TelemetryConfig) createArtifact(dir, name string, run *obs.Run) (io.WriteCloser, string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, "", err
 	}
 	path := filepath.Join(dir, name)
-	f, err := os.Create(path)
+	f, err := trace.Create(path)
 	if err != nil {
 		return nil, "", err
 	}
@@ -90,10 +96,14 @@ func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.E
 	base := artifactBase(e.Name, proto, cfg, size, opts)
 
 	tcfg := telemetry.Config{Topology: cfg, WindowCycles: tc.WindowCycles}
-	var traceF *os.File
+	var traceF io.WriteCloser
 	if tc.TraceDir != "" {
+		name := base + ".trace.json"
+		if tc.TraceGzip {
+			name += ".gz"
+		}
 		var err error
-		traceF, _, err = tc.createArtifact(tc.TraceDir, base+".trace.json", run)
+		traceF, _, err = tc.createArtifact(tc.TraceDir, name, run)
 		if err != nil {
 			return Result{}, fmt.Errorf("bench: telemetry trace: %w", err)
 		}
@@ -101,7 +111,7 @@ func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.E
 	}
 	cap := telemetry.New(tcfg)
 	res, err := runObserved(cfg, proto, e, size, opts, r.Engine,
-		func(*machine.Machine) core.Sink { return cap }, r.probe)
+		func(*machine.Machine) core.Sink { return cap }, r.probe, nil)
 	if cerr := cap.Close(); err == nil && cerr != nil {
 		err = fmt.Errorf("bench: telemetry trace: %w", cerr)
 	}

@@ -1,0 +1,128 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"warden/internal/core"
+	"warden/internal/engine"
+	"warden/internal/hlpl"
+	"warden/internal/machine"
+	"warden/internal/pbbs"
+	"warden/internal/topology"
+)
+
+// TestEpochHookNonPerturbing is the tracing analogue of the obs plane's
+// scrape-non-perturbation proof: attaching a PDES epoch hook changes no
+// simulated quantity. The hooked PDES run must be byte-identical to both
+// the unhooked PDES run and the sequential reference, and the hook's
+// event stream must be well-formed (balanced begin/end pairs, phases in
+// {1,2}, nondecreasing epochs).
+func TestEpochHookNonPerturbing(t *testing.T) {
+	cfg := topology.XeonGold6126(2)
+	proto, ok := core.Lookup("warden")
+	if !ok {
+		t.Fatal("warden protocol not registered")
+	}
+	entry, err := pbbs.ByName("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := hlpl.DefaultOptions()
+
+	seq, err := RunOne(cfg, proto, entry, entry.Small, opts)
+	if err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	plain, err := RunOneProbedOn(machine.EnginePDES, cfg, proto, entry, entry.Small, opts, nil)
+	if err != nil {
+		t.Fatalf("unhooked pdes run: %v", err)
+	}
+
+	var events []engine.EpochEvent
+	hooked, err := RunOneTracedOn(machine.EnginePDES, cfg, proto, entry, entry.Small, opts, nil,
+		func(ev engine.EpochEvent) { events = append(events, ev) })
+	if err != nil {
+		t.Fatalf("hooked pdes run: %v", err)
+	}
+
+	for name, pair := range map[string][2]Result{
+		"hooked-vs-sequential":    {hooked, seq},
+		"hooked-vs-unhooked-pdes": {hooked, plain},
+	} {
+		a, _ := json.Marshal(pair[0])
+		b, _ := json.Marshal(pair[1])
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: results differ\nhooked: %s\nother:  %s", name, a, b)
+		}
+	}
+
+	if len(events) == 0 {
+		t.Fatal("epoch hook never fired under the PDES engine")
+	}
+	// Every phase open has a matching close with identical coordinates,
+	// and epochs never go backwards. Phase 2 fires every epoch; phase 1
+	// only when the scheduler found parallel work.
+	open := map[[2]int]engine.EpochEvent{}
+	lastEpoch := 0
+	phase2 := 0
+	for i, ev := range events {
+		if ev.Phase != 1 && ev.Phase != 2 {
+			t.Fatalf("event %d: phase %d", i, ev.Phase)
+		}
+		if ev.Epoch < lastEpoch {
+			t.Fatalf("event %d: epoch went backwards (%d after %d)", i, ev.Epoch, lastEpoch)
+		}
+		lastEpoch = ev.Epoch
+		key := [2]int{ev.Epoch, ev.Phase}
+		if ev.Begin {
+			if _, dup := open[key]; dup {
+				t.Fatalf("event %d: duplicate begin for epoch %d phase %d", i, ev.Epoch, ev.Phase)
+			}
+			open[key] = ev
+			continue
+		}
+		b, ok := open[key]
+		if !ok {
+			t.Fatalf("event %d: close without open for epoch %d phase %d", i, ev.Epoch, ev.Phase)
+		}
+		if b.Clock != ev.Clock || b.Horizon != ev.Horizon {
+			t.Fatalf("event %d: close coordinates (%d,%d) differ from open (%d,%d)",
+				i, ev.Clock, ev.Horizon, b.Clock, b.Horizon)
+		}
+		if ev.Horizon <= ev.Clock {
+			t.Fatalf("event %d: horizon %d not past epoch base %d", i, ev.Horizon, ev.Clock)
+		}
+		delete(open, key)
+		if ev.Phase == 2 {
+			phase2++
+		}
+	}
+	if len(open) != 0 {
+		t.Fatalf("%d phase(s) never closed: %v", len(open), open)
+	}
+	if phase2 == 0 {
+		t.Fatal("no phase-2 (serial drain) pairs observed")
+	}
+}
+
+// TestSequentialEngineNeverFiresEpochHook pins the zero-cost contract:
+// under the sequential scheduler the hook must not fire at all.
+func TestSequentialEngineNeverFiresEpochHook(t *testing.T) {
+	cfg := topology.XeonGold6126(1)
+	proto, _ := core.Lookup("mesi")
+	entry, err := pbbs.ByName("fib")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	_, err = RunOneTracedOn(machine.EngineSequential, cfg, proto, entry, entry.Small,
+		hlpl.DefaultOptions(), nil, func(engine.EpochEvent) { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Fatalf("sequential engine fired the epoch hook %d times", fired)
+	}
+}

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -11,7 +13,9 @@ import (
 	"time"
 
 	"warden/internal/bench"
+	"warden/internal/obs"
 	"warden/internal/perfdb"
+	"warden/internal/span"
 )
 
 // Client speaks the coordinator's HTTP API: the submit/poll side used by
@@ -82,9 +86,109 @@ func decodeReply(resp *http.Response, out any) error {
 
 // Submit posts a sweep spec and returns the accepted job's status.
 func (c *Client) Submit(spec SweepSpec) (JobStatus, error) {
+	return c.SubmitTraced(spec, span.Context{})
+}
+
+// SubmitTraced is Submit carrying a trace context in the W3C traceparent
+// header, so the coordinator's job span joins the submitter's trace. An
+// invalid context omits the header (identical to Submit). Set the
+// context's Sampled flag to make workers collect execute and PDES epoch
+// spans.
+func (c *Client) SubmitTraced(spec SweepSpec, sctx span.Context) (JobStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("fleet: encode request: %w", err)
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("fleet: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tp := sctx.Traceparent(); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("fleet: %w", err)
+	}
 	var st JobStatus
-	err := c.post("/jobs", spec, &st)
-	return st, err
+	return st, decodeReply(resp, &st)
+}
+
+// StreamEvents subscribes to a job's SSE feed (GET /jobs/{id}/events),
+// calling fn for every event — the full replay first, then live events.
+// It returns nil when the stream ends cleanly (the job settled and the
+// coordinator closed the log), fn's error if fn rejects an event, or the
+// transport error otherwise. The connection intentionally bypasses the
+// default client timeout: an event stream legitimately outlives any fixed
+// deadline, so its lifetime is governed by ctx.
+func (c *Client) StreamEvents(ctx context.Context, id string, fn func(obs.StreamEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/jobs/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	hc := c.HTTP
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	var ev obs.StreamEvent
+	flush := func() error {
+		if ev.Type == "" && len(ev.Data) == 0 {
+			return nil
+		}
+		err := fn(ev)
+		ev = obs.StreamEvent{}
+		return err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "id: "):
+			fmt.Sscanf(strings.TrimPrefix(line, "id: "), "%d", &ev.ID)
+		case strings.HasPrefix(line, "event: "):
+			ev.Type = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			ev.Data = json.RawMessage(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("fleet: event stream: %w", err)
+	}
+	return flush()
+}
+
+// Trace fetches a job's Perfetto trace_event JSON document (the spans
+// collected so far; complete once the job has settled).
+func (c *Client) Trace(id string) ([]byte, error) {
+	resp, err := c.httpClient().Get(c.Base + "/jobs/" + id + "/trace")
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return nil, &apiError{Status: resp.StatusCode, Msg: strings.TrimSpace(string(msg))}
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: read trace: %w", err)
+	}
+	return b, nil
 }
 
 // Job fetches a job's status.
@@ -161,13 +265,41 @@ func (c *Client) Heartbeat(workerID string, unitIDs []string) error {
 }
 
 // Complete implements WorkerAPI.
-func (c *Client) Complete(workerID, unitID string, res bench.Result, rec perfdb.Record) error {
+func (c *Client) Complete(workerID, unitID string, res bench.Result, rec perfdb.Record, spans []span.Span) error {
 	return c.post("/fleet/complete", completeRequest{
-		WorkerID: workerID, UnitID: unitID, Result: res, Record: rec,
+		WorkerID: workerID, UnitID: unitID, Result: res, Record: rec, Spans: spans,
 	}, nil)
 }
 
 // Fail implements WorkerAPI.
 func (c *Client) Fail(workerID, unitID, msg string) error {
 	return c.post("/fleet/fail", failRequest{WorkerID: workerID, UnitID: unitID, Error: msg}, nil)
+}
+
+// Process exit codes for `wardenfleet -submit`, distinguishing "the job
+// ran and failed" from "the request never worked" so scripts can retry
+// transport errors but not poisoned sweeps.
+const (
+	ExitOK        = 0 // job done, results printed
+	ExitJobFailed = 1 // job settled with poisoned units
+	ExitUsage     = 2 // the coordinator rejected the request (4xx: bad spec, unknown job)
+	ExitTransport = 3 // the coordinator was unreachable or replied 5xx
+)
+
+// SubmitExitCode maps a submit flow's terminal (status, error) pair onto
+// the exit codes above. err wins over st: any 4xx apiError is a usage
+// error, any other error (5xx, connection refused, timeouts) a transport
+// error.
+func SubmitExitCode(st JobStatus, err error) int {
+	if err != nil {
+		var ae *apiError
+		if errors.As(err, &ae) && ae.Status >= 400 && ae.Status < 500 {
+			return ExitUsage
+		}
+		return ExitTransport
+	}
+	if st.State == "done" {
+		return ExitOK
+	}
+	return ExitJobFailed
 }

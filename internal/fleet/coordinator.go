@@ -7,12 +7,14 @@ import (
 	"log/slog"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"warden/internal/bench"
 	"warden/internal/obs"
 	"warden/internal/perfdb"
+	"warden/internal/span"
 )
 
 // Options tunes the coordinator. The zero value selects production
@@ -38,6 +40,10 @@ type Options struct {
 	// Rand overrides the jitter source with a func returning [0,1).
 	// Default math/rand.
 	Rand func() float64
+	// SpanIDs overrides the trace/span id source for the coordinator's
+	// spans (tests inject a counter for byte-stable ids). Default
+	// math/rand.
+	SpanIDs func() uint64
 	// CachePath persists the content-addressed result cache as JSONL;
 	// empty keeps it in memory.
 	CachePath string
@@ -75,6 +81,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Rand == nil {
 		o.Rand = rand.Float64
+	}
+	if o.SpanIDs == nil {
+		o.SpanIDs = rand.Uint64
 	}
 	return o
 }
@@ -114,6 +123,11 @@ type unit struct {
 	followed bool // completed by following an identical in-flight unit
 	result   json.RawMessage
 	run      *obs.Run // current execution attempt's registry run
+
+	// uspan covers the unit from submit to settlement; attempt covers one
+	// lease (its traceparent is what the worker receives and continues).
+	uspan   *span.Active
+	attempt *span.Active
 }
 
 // Job is one submitted sweep.
@@ -123,16 +137,27 @@ type job struct {
 	units     []*unit
 	submitted time.Time
 	done      chan struct{} // closed when every unit is done or poisoned
+
+	// span is the job's span on the coordinator track (a child of the
+	// submitter's context when the POST carried a valid traceparent, a
+	// fresh root otherwise); spans collects the job's whole trace,
+	// including worker-reported spans; events is the job's SSE feed,
+	// closed at settlement so subscribers read EOF.
+	span   *span.Active
+	spans  *span.Collector
+	events *obs.EventLog
 }
 
 // workerState tracks a registered worker.
 type workerState struct {
-	id        string
-	name      string
-	joined    time.Time
-	lastSeen  time.Time
-	completed uint64
-	failed    uint64
+	id         string
+	name       string
+	joined     time.Time
+	lastSeen   time.Time
+	completed  uint64
+	failed     uint64
+	heartbeats uint64 // heartbeat requests received
+	expiries   uint64 // leases reaped while this worker held them
 }
 
 // Coordinator shards jobs into units, leases them to workers, retries
@@ -158,6 +183,11 @@ type Coordinator struct {
 	unitsExecuted uint64 // completions accepted from workers
 	unitsFailed   uint64 // explicit worker-reported failures
 	coalesced     uint64 // units completed by following an identical in-flight unit
+
+	// Span-duration histograms by span name, fed by every job's OnEnd
+	// hook — the warden_fleet_span_seconds_* families on /metrics.
+	histMu sync.Mutex
+	hists  map[string]*obs.Histogram
 }
 
 // NewCoordinator builds a coordinator, loading the persisted cache when
@@ -174,7 +204,50 @@ func NewCoordinator(opts Options) (*Coordinator, error) {
 		jobs:    make(map[string]*job),
 		units:   make(map[string]*unit),
 		workers: make(map[string]*workerState),
+		hists:   make(map[string]*obs.Histogram),
 	}, nil
+}
+
+// histFor returns the duration histogram for a span name, creating it on
+// first use.
+func (c *Coordinator) histFor(name string) *obs.Histogram {
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
+	h := c.hists[name]
+	if h == nil {
+		h = obs.NewHistogram()
+		c.hists[name] = h
+	}
+	return h
+}
+
+// jobEvent is the payload of "job" SSE events: published once at submit
+// and once at settlement.
+type jobEvent struct {
+	Job   string `json:"job"`
+	State string `json:"state"`
+	Done  int    `json:"done"`
+	Units int    `json:"units"`
+}
+
+// unitEvent is the payload of "unit" SSE events, one per unit state
+// transition: leased, done, requeued, or poisoned.
+type unitEvent struct {
+	Unit    string `json:"unit"`
+	State   string `json:"state"`
+	Worker  string `json:"worker,omitempty"`
+	Attempt int    `json:"attempt,omitempty"`
+	// Outcome qualifies a done unit: executed, cached, or coalesced.
+	Outcome string `json:"outcome,omitempty"`
+	// Why carries the failure reason on requeued/poisoned transitions.
+	Why string `json:"why,omitempty"`
+}
+
+// eventLocked publishes one SSE event onto a job's log; callers hold c.mu.
+func (c *Coordinator) eventLocked(jobID, typ string, v any) {
+	if j := c.jobs[jobID]; j != nil {
+		j.events.Publish(typ, v)
+	}
 }
 
 // Cache exposes the coordinator's result cache (metrics, tests).
@@ -192,6 +265,16 @@ func (c *Coordinator) logf(msg string, args ...any) {
 // fingerprints already pending or leased (from a concurrently running job)
 // are attached as followers rather than queued twice.
 func (c *Coordinator) Submit(spec SweepSpec) (JobStatus, error) {
+	return c.SubmitTraced(spec, span.Context{})
+}
+
+// SubmitTraced is Submit under a propagated trace context: the job span
+// joins the submitter's trace when parent is valid (the POST /jobs
+// traceparent header), and roots a fresh trace otherwise — a malformed
+// header never rejects a submission. The parent's sampled flag rides the
+// per-attempt traceparents handed to workers, gating their detailed
+// collection.
+func (c *Coordinator) SubmitTraced(spec SweepSpec, parent span.Context) (JobStatus, error) {
 	resolved, err := ResolveSpec(spec)
 	if err != nil {
 		return JobStatus{}, err
@@ -207,14 +290,40 @@ func (c *Coordinator) Submit(spec SweepSpec) (JobStatus, error) {
 		spec:      spec,
 		submitted: now,
 		done:      make(chan struct{}),
+		events:    obs.NewEventLog(),
 	}
+	// Every finished span in this job's trace feeds the coordinator-wide
+	// duration histograms and (for fleet-level spans; the per-epoch PDES
+	// spans would drown the feed) the job's SSE stream.
+	events := j.events
+	j.spans = span.NewCollector(span.Options{
+		Clock: c.opts.Clock,
+		IDs:   c.opts.SpanIDs,
+		OnEnd: func(s span.Span) {
+			c.histFor(s.Name).ObserveDuration(s.Duration())
+			if !strings.HasPrefix(s.Name, "pdes-") {
+				events.Publish("span", s)
+			}
+		},
+	})
+	j.span = j.spans.StartChild(parent, "job", "coordinator")
+	j.span.SetAttr("job", j.id)
+	j.span.SetAttr("machine", resolved[0].Machine)
+	j.events.Publish("job", jobEvent{Job: j.id, State: "running", Units: len(resolved)})
 	for i := range resolved {
 		u := &unit{Unit: resolved[i], jobID: j.id}
 		u.ID = fmt.Sprintf("%s/%d", j.id, u.Index)
+		u.uspan = j.span.StartChild("unit")
+		u.uspan.SetAttr("unit", u.ID)
+		u.uspan.SetAttr("config", u.Name())
 		if blob, ok := c.cache.Get(u.Fingerprint); ok {
 			u.state = unitDone
 			u.cached = true
 			u.result = blob
+			u.uspan.SetAttr("outcome", "cached")
+			u.uspan.End()
+			u.uspan = nil
+			j.events.Publish("unit", unitEvent{Unit: u.ID, State: "done", Outcome: "cached"})
 		} else if leader := c.inflightLocked(u.Fingerprint); leader != nil {
 			u.state = unitFollowing
 			c.pending = append(c.pending, u)
@@ -231,6 +340,29 @@ func (c *Coordinator) Submit(spec SweepSpec) (JobStatus, error) {
 	c.logf("job submitted", "job", j.id, "units", len(j.units),
 		"cached", countCached(j.units), "machine", resolved[0].Machine)
 	return c.jobStatusLocked(j), nil
+}
+
+// JobEvents returns a job's SSE event log (GET /jobs/{id}/events).
+func (c *Coordinator) JobEvents(id string) (*obs.EventLog, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.events, true
+}
+
+// JobSpans returns the finished spans of a job's trace so far (GET
+// /jobs/{id}/trace).
+func (c *Coordinator) JobSpans(id string) ([]span.Span, bool) {
+	c.mu.Lock()
+	j, ok := c.jobs[id]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	return j.spans.Spans(), true
 }
 
 func countCached(units []*unit) int {
@@ -312,6 +444,16 @@ func (c *Coordinator) Lease(workerID string, max int) ([]Unit, error) {
 		u.worker = workerID
 		u.expiry = now.Add(c.opts.LeaseTTL)
 		c.leasesGranted++
+		// One attempt span per lease; its context is the traceparent the
+		// worker continues under (the sampled flag decides whether the
+		// worker collects execute/epoch spans).
+		u.attempt = u.uspan.StartChild("attempt")
+		u.attempt.SetAttr("attempt", fmt.Sprint(u.attempts+1))
+		u.attempt.SetAttr("worker", w.name)
+		u.Traceparent = u.attempt.Context().Traceparent()
+		c.eventLocked(u.jobID, "unit", unitEvent{
+			Unit: u.ID, State: "leased", Worker: w.name, Attempt: u.attempts + 1,
+		})
 		if c.opts.Registry != nil {
 			u.run = c.opts.Registry.NewRun("unit", u.Name(), map[string]string{
 				"job": u.jobID, "unit": u.ID, "worker": w.name,
@@ -340,6 +482,7 @@ func (c *Coordinator) Heartbeat(workerID string, unitIDs []string) error {
 		return errUnknownWorker
 	}
 	w.lastSeen = now
+	w.heartbeats++
 	for _, id := range unitIDs {
 		if u, ok := c.units[id]; ok && u.state == unitLeased && u.worker == workerID {
 			u.expiry = now.Add(c.opts.LeaseTTL)
@@ -355,8 +498,9 @@ func (c *Coordinator) Heartbeat(workerID string, unitIDs []string) error {
 // A stale completion — the lease expired and the unit was re-leased or
 // even finished elsewhere — is accepted gracefully: results are
 // deterministic, so the blob is as good as any other execution's. An
-// already-done unit makes it a no-op.
-func (c *Coordinator) Complete(workerID, unitID string, res bench.Result, rec perfdb.Record) error {
+// already-done unit makes it a no-op, and the duplicate report's spans are
+// dropped — the first accepted attempt's spans stand.
+func (c *Coordinator) Complete(workerID, unitID string, res bench.Result, rec perfdb.Record, spans []span.Span) error {
 	blob, err := json.Marshal(res)
 	if err != nil {
 		return fmt.Errorf("fleet: encode result: %w", err)
@@ -375,6 +519,9 @@ func (c *Coordinator) Complete(workerID, unitID string, res bench.Result, rec pe
 	}
 	if u.state == unitDone || u.state == unitPoisoned {
 		return nil
+	}
+	if j := c.jobs[u.jobID]; j != nil {
+		j.spans.Add(spans)
 	}
 	c.unitsExecuted++
 	c.finishUnitLocked(u, blob, res.Cycles)
@@ -400,10 +547,23 @@ func (c *Coordinator) finishUnitLocked(u *unit, blob json.RawMessage, cycles uin
 			v.run.Finish(cycles, nil)
 			v.run = nil
 		}
+		outcome := "executed"
 		if follower {
 			v.followed = true
 			c.coalesced++
+			outcome = "coalesced"
 		}
+		if v.attempt != nil {
+			v.attempt.SetAttr("outcome", "ok")
+			v.attempt.End()
+			v.attempt = nil
+		}
+		if v.uspan != nil {
+			v.uspan.SetAttr("outcome", outcome)
+			v.uspan.End()
+			v.uspan = nil
+		}
+		c.eventLocked(v.jobID, "unit", unitEvent{Unit: v.ID, State: "done", Worker: v.worker, Outcome: outcome})
 		c.maybeFinishJobLocked(c.jobs[v.jobID])
 	}
 	complete(u, false)
@@ -448,6 +608,9 @@ func (c *Coordinator) reapLocked(now time.Time) {
 	for _, u := range c.units {
 		if u.state == unitLeased && u.expiry.Before(now) {
 			c.leasesExpired++
+			if w, ok := c.workers[u.worker]; ok {
+				w.expiries++
+			}
 			c.requeueLocked(u, now, "lease expired on worker "+u.worker)
 		}
 	}
@@ -461,11 +624,18 @@ func (c *Coordinator) requeueLocked(u *unit, now time.Time, why string) {
 		u.run.Finish(0, errors.New(why))
 		u.run = nil
 	}
+	if u.attempt != nil {
+		u.attempt.SetAttr("outcome", "failed")
+		u.attempt.SetAttr("why", why)
+		u.attempt.End()
+		u.attempt = nil
+	}
 	u.attempts++
 	u.worker = ""
 	u.lastErr = why
 	if u.attempts >= c.opts.MaxAttempts {
 		u.state = unitPoisoned
+		c.poisonSpanLocked(u, why)
 		c.logf("unit poisoned", "unit", u.ID, "attempts", u.attempts, "last", why)
 		// A poison leader takes its followers down with it: they asked for
 		// the same simulation, which has now failed MaxAttempts times.
@@ -474,6 +644,7 @@ func (c *Coordinator) requeueLocked(u *unit, now time.Time, why string) {
 				v.state = unitPoisoned
 				v.attempts = u.attempts
 				v.lastErr = why
+				c.poisonSpanLocked(v, why)
 				c.maybeFinishJobLocked(c.jobs[v.jobID])
 			}
 		}
@@ -484,6 +655,7 @@ func (c *Coordinator) requeueLocked(u *unit, now time.Time, why string) {
 	c.retries++
 	u.state = unitPending
 	u.readyAt = now.Add(c.backoff(u.attempts))
+	c.eventLocked(u.jobID, "unit", unitEvent{Unit: u.ID, State: "requeued", Attempt: u.attempts, Why: why})
 	// The unit left the pending list when it was leased; requeue it at the
 	// back so retries don't starve first-time units.
 	c.pending = append(c.pending, u)
@@ -523,8 +695,21 @@ func (c *Coordinator) compactPendingLocked() {
 	c.pending = kept
 }
 
+// poisonSpanLocked settles a poisoned unit's span and publishes the
+// transition; callers hold the lock.
+func (c *Coordinator) poisonSpanLocked(u *unit, why string) {
+	if u.uspan != nil {
+		u.uspan.SetAttr("outcome", "poisoned")
+		u.uspan.SetAttr("why", why)
+		u.uspan.End()
+		u.uspan = nil
+	}
+	c.eventLocked(u.jobID, "unit", unitEvent{Unit: u.ID, State: "poisoned", Attempt: u.attempts, Why: why})
+}
+
 // maybeFinishJobLocked closes the job's done channel once no unit can make
-// further progress.
+// further progress, ends the job span, publishes the terminal "job" event,
+// and closes the SSE log so every subscriber's stream ends.
 func (c *Coordinator) maybeFinishJobLocked(j *job) {
 	if j == nil {
 		return
@@ -538,6 +723,13 @@ func (c *Coordinator) maybeFinishJobLocked(j *job) {
 	case <-j.done:
 	default:
 		close(j.done)
+		st := c.jobStatusLocked(j)
+		if j.span != nil {
+			j.span.SetAttr("state", st.State)
+			j.span.End()
+		}
+		j.events.Publish("job", jobEvent{Job: j.id, State: st.State, Done: st.Done, Units: st.Units})
+		j.events.Close()
 	}
 }
 
@@ -652,11 +844,13 @@ func (c *Coordinator) WaitDone(id string) <-chan struct{} {
 
 // WorkerStatus is one worker's row in QueueStatus.
 type WorkerStatus struct {
-	ID        string `json:"id"`
-	Name      string `json:"name"`
-	Completed uint64 `json:"completed"`
-	Failed    uint64 `json:"failed"`
-	LastSeen  string `json:"last_seen"`
+	ID         string `json:"id"`
+	Name       string `json:"name"`
+	Completed  uint64 `json:"completed"`
+	Failed     uint64 `json:"failed"`
+	Heartbeats uint64 `json:"heartbeats"`
+	Expiries   uint64 `json:"expiries"`
+	LastSeen   string `json:"last_seen"`
 }
 
 // QueueStatus is the GET /queue snapshot: queue depth, lease and retry
@@ -724,6 +918,7 @@ func (c *Coordinator) Queue() QueueStatus {
 	for _, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{
 			ID: w.id, Name: w.name, Completed: w.completed, Failed: w.failed,
+			Heartbeats: w.heartbeats, Expiries: w.expiries,
 			LastSeen: w.lastSeen.UTC().Format(time.RFC3339Nano),
 		})
 	}
@@ -769,5 +964,43 @@ func (c *Coordinator) MetricFamilies() []obs.Family {
 	if len(perWorker.Metrics) > 0 {
 		fams = append(fams, perWorker)
 	}
+	// Heartbeat and lease-expiry counters are emitted even with zero
+	// workers, so scrapers see the families (HELP/TYPE) from the first
+	// scrape on.
+	heartbeats := obs.Family{
+		Name: "warden_fleet_heartbeats_total",
+		Help: "Heartbeat requests received per worker.",
+		Type: "counter",
+	}
+	expiries := obs.Family{
+		Name: "warden_fleet_lease_expiries_total",
+		Help: "Leases reaped after TTL expiry, per holding worker.",
+		Type: "counter",
+	}
+	for _, w := range st.Workers {
+		heartbeats.Metrics = append(heartbeats.Metrics, obs.Metric{
+			Labels: []obs.Label{{Name: "worker", Value: w.Name}},
+			Value:  float64(w.Heartbeats),
+		})
+		expiries.Metrics = append(expiries.Metrics, obs.Metric{
+			Labels: []obs.Label{{Name: "worker", Value: w.Name}},
+			Value:  float64(w.Expiries),
+		})
+	}
+	fams = append(fams, heartbeats, expiries)
+	// One histogram family per span name seen so far: the span-latency
+	// side of the trace (job, unit, attempt, execute, pdes-phase*).
+	c.histMu.Lock()
+	names := make([]string, 0, len(c.hists))
+	for n := range c.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, c.hists[n].Family(
+			"warden_fleet_span_seconds_"+obs.SanitizeName(n),
+			"Duration of "+n+" spans, in seconds."))
+	}
+	c.histMu.Unlock()
 	return fams
 }

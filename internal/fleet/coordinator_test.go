@@ -251,7 +251,7 @@ func TestStaleCompletionAccepted(t *testing.T) {
 
 	clk.Advance(ttl + time.Second) // lease dies
 	res := bench.Result{Benchmark: u.Benchmark, Cycles: 42}
-	if err := c.Complete(w1, u.ID, res, perfdb.Record{}); err != nil {
+	if err := c.Complete(w1, u.ID, res, perfdb.Record{}, nil); err != nil {
 		t.Fatalf("stale Complete: %v", err)
 	}
 	st, _ := c.Job(job.ID)
@@ -266,7 +266,7 @@ func TestStaleCompletionAccepted(t *testing.T) {
 		t.Fatalf("results = %+v, want the stale worker's blob", got)
 	}
 	// A duplicate completion from the requeued path is a no-op.
-	if err := c.Complete(w1, u.ID, res, perfdb.Record{}); err != nil {
+	if err := c.Complete(w1, u.ID, res, perfdb.Record{}, nil); err != nil {
 		t.Fatalf("duplicate Complete: %v", err)
 	}
 	if q := c.Queue(); q.Executed != 1 {
@@ -280,7 +280,7 @@ func TestCacheHitAtSubmit(t *testing.T) {
 	c, _, job := testCoordinator(t, Options{})
 	w, _ := c.RegisterWorker("w")
 	u := leaseOne(t, c, w)
-	if err := c.Complete(w, u.ID, bench.Result{Cycles: 7}, perfdb.Record{}); err != nil {
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 7}, perfdb.Record{}, nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	if st, _ := c.Job(job.ID); st.State != "done" {
@@ -318,7 +318,7 @@ func TestFollowerCoalescing(t *testing.T) {
 	if units, _ := c.Lease(w, 10); len(units) != 0 {
 		t.Fatalf("follower was leased: %+v", units)
 	}
-	if err := c.Complete(w, u.ID, bench.Result{Cycles: 9}, perfdb.Record{}); err != nil {
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 9}, perfdb.Record{}, nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	s1, _ := c.Job(job1.ID)
@@ -363,7 +363,7 @@ func TestMetricFamilies(t *testing.T) {
 	c, _, _ := testCoordinator(t, Options{})
 	w, _ := c.RegisterWorker("w")
 	u := leaseOne(t, c, w)
-	if err := c.Complete(w, u.ID, bench.Result{Cycles: 1}, perfdb.Record{}); err != nil {
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 1}, perfdb.Record{}, nil); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 	got := map[string]float64{}

@@ -5,8 +5,8 @@
 // and hands units to workers under lease semantics — registration and
 // heartbeats, a lease TTL, expired leases requeued, bounded retries with
 // exponential backoff and jitter, and poison-unit quarantine after
-// repeated failures. Workers wrap bench.RunOneProbedOn and stream results
-// plus perfdb records back.
+// repeated failures. Workers wrap bench.RunOneTracedOn and stream results
+// plus perfdb records (and, when sampled, execution spans) back.
 //
 // Memoization is global: the coordinator keeps a content-addressed result
 // cache (fingerprint → result blob, persisted as append-only JSONL
@@ -16,6 +16,13 @@
 // repository is bit-reproducible, a unit's fingerprint fully determines
 // its result, and the fleet's sharded output is byte-identical to the
 // single-process runner's (asserted by the integration tests).
+//
+// The fabric is traced end to end: a submission may carry a W3C
+// traceparent, the coordinator opens job/unit/attempt spans and threads
+// the context through each lease, and workers continue the trace around
+// the simulation down to PDES epochs. Each job exposes a live SSE event
+// feed (/jobs/{id}/events) and a Perfetto trace export (/jobs/{id}/trace);
+// finished spans also feed duration histograms on /metrics.
 //
 // Everything is stdlib-only, like the rest of the observability plane; the
 // coordinator serves obs /metrics and /runs next to its own job API.
@@ -76,6 +83,10 @@ type Unit struct {
 	// bench runner's in-process memo would use for this simulation, so
 	// fleet cache entries and local memo entries address the same content.
 	Fingerprint string `json:"fingerprint"`
+	// Traceparent is the W3C trace context of the coordinator's attempt
+	// span for this lease; the worker continues the trace under it. Empty
+	// (or malformed) starts no worker-side collection.
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // MachineByName resolves a topology preset name. Names match the presets'

@@ -12,13 +12,20 @@ import (
 	"warden/internal/bench"
 	"warden/internal/obs"
 	"warden/internal/perfdb"
+	"warden/internal/span"
+	"warden/internal/telemetry"
 )
 
 // The wire protocol is plain JSON over HTTP, stdlib end to end. Client-
 // facing endpoints:
 //
-//	POST /jobs            SweepSpec → JobStatus (spec validated at submit)
+//	POST /jobs            SweepSpec → JobStatus (spec validated at submit;
+//	                      an optional traceparent header joins the job to
+//	                      the submitter's trace — malformed never rejects)
 //	GET  /jobs/{id}       JobStatus; ?results=1 adds the ordered results
+//	GET  /jobs/{id}/events  live SSE stream: full replay of job/unit/span
+//	                      events, then live follow; EOF when the job settles
+//	GET  /jobs/{id}/trace Perfetto trace_event JSON of the job's spans so far
 //	GET  /queue           QueueStatus snapshot
 //
 // Worker-facing endpoints (the lease protocol):
@@ -62,6 +69,9 @@ type completeRequest struct {
 	UnitID   string        `json:"unit_id"`
 	Result   bench.Result  `json:"result"`
 	Record   perfdb.Record `json:"record"`
+	// Spans carries the worker's finished spans for this unit (execute
+	// plus PDES epoch children) when the lease's trace was sampled.
+	Spans []span.Span `json:"spans,omitempty"`
 }
 
 type failRequest struct {
@@ -138,7 +148,7 @@ func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &spec) {
 		return
 	}
-	st, err := c.Submit(spec)
+	st, err := c.SubmitTraced(spec, span.Parse(r.Header.Get("traceparent")))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -152,6 +162,27 @@ func (c *Coordinator) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(r.URL.Path, "/jobs/")
+	if rest, ok := strings.CutSuffix(id, "/events"); ok {
+		log, found := c.JobEvents(rest)
+		if !found {
+			http.NotFound(w, r)
+			return
+		}
+		log.ServeSSE(w, r)
+		return
+	}
+	if rest, ok := strings.CutSuffix(id, "/trace"); ok {
+		spans, found := c.JobSpans(rest)
+		if !found {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if err := telemetry.WriteSpans(w, spans); err != nil && c.opts.Log != nil {
+			c.opts.Log.Info("trace export failed", "job", rest, "err", err)
+		}
+		return
+	}
 	st, ok := c.Job(id)
 	if !ok {
 		http.NotFound(w, r)
@@ -227,7 +258,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	if err := c.Complete(req.WorkerID, req.UnitID, req.Result, req.Record); err != nil {
+	if err := c.Complete(req.WorkerID, req.UnitID, req.Result, req.Record, req.Spans); err != nil {
 		workerError(w, err)
 		return
 	}

@@ -1,0 +1,491 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"warden/internal/bench"
+	"warden/internal/obs"
+	"warden/internal/perfdb"
+	"warden/internal/span"
+	"warden/internal/telemetry"
+)
+
+// counterIDs is a deterministic span-id source: 1, 2, 3, ...
+func counterIDs() func() uint64 {
+	var n uint64
+	return func() uint64 {
+		n++
+		return n
+	}
+}
+
+// spansByName indexes a span slice by name (multiple spans per name keep
+// input order).
+func spansByName(spans []span.Span) map[string][]span.Span {
+	m := make(map[string][]span.Span)
+	for _, s := range spans {
+		m[s.Name] = append(m[s.Name], s)
+	}
+	return m
+}
+
+// TestCoordinatorSpansExactDurations drives the lease lifecycle on a fake
+// clock and asserts the resulting span tree: one job span rooted under the
+// submitter's context, a unit span per unit, an attempt span per lease,
+// with durations that are exact clock arithmetic — no sleeps anywhere.
+func TestCoordinatorSpansExactDurations(t *testing.T) {
+	clk := newFakeClock()
+	parent := span.NewContext(counterIDs(), true)
+	c, err := NewCoordinator(Options{Clock: clk.Now, Rand: func() float64 { return 0 }, SpanIDs: counterIDs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitTraced(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}}, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := c.RegisterWorker("w")
+	clk.Advance(2 * time.Second)
+	u := leaseOne(t, c, w)
+	if got := span.Parse(u.Traceparent); got.TraceID != parent.TraceID || !got.Sampled {
+		t.Fatalf("leased traceparent %q does not continue the submitted trace %q", u.Traceparent, parent.TraceID)
+	}
+	clk.Advance(3 * time.Second)
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 42}, perfdb.Record{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, ok := c.JobSpans(st.ID)
+	if !ok {
+		t.Fatalf("JobSpans(%s) unknown", st.ID)
+	}
+	by := spansByName(spans)
+	for name, wantDur := range map[string]time.Duration{
+		"attempt": 3 * time.Second, // lease → complete
+		"unit":    5 * time.Second, // submit → complete
+		"job":     5 * time.Second, // submit → settle
+	} {
+		ss := by[name]
+		if len(ss) != 1 {
+			t.Fatalf("%d %q spans, want 1: %+v", len(ss), name, spans)
+		}
+		if ss[0].Duration() != wantDur {
+			t.Errorf("%s span duration = %v, want %v", name, ss[0].Duration(), wantDur)
+		}
+		if ss[0].TraceID != parent.TraceID {
+			t.Errorf("%s span trace id %q, want submitter's %q", name, ss[0].TraceID, parent.TraceID)
+		}
+		if ss[0].Track != "coordinator" {
+			t.Errorf("%s span track %q, want coordinator", name, ss[0].Track)
+		}
+	}
+	if by["job"][0].Parent != parent.SpanID {
+		t.Errorf("job span parent %q, want submitter span %q", by["job"][0].Parent, parent.SpanID)
+	}
+	if by["attempt"][0].Attrs["worker"] != "w" {
+		t.Errorf("attempt span attrs = %v, want worker=w", by["attempt"][0].Attrs)
+	}
+	if by["unit"][0].Attrs["outcome"] != "executed" {
+		t.Errorf("unit span outcome = %q, want executed", by["unit"][0].Attrs["outcome"])
+	}
+}
+
+// TestInvalidParentRootsFreshTrace pins the never-reject half of the
+// propagation contract at the coordinator API: an invalid context still
+// submits, and the job roots a fresh (unsampled) trace.
+func TestInvalidParentRootsFreshTrace(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewCoordinator(Options{Clock: clk.Now, SpanIDs: counterIDs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitTraced(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}}, span.Context{})
+	if err != nil {
+		t.Fatalf("invalid parent rejected the submission: %v", err)
+	}
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	got := span.Parse(u.Traceparent)
+	if !got.Valid() {
+		t.Fatalf("leased unit carries no valid traceparent: %q", u.Traceparent)
+	}
+	if got.Sampled {
+		t.Fatal("fresh root from an invalid parent must be unsampled")
+	}
+	if _, ok := c.JobSpans(st.ID); !ok {
+		t.Fatal("job has no span collector")
+	}
+}
+
+// TestDuplicateCompletionReusesFirstSpan: a second completion report for
+// an already-done unit is a no-op — its spans are dropped and the span
+// set is unchanged, so the first attempt's spans stand.
+func TestDuplicateCompletionReusesFirstSpan(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewCoordinator(Options{Clock: clk.Now, SpanIDs: counterIDs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.SubmitTraced(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}},
+		span.NewContext(counterIDs(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := c.RegisterWorker("w1")
+	w2, _ := c.RegisterWorker("w2")
+	u := leaseOne(t, c, w1)
+	if err := c.Complete(w1, u.ID, bench.Result{Cycles: 1}, perfdb.Record{},
+		[]span.Span{{TraceID: "t", SpanID: "a", Name: "execute", Track: "w1"}}); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := c.JobSpans(st.ID)
+	if err := c.Complete(w2, u.ID, bench.Result{Cycles: 1}, perfdb.Record{},
+		[]span.Span{{TraceID: "t", SpanID: "b", Name: "execute", Track: "w2"}}); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := c.JobSpans(st.ID)
+	if len(second) != len(first) {
+		t.Fatalf("duplicate completion grew the span set: %d -> %d", len(first), len(second))
+	}
+	for _, s := range second {
+		if s.SpanID == "b" {
+			t.Fatal("duplicate completion's spans were recorded")
+		}
+	}
+	by := spansByName(second)
+	if len(by["attempt"]) != 1 {
+		t.Fatalf("%d attempt spans after duplicate completion, want 1", len(by["attempt"]))
+	}
+}
+
+// TestTraceparentHeaderOverHTTP exercises the wire: a valid sampled
+// header joins the job to the client's trace; garbage and absent headers
+// are accepted (202) and root fresh traces.
+func TestTraceparentHeaderOverHTTP(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewCoordinator(Options{Clock: clk.Now, SpanIDs: counterIDs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	post := func(header, benchmark string) JobStatus {
+		t.Helper()
+		// Each case uses a distinct benchmark: identical specs would be
+		// content-coalesced onto one leader unit, leaving nothing to lease.
+		body, _ := json.Marshal(SweepSpec{Benchmarks: []string{benchmark}, Protocols: []string{"mesi"}})
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		if header != "" {
+			req.Header.Set("traceparent", header)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			msg, _ := io.ReadAll(resp.Body)
+			t.Fatalf("POST /jobs with traceparent %q: %d %s", header, resp.StatusCode, msg)
+		}
+		var st JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	valid := "00-11111111111111111111111111111111-2222222222222222-01"
+	traces := make(map[string]string) // case -> trace id
+	for _, tc := range []struct {
+		name, header, benchmark string
+	}{
+		{"valid", valid, "fib"},
+		{"absent", "", "primes"},
+		{"garbage", "not-a-traceparent-at-all", "dedup"},
+		{"allzero", "00-00000000000000000000000000000000-0000000000000000-01", "msort"},
+		{"uppercase", "00-11111111111111111111111111111111-222222222222222A-01", "tokens"},
+	} {
+		name, header := tc.name, tc.header
+		st := post(header, tc.benchmark)
+		spans, ok := c.JobSpans(st.ID)
+		if !ok || len(spans) != 0 {
+			// No spans finished yet (nothing leased), but the collector must exist.
+			_ = spans
+		}
+		// The trace id is visible on the leased unit's traceparent.
+		w, _ := c.RegisterWorker("w-" + name)
+		u := leaseOne(t, c, w)
+		sctx := span.Parse(u.Traceparent)
+		if !sctx.Valid() {
+			t.Fatalf("%s: leased traceparent invalid: %q", name, u.Traceparent)
+		}
+		traces[name] = sctx.TraceID
+		if name == "valid" {
+			if sctx.TraceID != "11111111111111111111111111111111" || !sctx.Sampled {
+				t.Fatalf("valid header did not propagate: %+v", sctx)
+			}
+		} else if sctx.TraceID == "11111111111111111111111111111111" || sctx.Sampled {
+			t.Fatalf("%s header %q must root a fresh unsampled trace, got %+v", name, header, sctx)
+		}
+	}
+	seen := make(map[string]bool)
+	for name, id := range traces {
+		if seen[id] {
+			t.Fatalf("%s: trace id %s reused across jobs", name, id)
+		}
+		seen[id] = true
+	}
+}
+
+// TestJobEventStream covers the SSE surface end to end over real HTTP:
+// full replay in publish order, the terminal job event, and clean EOF
+// (StreamEvents returns nil) once the job settles.
+func TestJobEventStream(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewCoordinator(Options{Clock: clk.Now, SpanIDs: counterIDs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+	client := &Client{Base: ts.URL}
+
+	st, err := client.SubmitTraced(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}},
+		span.NewContext(counterIDs(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	clk.Advance(time.Second)
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 7}, perfdb.Record{}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var types []string
+	var terminal jobEvent
+	if err := client.StreamEvents(ctx, st.ID, func(ev obs.StreamEvent) error {
+		types = append(types, ev.Type)
+		if ev.Type == "job" {
+			json.Unmarshal(ev.Data, &terminal)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamEvents: %v", err)
+	}
+	want := []string{
+		"job",  // running
+		"unit", // leased
+		"span", // attempt ended
+		"span", // unit ended
+		"unit", // done
+		"span", // job ended
+		"job",  // terminal
+	}
+	if fmt.Sprint(types) != fmt.Sprint(want) {
+		t.Fatalf("event types = %v, want %v", types, want)
+	}
+	if terminal.State != "done" || terminal.Done != 1 || terminal.Units != 1 {
+		t.Fatalf("terminal job event = %+v", terminal)
+	}
+
+	// Unknown jobs 404 → apiError → usage exit code.
+	err = client.StreamEvents(ctx, "J999", func(obs.StreamEvent) error { return nil })
+	var ae *apiError
+	if !errors.As(err, &ae) || ae.Status != http.StatusNotFound {
+		t.Fatalf("StreamEvents(unknown) = %v, want 404 apiError", err)
+	}
+}
+
+// TestSubmitExitCode pins the -submit exit-code contract.
+func TestSubmitExitCode(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		st   JobStatus
+		err  error
+		want int
+	}{
+		{"done", JobStatus{State: "done"}, nil, ExitOK},
+		{"poisoned", JobStatus{State: "failed"}, nil, ExitJobFailed},
+		{"bad-spec-400", JobStatus{}, &apiError{Status: 400, Msg: "bad"}, ExitUsage},
+		{"unknown-job-404", JobStatus{}, &apiError{Status: 404, Msg: "nope"}, ExitUsage},
+		{"conflict-409", JobStatus{}, &apiError{Status: 409, Msg: "conflict"}, ExitUsage},
+		{"server-error-500", JobStatus{}, &apiError{Status: 500, Msg: "boom"}, ExitTransport},
+		{"wrapped-4xx", JobStatus{}, fmt.Errorf("wrap: %w", &apiError{Status: 400, Msg: "bad"}), ExitUsage},
+		{"connection-refused", JobStatus{}, errors.New("dial tcp: connection refused"), ExitTransport},
+		{"done-state-ignored-on-error", JobStatus{State: "done"}, errors.New("x"), ExitTransport},
+	} {
+		if got := SubmitExitCode(tc.st, tc.err); got != tc.want {
+			t.Errorf("%s: SubmitExitCode = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestHeartbeatAndExpiryCounters covers the per-worker counter families:
+// heartbeats increment on every heartbeat, expiries charge the worker
+// that held the reaped lease, and both families render on /metrics even
+// before any worker exists.
+func TestHeartbeatAndExpiryCounters(t *testing.T) {
+	c, clk, _ := testCoordinator(t, Options{LeaseTTL: 10 * time.Second})
+
+	var buf bytes.Buffer
+	if err := obs.WriteFamilies(&buf, c.MetricFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE warden_fleet_heartbeats_total counter",
+		"# TYPE warden_fleet_lease_expiries_total counter",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("scrape missing %q with zero workers:\n%s", want, buf.String())
+		}
+	}
+
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	if err := c.Heartbeat(w, []string{u.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Heartbeat(w, []string{u.ID}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(11 * time.Second) // past the renewed TTL: reaped on next call
+	st := c.Queue()
+	if len(st.Workers) != 1 || st.Workers[0].Heartbeats != 2 || st.Workers[0].Expiries != 1 {
+		t.Fatalf("worker counters = %+v, want 2 heartbeats, 1 expiry", st.Workers)
+	}
+	buf.Reset()
+	if err := obs.WriteFamilies(&buf, c.MetricFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`warden_fleet_heartbeats_total{worker="w"} 2`,
+		`warden_fleet_lease_expiries_total{worker="w"} 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("scrape missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestSpanHistogramsOnMetrics: settled spans feed the
+// warden_fleet_span_seconds_* histogram families.
+func TestSpanHistogramsOnMetrics(t *testing.T) {
+	clk := newFakeClock()
+	c, err := NewCoordinator(Options{Clock: clk.Now, SpanIDs: counterIDs()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.SubmitTraced(SweepSpec{Benchmarks: []string{"fib"}, Protocols: []string{"mesi"}},
+		span.NewContext(counterIDs(), true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := c.RegisterWorker("w")
+	u := leaseOne(t, c, w)
+	clk.Advance(50 * time.Millisecond)
+	if err := c.Complete(w, u.ID, bench.Result{Cycles: 1}, perfdb.Record{}, nil); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteFamilies(&buf, c.MetricFamilies()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE warden_fleet_span_seconds_job histogram",
+		"# TYPE warden_fleet_span_seconds_unit histogram",
+		"# TYPE warden_fleet_span_seconds_attempt histogram",
+		`warden_fleet_span_seconds_attempt_bucket{le="0.1"} 1`,
+		"warden_fleet_span_seconds_attempt_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTracedFleetSweep is the end-to-end proof for the tracing tentpole:
+// a sampled PDES sweep over real HTTP with two workers produces (1)
+// results byte-identical to the untraced -local reference, (2) a span
+// tree with coordinator spans, worker execute spans, and PDES epoch
+// children, and (3) a Perfetto export that passes the repo's own trace
+// validator.
+func TestTracedFleetSweep(t *testing.T) {
+	_, client, stop := startFleet(t, Options{}, 2, nil)
+	defer stop()
+
+	spec := SweepSpec{Benchmarks: []string{"fib", "primes"}, Engine: "pdes"}
+	st, err := client.SubmitTraced(spec, span.NewContext(nil, true))
+	if err != nil {
+		t.Fatalf("SubmitTraced: %v", err)
+	}
+
+	// Follow the SSE stream to settlement; it must end cleanly and carry
+	// a terminal job event.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	var terminal jobEvent
+	if err := client.StreamEvents(ctx, st.ID, func(ev obs.StreamEvent) error {
+		if ev.Type == "job" {
+			json.Unmarshal(ev.Data, &terminal)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("StreamEvents: %v", err)
+	}
+	if terminal.State != "done" {
+		t.Fatalf("terminal job event = %+v, want done", terminal)
+	}
+
+	st = waitJob(t, client, st.ID)
+	if st.State != "done" {
+		t.Fatalf("job = %+v, want done", st)
+	}
+
+	// (1) Byte-identity with the untraced local reference.
+	fleetRes, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	localRes, err := RunLocal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, _ := json.Marshal(fleetRes)
+	lb, _ := json.Marshal(localRes)
+	if !bytes.Equal(fb, lb) {
+		t.Fatalf("traced fleet results differ from -local reference\nfleet: %s\nlocal: %s", fb, lb)
+	}
+
+	// (2) The span tree: execute spans on worker tracks with pdes epoch
+	// children under them.
+	trace, err := client.Trace(st.ID)
+	if err != nil {
+		t.Fatalf("Trace: %v", err)
+	}
+	for _, want := range []string{`"job"`, `"unit"`, `"attempt"`, `"execute"`, `"pdes-phase2"`, `"coordinator"`} {
+		if !bytes.Contains(trace, []byte(want)) {
+			t.Fatalf("trace missing %s:\n%.2000s", want, trace)
+		}
+	}
+
+	// (3) The export validates.
+	if _, err := telemetry.ValidatePerfetto(bytes.NewReader(trace)); err != nil {
+		t.Fatalf("fleet trace fails validation: %v", err)
+	}
+}

@@ -5,15 +5,17 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strconv"
 	"time"
 
 	"warden/internal/bench"
 	"warden/internal/engine"
 	"warden/internal/perfdb"
+	"warden/internal/span"
 )
 
 // Worker executes leased units against a coordinator: register, then loop
-// lease → simulate (bench.RunOneProbedOn) → report, heartbeating while a
+// lease → simulate (bench.RunOneTracedOn) → report, heartbeating while a
 // simulation runs so long units outlive the lease TTL. A worker is
 // stateless — killing one mid-unit loses nothing but the lease, which the
 // coordinator reaps and requeues.
@@ -38,6 +40,11 @@ type Worker struct {
 	FailBeforeReport func(Unit) bool
 	// Log, if set, receives lifecycle records.
 	Log *slog.Logger
+	// Clock and SpanIDs override the span timestamp and id sources for
+	// the worker's trace collection (tests inject a fake clock and a
+	// counter). Defaults: time.Now and math/rand.
+	Clock   func() time.Time
+	SpanIDs func() uint64
 
 	workerID string
 	leaseTTL time.Duration
@@ -50,7 +57,7 @@ type WorkerAPI interface {
 	RegisterWorker(name string) (id string, leaseTTL time.Duration)
 	Lease(workerID string, max int) ([]Unit, error)
 	Heartbeat(workerID string, unitIDs []string) error
-	Complete(workerID, unitID string, res bench.Result, rec perfdb.Record) error
+	Complete(workerID, unitID string, res bench.Result, rec perfdb.Record, spans []span.Span) error
 	Fail(workerID, unitID, msg string) error
 }
 
@@ -142,14 +149,70 @@ func (w *Worker) executeOne(ctx context.Context, u Unit) (stop bool, err error) 
 		return false, w.Coordinator.Fail(w.workerID, u.ID, rerr.Error())
 	}
 	w.logf("executing", "unit", u.ID, "name", u.Name())
+
+	// Continue the coordinator's trace when the lease carried a sampled
+	// context: an "execute" span on this worker's track, with one child
+	// span per PDES epoch phase. Unsampled (or absent/malformed)
+	// traceparents collect nothing, and the epoch hook stays nil — the
+	// zero-cost path, so an untraced fleet run is byte-identical to a
+	// traced one (results never depend on collection either way).
+	sctx := span.Parse(u.Traceparent)
+	var col *span.Collector
+	var exec *span.Active
+	var hook func(engine.EpochEvent)
+	var epochsDropped int
+	if sctx.Sampled {
+		col = span.NewCollector(span.Options{Clock: w.Clock, IDs: w.SpanIDs})
+		exec = col.StartChild(sctx, "execute", w.workerID)
+		exec.SetAttr("unit", u.ID)
+		exec.SetAttr("config", u.Name())
+		// The hook fires on the engine's scheduler goroutine, strictly
+		// alternating Begin/End per phase, so one open slot suffices. Epoch
+		// spans are capped: a long simulation has millions of epochs, and an
+		// unbounded trace would dwarf the sweep. Dropped spans are counted
+		// on the execute span, never silently.
+		var open *span.Active
+		var kept int
+		const maxEpochSpans = 1024
+		hook = func(ev engine.EpochEvent) {
+			if ev.Begin {
+				if kept >= maxEpochSpans {
+					epochsDropped++
+					return
+				}
+				kept++
+				open = exec.StartChild(fmt.Sprintf("pdes-phase%d", ev.Phase))
+				open.SetAttr("epoch", strconv.Itoa(ev.Epoch))
+				if ev.Phase == 1 {
+					open.SetAttr("threads", strconv.Itoa(ev.Threads))
+				}
+				return
+			}
+			if open != nil {
+				open.End()
+				open = nil
+			}
+		}
+	}
+	endExec := func(outcome string) {
+		if epochsDropped > 0 {
+			exec.SetAttr("epochs_truncated", strconv.Itoa(epochsDropped))
+		}
+		exec.SetAttr("outcome", outcome)
+		exec.End()
+	}
+
 	start := time.Now()
 	var probe engine.Probe
-	res, runErr := bench.RunOneProbedOn(emode, cfg, proto, entry, u.Size, opts, &probe)
+	res, runErr := bench.RunOneTracedOn(emode, cfg, proto, entry, u.Size, opts, &probe, hook)
 	wall := time.Since(start)
 	if runErr != nil {
+		endExec("failed")
 		w.logf("unit failed", "unit", u.ID, "err", runErr)
 		return false, w.Coordinator.Fail(w.workerID, u.ID, runErr.Error())
 	}
+	exec.SetAttr("cycles", fmt.Sprint(res.Cycles))
+	endExec("ok")
 	if w.FailBeforeReport != nil && w.FailBeforeReport(u) {
 		w.logf("dropping result (crash hook)", "unit", u.ID)
 		return true, nil
@@ -168,7 +231,7 @@ func (w *Worker) executeOne(ctx context.Context, u Unit) (stop bool, err error) 
 		CyclesPerSecond: float64(res.Cycles) / wall.Seconds(),
 		Worker:          w.Name,
 	}
-	if err := w.Coordinator.Complete(w.workerID, u.ID, res, rec); err != nil {
+	if err := w.Coordinator.Complete(w.workerID, u.ID, res, rec, col.Spans()); err != nil {
 		return false, fmt.Errorf("fleet: report unit %s: %w", u.ID, err)
 	}
 	w.executed++

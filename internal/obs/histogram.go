@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// DefDurationBuckets are the default histogram bounds for span and
+// request durations, in seconds: wide enough to cover a cache-hit unit
+// (microseconds) through a multi-minute sweep.
+var DefDurationBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10, 60}
+
+// Histogram is a fixed-bucket cumulative histogram in the Prometheus
+// sense: Observe records one value, Family renders the
+// _bucket/_sum/_count series. Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []uint64  // per-bucket (non-cumulative), len(bounds)+1 with overflow last
+	sum    float64
+	n      uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds
+// (DefDurationBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefDurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Family renders the histogram as one Prometheus histogram family:
+// cumulative le buckets (with the implicit +Inf), then _sum and _count.
+// The labels are applied to every sample.
+func (h *Histogram) Family(name, help string, labels ...Label) Family {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	f := Family{Name: name, Help: help, Type: "histogram"}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		f.Metrics = append(f.Metrics, Metric{
+			Suffix: "_bucket",
+			Seq:    i + 1,
+			Labels: append(append([]Label(nil), labels...), Label{Name: "le", Value: formatValue(b)}),
+			Value:  float64(cum),
+		})
+	}
+	f.Metrics = append(f.Metrics,
+		Metric{
+			Suffix: "_bucket",
+			Seq:    len(h.bounds) + 1,
+			Labels: append(append([]Label(nil), labels...), Label{Name: "le", Value: "+Inf"}),
+			Value:  float64(h.n),
+		},
+		Metric{Suffix: "_sum", Seq: len(h.bounds) + 2, Labels: labels, Value: h.sum},
+		Metric{Suffix: "_count", Seq: len(h.bounds) + 3, Labels: labels, Value: float64(h.n)},
+	)
+	return f
+}

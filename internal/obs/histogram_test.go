@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramExposition(t *testing.T) {
+	h := NewHistogram(0.1, 1, 10)
+	h.Observe(0.05)                    // first bucket
+	h.Observe(0.5)                     // second
+	h.Observe(0.5)                     // second
+	h.Observe(100)                     // overflow (+Inf only)
+	h.ObserveDuration(2 * time.Second) // third
+
+	out := render(t, []Family{h.Family("warden_span_seconds", "Span durations.",
+		Label{Name: "name", Value: "unit"})})
+	want := "# HELP warden_span_seconds Span durations.\n" +
+		"# TYPE warden_span_seconds histogram\n" +
+		"warden_span_seconds_bucket{le=\"0.1\",name=\"unit\"} 1\n" +
+		"warden_span_seconds_bucket{le=\"1\",name=\"unit\"} 3\n" +
+		"warden_span_seconds_bucket{le=\"10\",name=\"unit\"} 4\n" +
+		"warden_span_seconds_bucket{le=\"+Inf\",name=\"unit\"} 5\n" +
+		"warden_span_seconds_sum{name=\"unit\"} 103.05\n" +
+		"warden_span_seconds_count{name=\"unit\"} 5\n"
+	if out != want {
+		t.Fatalf("histogram exposition mismatch:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", h.Count())
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(1) // le="1" is inclusive, like Prometheus
+	out := render(t, []Family{h.Family("warden_h", "")})
+	if want := "warden_h_bucket{le=\"1\"} 1\n"; !strings.Contains(out, want) {
+		t.Fatalf("boundary observation missing from first bucket:\n%s", out)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(0.002)
+	f := h.Family("warden_h", "")
+	// len(DefDurationBuckets) buckets + +Inf + _sum + _count samples.
+	if want := len(DefDurationBuckets) + 3; len(f.Metrics) != want {
+		t.Fatalf("family has %d samples, want %d", len(f.Metrics), want)
+	}
+}
+
+func TestMetricSuffixAndSeqDoNotDisturbPlainFamilies(t *testing.T) {
+	// A plain family (zero Suffix/Seq) must render exactly as before the
+	// histogram extension: sorted purely by label block.
+	out := render(t, []Family{{Name: "warden_plain", Type: "gauge", Metrics: []Metric{
+		{Labels: []Label{{Name: "x", Value: "b"}}, Value: 2},
+		{Labels: []Label{{Name: "x", Value: "a"}}, Value: 1},
+	}}})
+	want := "# TYPE warden_plain gauge\n" +
+		"warden_plain{x=\"a\"} 1\n" +
+		"warden_plain{x=\"b\"} 2\n"
+	if out != want {
+		t.Fatalf("plain family ordering changed:\ngot:\n%s\nwant:\n%s", out, want)
+	}
+}

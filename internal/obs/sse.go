@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// StreamEvent is one entry in an EventLog: a monotonically increasing id,
+// an event type, and a single-line JSON payload — exactly the fields the
+// Server-Sent Events wire format carries (`id:`, `event:`, `data:`).
+type StreamEvent struct {
+	ID   int             `json:"id"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data"`
+}
+
+// EventLog is an append-only, replayable event stream with SSE fan-out:
+// every subscriber — no matter how late — sees the full event history in
+// order, then follows live appends until the log is closed. The log is
+// the streaming side of one fleet job: the coordinator publishes unit
+// state transitions and span completions into it, and Close at job
+// settlement ends every subscriber's stream cleanly (the client reads
+// EOF and knows the job can produce no further events).
+//
+// Publishing is wait-free with respect to subscribers: appends never
+// block on a slow consumer, because consumers pull from the shared slice
+// at their own pace and wait on a broadcast channel for more. A nil
+// *EventLog is inert (publishes drop, ServeSSE 404s), so callers don't
+// guard call sites.
+type EventLog struct {
+	mu     sync.Mutex
+	events []StreamEvent
+	wake   chan struct{} // closed and replaced on every append; stays closed after Close
+	closed bool
+}
+
+// NewEventLog builds an empty open log.
+func NewEventLog() *EventLog {
+	return &EventLog{wake: make(chan struct{})}
+}
+
+// Publish appends one event, JSON-encoding v as its payload, and wakes
+// every waiting subscriber. Publishing to a nil or closed log is a no-op
+// (a settled job cannot produce further events).
+func (l *EventLog) Publish(typ string, v any) {
+	if l == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf(`{"marshal_error":%q}`, err.Error()))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, StreamEvent{ID: len(l.events) + 1, Type: typ, Data: data})
+	close(l.wake)
+	l.wake = make(chan struct{})
+}
+
+// Close ends the stream: subscribers drain what remains and return. A
+// closed log drops further publishes. Safe to call more than once.
+func (l *EventLog) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.wake) // left closed: all future waits return immediately
+}
+
+// Len returns the number of published events.
+func (l *EventLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Events returns a snapshot of the log.
+func (l *EventLog) Events() []StreamEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]StreamEvent(nil), l.events...)
+}
+
+// snapshot returns the events at or past next, the wait channel for
+// more, and whether the log is closed.
+func (l *EventLog) snapshot(next int) ([]StreamEvent, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.events[next:], l.wake, l.closed
+}
+
+// ServeSSE streams the log as text/event-stream: full replay from event
+// 1, then live events, returning when the log closes or the client goes
+// away. It requires an http.Flusher response writer.
+func (l *EventLog) ServeSSE(w http.ResponseWriter, r *http.Request) {
+	if l == nil {
+		http.NotFound(w, r)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	for {
+		evs, wake, closed := l.snapshot(next)
+		for _, ev := range evs {
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.ID, ev.Type, ev.Data); err != nil {
+				return // client gone
+			}
+		}
+		if len(evs) > 0 {
+			flusher.Flush()
+			next += len(evs)
+		}
+		if closed {
+			return
+		}
+		select {
+		case <-wake:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

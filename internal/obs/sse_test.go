@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEventLogReplayAndLiveFollow(t *testing.T) {
+	l := NewEventLog()
+	l.Publish("unit", map[string]string{"state": "leased"})
+	l.Publish("unit", map[string]string{"state": "done"})
+
+	ts := httptest.NewServer(http.HandlerFunc(l.ServeSSE))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// Publish two more after the subscriber connected, then close.
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		l.Publish("job", map[string]int{"done": 2})
+		l.Close()
+	}()
+
+	sc := bufio.NewScanner(resp.Body)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	got := strings.Join(lines, "\n")
+	want := "id: 1\nevent: unit\ndata: {\"state\":\"leased\"}\n\n" +
+		"id: 2\nevent: unit\ndata: {\"state\":\"done\"}\n\n" +
+		"id: 3\nevent: job\ndata: {\"done\":2}\n"
+	if got != want {
+		t.Fatalf("stream mismatch:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+	// The stream terminated because Close ended it (we got here without a
+	// client-side timeout) — the late events arrived live, the early ones
+	// by replay.
+}
+
+func TestEventLogLateSubscriberGetsFullReplay(t *testing.T) {
+	l := NewEventLog()
+	for i := 1; i <= 5; i++ {
+		l.Publish("unit", map[string]int{"n": i})
+	}
+	l.Close()
+
+	ts := httptest.NewServer(http.HandlerFunc(l.ServeSSE))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	ids := 0
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "id: ") {
+			ids++
+			want := fmt.Sprintf("id: %d", ids)
+			if sc.Text() != want {
+				t.Fatalf("event id line %q, want %q (replay must be in publish order)", sc.Text(), want)
+			}
+		}
+	}
+	if ids != 5 {
+		t.Fatalf("replayed %d events, want 5", ids)
+	}
+}
+
+func TestEventLogClosedDropsPublishes(t *testing.T) {
+	l := NewEventLog()
+	l.Publish("a", 1)
+	l.Close()
+	l.Publish("b", 2)
+	l.Close() // idempotent
+	if l.Len() != 1 {
+		t.Fatalf("closed log accepted a publish: %d events", l.Len())
+	}
+	evs := l.Events()
+	if len(evs) != 1 || evs[0].Type != "a" {
+		t.Fatalf("events = %+v", evs)
+	}
+}
+
+func TestEventLogNilIsInert(t *testing.T) {
+	var l *EventLog
+	l.Publish("x", 1)
+	l.Close()
+	if l.Len() != 0 || l.Events() != nil {
+		t.Fatal("nil log must stay empty")
+	}
+	rec := httptest.NewRecorder()
+	l.ServeSSE(rec, httptest.NewRequest(http.MethodGet, "/events", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("nil log ServeSSE status = %d, want 404", rec.Code)
+	}
+}
+
+func TestEventLogSubscriberCancelDoesNotBlockPublish(t *testing.T) {
+	l := NewEventLog()
+	ts := httptest.NewServer(http.HandlerFunc(l.ServeSSE))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close() // client walks away immediately
+	for i := 0; i < 100; i++ {
+		l.Publish("unit", i) // must never block on the dead subscriber
+	}
+	l.Close()
+	if l.Len() != 100 {
+		t.Fatalf("published %d events, want 100", l.Len())
+	}
+}

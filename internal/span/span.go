@@ -1,0 +1,386 @@
+// Package span is a stdlib-only hierarchical span model for tracing
+// distributed sweeps: every interesting interval of work (a job, a unit's
+// lease attempt, a worker's simulation, a PDES epoch phase) becomes a Span
+// with a trace id shared by everything in one logical request, a span id,
+// and a parent pointer — the same shape as OpenTelemetry spans, without
+// the dependency.
+//
+// Context propagation uses the W3C trace-context `traceparent` header
+// format ("00-<trace-id>-<span-id>-<flags>"), so the fleet's HTTP hops
+// carry trace identity in one header and any standards-aware tool can
+// join the trace. Parsing is forgiving by design: a malformed or absent
+// header never rejects a request — the receiver just starts a fresh root
+// trace (Parse returns the zero, invalid Context).
+//
+// Everything timestamped is wall-clock microseconds from an injected
+// clock, and ids come from an injected uint64 source, so tests are
+// sleep-free and byte-stable: a fake clock makes durations exact and a
+// counter id source makes every id predictable.
+//
+// The package is deliberately collector-centric rather than
+// goroutine-context-centric: a Collector owns finished spans, and an
+// Active span hands out its Context for explicit propagation. A nil
+// *Collector (and the nil *Active it returns) is fully inert — every
+// method is a no-op — which is how instrumented code paths stay zero-cost
+// when tracing is off.
+package span
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Context is the propagated identity of a span: which trace it belongs
+// to, which span is the parent of whatever happens next, and whether the
+// trace is sampled (downstream hops collect detailed child spans only
+// when it is).
+type Context struct {
+	// TraceID is 32 lowercase hex characters, shared by every span in
+	// one logical request. All-zero is invalid.
+	TraceID string `json:"trace_id"`
+	// SpanID is 16 lowercase hex characters identifying the parent span
+	// for downstream work. All-zero is invalid.
+	SpanID string `json:"span_id"`
+	// Sampled is the W3C sampled flag: downstream components should
+	// collect and report detailed spans for this trace.
+	Sampled bool `json:"sampled"`
+}
+
+// Valid reports whether the context carries usable trace identity.
+func (c Context) Valid() bool {
+	return isHex(c.TraceID, 32) && !allZero(c.TraceID) &&
+		isHex(c.SpanID, 16) && !allZero(c.SpanID)
+}
+
+// Traceparent renders the context as a W3C traceparent header value,
+// version 00. Invalid contexts render as "" (callers omit the header).
+func (c Context) Traceparent() string {
+	if !c.Valid() {
+		return ""
+	}
+	flags := "00"
+	if c.Sampled {
+		flags = "01"
+	}
+	return "00-" + c.TraceID + "-" + c.SpanID + "-" + flags
+}
+
+// Parse decodes a traceparent header value. It never errors: anything
+// malformed — wrong field count, bad lengths, uppercase hex, all-zero
+// ids, the forbidden version ff — yields the zero (invalid) Context, and
+// the caller starts a fresh root trace. Unknown future versions with
+// extra fields are accepted as long as the first four fields parse.
+func Parse(header string) Context {
+	parts := strings.Split(header, "-")
+	if len(parts) < 4 {
+		return Context{}
+	}
+	version, traceID, spanID, flags := parts[0], parts[1], parts[2], parts[3]
+	if !isHex(version, 2) || version == "ff" {
+		return Context{}
+	}
+	if version == "00" && len(parts) != 4 {
+		return Context{}
+	}
+	if !isHex(traceID, 32) || allZero(traceID) {
+		return Context{}
+	}
+	if !isHex(spanID, 16) || allZero(spanID) {
+		return Context{}
+	}
+	if !isHex(flags, 2) {
+		return Context{}
+	}
+	return Context{
+		TraceID: traceID,
+		SpanID:  spanID,
+		Sampled: hexByte(flags)&0x01 != 0,
+	}
+}
+
+// isHex reports whether s is exactly n lowercase hex characters.
+func isHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func allZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}
+
+// hexByte decodes a 2-char lowercase hex string (already validated).
+func hexByte(s string) byte {
+	nib := func(c byte) byte {
+		if c <= '9' {
+			return c - '0'
+		}
+		return c - 'a' + 10
+	}
+	return nib(s[0])<<4 | nib(s[1])
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hexUint64 renders v as 16 lowercase hex characters.
+func hexUint64(v uint64) string {
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// NewContext mints a fresh root context from an id source (nil uses
+// math/rand). Sampled controls downstream detailed collection.
+func NewContext(ids func() uint64, sampled bool) Context {
+	if ids == nil {
+		ids = rand.Uint64
+	}
+	return Context{
+		TraceID: hexUint64(nonzero(ids)) + hexUint64(ids()),
+		SpanID:  hexUint64(nonzero(ids)),
+		Sampled: sampled,
+	}
+}
+
+// nonzero draws from ids until it returns a nonzero value, keeping
+// generated ids valid under the all-zero exclusion.
+func nonzero(ids func() uint64) uint64 {
+	for {
+		if v := ids(); v != 0 {
+			return v
+		}
+	}
+}
+
+// Span is one finished interval of work. Timestamps are wall-clock
+// microseconds (UnixMicro); Track is the display lane the span belongs
+// to in an exported timeline (e.g. "coordinator" or a worker id).
+type Span struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	// Parent is the parent span id, "" for a trace root.
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Track  string `json:"track"`
+	// StartUS and EndUS are wall-clock microseconds since the Unix epoch.
+	StartUS int64 `json:"start_us"`
+	EndUS   int64 `json:"end_us"`
+	// Attrs carries small string annotations (unit id, worker, outcome).
+	Attrs map[string]string `json:"attrs,omitempty"`
+}
+
+// Duration is the span's wall-clock extent, clamped at zero against
+// cross-host clock skew on reconstructed spans.
+func (s Span) Duration() time.Duration {
+	if s.EndUS < s.StartUS {
+		return 0
+	}
+	return time.Duration(s.EndUS-s.StartUS) * time.Microsecond
+}
+
+// Options configures a Collector. Zero values select production
+// defaults; tests inject a fake clock and a counter id source.
+type Options struct {
+	// Clock overrides the wall clock. Default time.Now.
+	Clock func() time.Time
+	// IDs overrides the id source with a func returning uint64s (zero
+	// draws are skipped). Default math/rand.
+	IDs func() uint64
+	// OnEnd, if set, observes every span as it finishes — the histogram
+	// and live-streaming hook. It is called outside the collector lock.
+	OnEnd func(Span)
+}
+
+// Collector accumulates finished spans for one trace domain (one fleet
+// job, one worker execution). All methods are safe for concurrent use,
+// and safe on a nil receiver (fully inert).
+type Collector struct {
+	mu       sync.Mutex
+	clock    func() time.Time
+	ids      func() uint64
+	onEnd    func(Span)
+	finished []Span
+}
+
+// NewCollector builds a collector.
+func NewCollector(opts Options) *Collector {
+	if opts.Clock == nil {
+		opts.Clock = time.Now
+	}
+	if opts.IDs == nil {
+		opts.IDs = rand.Uint64
+	}
+	return &Collector{clock: opts.Clock, ids: opts.IDs, onEnd: opts.OnEnd}
+}
+
+// StartRoot opens a root span in a fresh trace.
+func (c *Collector) StartRoot(name, track string, sampled bool) *Active {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	ctx := NewContext(c.ids, sampled)
+	now := c.clock().UnixMicro()
+	c.mu.Unlock()
+	return &Active{c: c, s: Span{
+		TraceID: ctx.TraceID,
+		SpanID:  ctx.SpanID,
+		Name:    name,
+		Track:   track,
+		StartUS: now,
+	}, sampled: sampled}
+}
+
+// StartChild opens a span under parent. An invalid parent starts a fresh
+// root trace instead (inheriting parent.Sampled, which is false for the
+// zero Context) — the never-reject half of the propagation contract.
+func (c *Collector) StartChild(parent Context, name, track string) *Active {
+	if c == nil {
+		return nil
+	}
+	if !parent.Valid() {
+		return c.StartRoot(name, track, parent.Sampled)
+	}
+	c.mu.Lock()
+	id := hexUint64(nonzero(c.ids))
+	now := c.clock().UnixMicro()
+	c.mu.Unlock()
+	return &Active{c: c, s: Span{
+		TraceID: parent.TraceID,
+		SpanID:  id,
+		Parent:  parent.SpanID,
+		Name:    name,
+		Track:   track,
+		StartUS: now,
+	}, sampled: parent.Sampled}
+}
+
+// Add appends externally produced finished spans (e.g. reported by a
+// worker over the wire) to the collector, feeding OnEnd for each.
+func (c *Collector) Add(spans []Span) {
+	if c == nil || len(spans) == 0 {
+		return
+	}
+	c.mu.Lock()
+	c.finished = append(c.finished, spans...)
+	onEnd := c.onEnd
+	c.mu.Unlock()
+	if onEnd != nil {
+		for _, s := range spans {
+			onEnd(s)
+		}
+	}
+}
+
+// Spans returns a snapshot of the finished spans in end order.
+func (c *Collector) Spans() []Span {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Span(nil), c.finished...)
+}
+
+// Len returns the number of finished spans.
+func (c *Collector) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.finished)
+}
+
+// Active is an open span. All methods are safe on a nil receiver, so
+// call sites never need to guard on whether tracing is enabled.
+type Active struct {
+	c       *Collector
+	mu      sync.Mutex
+	s       Span
+	sampled bool
+	ended   bool
+}
+
+// Context returns the propagation context for work done under this span.
+// A nil Active returns the zero (invalid) Context.
+func (a *Active) Context() Context {
+	if a == nil {
+		return Context{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return Context{TraceID: a.s.TraceID, SpanID: a.s.SpanID, Sampled: a.sampled}
+}
+
+// SetAttr annotates the span. Later values win.
+func (a *Active) SetAttr(k, v string) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.s.Attrs == nil {
+		a.s.Attrs = make(map[string]string)
+	}
+	a.s.Attrs[k] = v
+}
+
+// StartChild opens a child span on the same track.
+func (a *Active) StartChild(name string) *Active {
+	if a == nil {
+		return nil
+	}
+	return a.c.StartChild(a.Context(), name, a.track())
+}
+
+func (a *Active) track() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.Track
+}
+
+// End finishes the span, records it in the collector, fires OnEnd, and
+// returns the finished Span. Ending twice is a no-op returning the same
+// Span — a duplicate completion reuses the first attempt's span.
+func (a *Active) End() Span {
+	if a == nil {
+		return Span{}
+	}
+	a.mu.Lock()
+	if a.ended {
+		s := a.s
+		a.mu.Unlock()
+		return s
+	}
+	a.ended = true
+	c := a.c
+	c.mu.Lock()
+	a.s.EndUS = c.clock().UnixMicro()
+	s := a.s
+	c.finished = append(c.finished, s)
+	onEnd := c.onEnd
+	c.mu.Unlock()
+	a.mu.Unlock()
+	if onEnd != nil {
+		onEnd(s)
+	}
+	return s
+}

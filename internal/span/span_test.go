@@ -1,0 +1,218 @@
+package span
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// counterIDs returns a deterministic id source: 1, 2, 3, ...
+func counterIDs() func() uint64 {
+	var n uint64
+	return func() uint64 {
+		n++
+		return n
+	}
+}
+
+// fakeClock is a sleep-free microsecond clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func testCollector() (*Collector, *fakeClock) {
+	clk := newFakeClock()
+	return NewCollector(Options{Clock: clk.Now, IDs: counterIDs()}), clk
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	ctx := NewContext(counterIDs(), true)
+	h := ctx.Traceparent()
+	want := "00-00000000000000010000000000000002-0000000000000003-01"
+	if h != want {
+		t.Fatalf("Traceparent() = %q, want %q", h, want)
+	}
+	back := Parse(h)
+	if back != ctx {
+		t.Fatalf("Parse(Traceparent()) = %+v, want %+v", back, ctx)
+	}
+	unsampled := Context{TraceID: ctx.TraceID, SpanID: ctx.SpanID}
+	if got := Parse(unsampled.Traceparent()); got != unsampled {
+		t.Fatalf("unsampled round trip = %+v, want %+v", got, unsampled)
+	}
+}
+
+func TestParseMalformed(t *testing.T) {
+	valid := "00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	if !Parse(valid).Valid() {
+		t.Fatalf("Parse(%q) should be valid", valid)
+	}
+	cases := []string{
+		"",
+		"garbage",
+		"00-0123456789abcdef-0123456789abcdef-01",                   // short trace id
+		"00-0123456789abcdef0123456789abcdef-0123456789abcde-01",    // short span id
+		"00-00000000000000000000000000000000-0123456789abcdef-01",   // all-zero trace id
+		"00-0123456789abcdef0123456789abcdef-0000000000000000-01",   // all-zero span id
+		"00-0123456789ABCDEF0123456789abcdef-0123456789abcdef-01",   // uppercase hex
+		"ff-0123456789abcdef0123456789abcdef-0123456789abcdef-01",   // forbidden version
+		"0-0123456789abcdef0123456789abcdef-0123456789abcdef-01",    // short version
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-01-x", // version 00 with extra field
+		"00-0123456789abcdef0123456789abcdef-0123456789abcdef-0x",   // bad flags
+		"00-0123456789abcdef0123456789abcdeg-0123456789abcdef-01",   // non-hex trace id
+	}
+	for _, h := range cases {
+		if ctx := Parse(h); ctx.Valid() {
+			t.Errorf("Parse(%q) = %+v, want invalid", h, ctx)
+		}
+	}
+	// A future version may carry extra fields.
+	future := "cc-0123456789abcdef0123456789abcdef-0123456789abcdef-01-extra"
+	if !Parse(future).Valid() {
+		t.Errorf("Parse(%q) should accept a future version's extra fields", future)
+	}
+}
+
+func TestDeterministicIDsAndExactDurations(t *testing.T) {
+	c, clk := testCollector()
+	root := c.StartRoot("job", "coordinator", true)
+	clk.Advance(2 * time.Second)
+	child := root.StartChild("unit")
+	child.SetAttr("unit", "J1/0")
+	clk.Advance(5 * time.Second)
+	cs := child.End()
+	clk.Advance(time.Second)
+	rs := root.End()
+
+	if cs.TraceID != rs.TraceID {
+		t.Fatalf("child trace id %q != root trace id %q", cs.TraceID, rs.TraceID)
+	}
+	if cs.Parent != rs.SpanID {
+		t.Fatalf("child parent %q != root span id %q", cs.Parent, rs.SpanID)
+	}
+	if cs.Duration() != 5*time.Second {
+		t.Fatalf("child duration = %v, want exactly 5s", cs.Duration())
+	}
+	if rs.Duration() != 8*time.Second {
+		t.Fatalf("root duration = %v, want exactly 8s", rs.Duration())
+	}
+	if cs.Attrs["unit"] != "J1/0" {
+		t.Fatalf("child attrs = %v", cs.Attrs)
+	}
+	if cs.Track != "coordinator" {
+		t.Fatalf("child track = %q, want inherited coordinator", cs.Track)
+	}
+	// Byte-stable ids from the counter source.
+	if rs.SpanID != "0000000000000003" || cs.SpanID != "0000000000000004" {
+		t.Fatalf("ids not deterministic: root %q child %q", rs.SpanID, cs.SpanID)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("collector has %d spans, want 2", got)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	c, clk := testCollector()
+	a := c.StartRoot("attempt", "coordinator", false)
+	clk.Advance(time.Second)
+	first := a.End()
+	clk.Advance(time.Hour)
+	second := a.End()
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("second End() = %+v, want the first attempt's span %+v", second, first)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("collector has %d spans, want 1 (duplicate End must not re-record)", c.Len())
+	}
+}
+
+func TestInvalidParentStartsFreshRoot(t *testing.T) {
+	c, _ := testCollector()
+	a := c.StartChild(Context{}, "job", "coordinator")
+	ctx := a.Context()
+	if !ctx.Valid() {
+		t.Fatalf("child of invalid parent has invalid context %+v", ctx)
+	}
+	if ctx.Sampled {
+		t.Fatal("fresh root from zero context must be unsampled")
+	}
+	s := a.End()
+	if s.Parent != "" {
+		t.Fatalf("fresh root has parent %q, want none", s.Parent)
+	}
+}
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	a := c.StartChild(Context{TraceID: "0123456789abcdef0123456789abcdef", SpanID: "0123456789abcdef"}, "x", "t")
+	if a != nil {
+		t.Fatal("nil collector must return nil Active")
+	}
+	a.SetAttr("k", "v")
+	if got := a.Context(); got.Valid() {
+		t.Fatalf("nil Active context = %+v, want invalid", got)
+	}
+	if s := a.End(); s.Name != "" {
+		t.Fatalf("nil Active End = %+v, want zero", s)
+	}
+	b := a.StartChild("y")
+	if b != nil {
+		t.Fatal("nil Active StartChild must return nil")
+	}
+	c.Add([]Span{{Name: "n"}})
+	if c.Len() != 0 || c.Spans() != nil {
+		t.Fatal("nil collector must stay empty")
+	}
+	if r := c.StartRoot("x", "t", true); r != nil {
+		t.Fatal("nil collector StartRoot must return nil")
+	}
+}
+
+func TestAddFeedsOnEnd(t *testing.T) {
+	var seen []Span
+	clk := newFakeClock()
+	c := NewCollector(Options{Clock: clk.Now, IDs: counterIDs(), OnEnd: func(s Span) { seen = append(seen, s) }})
+	a := c.StartRoot("job", "coordinator", false)
+	a.End()
+	c.Add([]Span{{Name: "execute", Track: "W1"}, {Name: "epoch", Track: "W1"}})
+	if len(seen) != 3 {
+		t.Fatalf("OnEnd saw %d spans, want 3", len(seen))
+	}
+	if seen[1].Name != "execute" || seen[2].Name != "epoch" {
+		t.Fatalf("OnEnd order wrong: %+v", seen)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("collector has %d spans, want 3", c.Len())
+	}
+}
+
+func TestNonzeroSkipsZeroDraws(t *testing.T) {
+	draws := []uint64{0, 0, 7, 8, 9, 10}
+	i := 0
+	ids := func() uint64 { v := draws[i%len(draws)]; i++; return v }
+	ctx := NewContext(ids, false)
+	if !ctx.Valid() {
+		t.Fatalf("context from zero-leading source invalid: %+v", ctx)
+	}
+	if ctx.TraceID[:16] != "0000000000000007" {
+		t.Fatalf("trace id hi = %q, want first nonzero draw", ctx.TraceID[:16])
+	}
+}
