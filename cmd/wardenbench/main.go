@@ -13,6 +13,7 @@
 //	wardenbench -history results/history.jsonl  # append to the perf history
 //	wardenbench -telemetry results           # per-run windowed dumps
 //	wardenbench -telemetry results -trace-out results/traces
+//	wardenbench -attrib results              # per-run attribution ledgers
 //	wardenbench -serve :8080                 # live /metrics, /runs, pprof
 //
 // Simulations fan out across host cores (-parallel 0, the default, uses
@@ -42,8 +43,12 @@
 // cycle-windowed counter series (.windows.csv/.windows.jsonl), phase table
 // (.phases.csv), and sharing heatmap (.heatmap.csv) under DIR; -trace-out
 // DIR adds a Chrome trace_event/Perfetto timeline (.trace.json) per run,
-// viewable at https://ui.perfetto.dev. Telemetry never perturbs a
-// measurement: the printed tables stay byte-identical with or without it.
+// viewable at https://ui.perfetto.dev. With -attrib DIR each uncached run
+// additionally writes its exact cycle-attribution ledger (.attrib.jsonl)
+// and block flight records (.blocks.jsonl) — the inputs `wardenlens`
+// decomposes protocol deltas with. Telemetry and attribution never perturb
+// a measurement: the printed tables stay byte-identical with or without
+// them.
 package main
 
 import (
@@ -111,6 +116,8 @@ func main() {
 		"append the run's perfdb records to this JSONL history file (see wardendiff)")
 	teleDir := flag.String("telemetry", "",
 		"write per-run telemetry artifacts (windowed series, phase tables, sharing heatmaps) under this directory")
+	attribDir := flag.String("attrib", "",
+		"write per-run attribution artifacts (cycle-account ledgers, block flight records) under this directory")
 	traceDir := flag.String("trace-out", "",
 		"with -telemetry, also write a Perfetto trace_event JSON timeline per run under this directory")
 	traceGz := flag.Bool("trace-gz", false,
@@ -192,6 +199,9 @@ func main() {
 			WindowCycles: *window,
 			Artifacts:    &artifacts,
 		})
+	}
+	if *attribDir != "" {
+		r.SetAttrib(bench.AttribConfig{Dir: *attribDir, Artifacts: &artifacts})
 	}
 
 	// The observability plane: a run registry and a lock-free engine
@@ -367,7 +377,7 @@ func main() {
 			newRecord(name, time.Since(stepStart), cyc1-cyc0, runs1-runs0, m0, m1))
 	}
 
-	if *teleDir != "" {
+	if *teleDir != "" || *attribDir != "" {
 		fmt.Fprintf(os.Stderr, "wardenbench: wrote %d telemetry artifacts:\n", artifacts.Len())
 		for _, p := range artifacts.Paths() {
 			fmt.Fprintf(os.Stderr, "  %s\n", p)

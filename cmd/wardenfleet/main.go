@@ -39,7 +39,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -61,6 +60,8 @@ func main() {
 	addr := flag.String("addr", ":9090", "coordinator listen address")
 	join := flag.String("join", "http://127.0.0.1:9090", "coordinator base URL for -worker and -submit")
 	name := flag.String("name", "", "worker name (defaults to a coordinator-assigned one)")
+	attribFlag := flag.Bool("attrib", true,
+		"worker: attach the cycle-attribution ledger to every unit and ship its summary in the perfdb record (pure observation; a reconciliation residue fails the unit)")
 	poll := flag.Duration("poll", 200*time.Millisecond, "worker idle poll interval / submit status poll interval")
 
 	cache := flag.String("cache", "", "coordinator: persist the content-addressed result cache to this JSONL file")
@@ -137,6 +138,7 @@ func main() {
 			Coordinator:  &fleet.Client{Base: *join},
 			Name:         *name,
 			PollInterval: *poll,
+			Attrib:       *attribFlag,
 			Log:          logger,
 		}
 		if err := w.Run(ctx); err != nil {
@@ -157,7 +159,7 @@ func main() {
 		}
 		logger.Info("job submitted", "job", st.ID, "units", st.Units,
 			"cached", st.CacheHits, "trace", sctx.TraceID)
-		st, err = watchJob(ctx, client, st.ID, *poll)
+		st, err = fleet.WatchJob(ctx, client, st.ID, *poll, os.Stderr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wardenfleet: %v\n", err)
 			os.Exit(fleet.SubmitExitCode(st, err))
@@ -206,56 +208,6 @@ func main() {
 			os.Exit(1)
 		}
 	}
-}
-
-// watchJob follows a job to settlement with a live progress line per SSE
-// event (unit leases, completions, requeues, and the terminal job state,
-// all on stderr so stdout stays byte-comparable with -local). When the
-// stream is unavailable it degrades to status polling; either way the
-// final status comes from one authoritative GET.
-func watchJob(ctx context.Context, client *fleet.Client, id string, poll time.Duration) (fleet.JobStatus, error) {
-	serr := client.StreamEvents(ctx, id, func(ev obs.StreamEvent) error {
-		switch ev.Type {
-		case "unit":
-			var ue struct {
-				Unit    string `json:"unit"`
-				State   string `json:"state"`
-				Worker  string `json:"worker"`
-				Attempt int    `json:"attempt"`
-				Outcome string `json:"outcome"`
-				Why     string `json:"why"`
-			}
-			if json.Unmarshal(ev.Data, &ue) != nil {
-				return nil
-			}
-			switch ue.State {
-			case "leased":
-				fmt.Fprintf(os.Stderr, "wardenfleet: unit %s leased to %s (attempt %d)\n", ue.Unit, ue.Worker, ue.Attempt)
-			case "done":
-				fmt.Fprintf(os.Stderr, "wardenfleet: unit %s done (%s)\n", ue.Unit, ue.Outcome)
-			case "requeued", "poisoned":
-				fmt.Fprintf(os.Stderr, "wardenfleet: unit %s %s after attempt %d: %s\n", ue.Unit, ue.State, ue.Attempt, ue.Why)
-			}
-		case "job":
-			var je struct {
-				Job   string `json:"job"`
-				State string `json:"state"`
-				Done  int    `json:"done"`
-				Units int    `json:"units"`
-			}
-			if json.Unmarshal(ev.Data, &je) != nil {
-				return nil
-			}
-			if je.State != "running" {
-				fmt.Fprintf(os.Stderr, "wardenfleet: job %s settled (%s): %d/%d units\n", je.Job, je.State, je.Done, je.Units)
-			}
-		}
-		return nil
-	})
-	if serr != nil {
-		fmt.Fprintf(os.Stderr, "wardenfleet: event stream unavailable (%v); falling back to polling\n", serr)
-	}
-	return client.Wait(ctx, id, poll)
 }
 
 // writeTrace fetches a job's Perfetto trace and writes it to path,

@@ -1,0 +1,273 @@
+package attrib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"warden/internal/cache"
+	"warden/internal/core"
+)
+
+// Transition is one recorded coherence event on a block: a directory
+// transaction, an eviction, or a reconciliation, with the directory
+// transition and the counter deltas that matter for churn analysis. All
+// fields are copied out of the event — nothing aliases simulator state.
+type Transition struct {
+	Seq           uint64 `json:"seq"`
+	Cycle         uint64 `json:"cycle"`
+	Kind          string `json:"kind"` // transaction | evict | reconcile
+	Thread        int    `json:"thread"`
+	Core          int    `json:"core"`
+	Mode          string `json:"mode,omitempty"` // transactions: access mode
+	From          string `json:"from,omitempty"` // directory state before
+	To            string `json:"to,omitempty"`   // directory state after
+	OwnerBefore   int    `json:"owner_before"`
+	OwnerAfter    int    `json:"owner_after"`
+	SharersBefore int    `json:"sharers_before"`
+	SharersAfter  int    `json:"sharers_after"`
+	LineState     string `json:"line_state,omitempty"` // evictions: victim state
+	Latency       uint64 `json:"latency"`
+	Invalidations uint64 `json:"inv"`
+	Downgrades    uint64 `json:"downg"`
+	Writers       uint64 `json:"writers,omitempty"` // reconciles: writers merged
+	SectorMask    uint64 `json:"sectors,omitempty"` // reconciles: merged mask
+}
+
+// BlockLog is the flight record for one cache block: rolling ring of the
+// most recent transitions plus whole-run churn aggregates.
+type BlockLog struct {
+	Block         uint64 // block address
+	Transactions  uint64
+	Evictions     uint64
+	Reconciles    uint64
+	Invalidations uint64 // summed over transactions
+	Downgrades    uint64
+	SharerChurn   uint64 // sum |sharersAfter - sharersBefore|
+	InvChains     uint64 // transactions that invalidated at least one sharer
+	MaxChain      uint64 // largest invalidation burst in one transaction
+	Dropped       uint64 // transitions overwritten in the ring
+	LastState     string // directory state after the latest transition
+
+	lastSeq uint64
+	ring    []Transition // bounded at FlightDepth, oldest first after Timeline
+	head    int
+	full    bool
+}
+
+// record appends tr to the bounded ring.
+func (b *BlockLog) record(tr Transition, depth int) {
+	if len(b.ring) < depth {
+		b.ring = append(b.ring, tr)
+		return
+	}
+	b.ring[b.head] = tr
+	b.head = (b.head + 1) % len(b.ring)
+	b.full = true
+	b.Dropped++
+}
+
+// Timeline returns the recorded transitions oldest-first.
+func (b *BlockLog) Timeline() []Transition {
+	if !b.full {
+		return append([]Transition(nil), b.ring...)
+	}
+	out := make([]Transition, 0, len(b.ring))
+	out = append(out, b.ring[b.head:]...)
+	out = append(out, b.ring[:b.head]...)
+	return out
+}
+
+// Flight is the bounded per-block flight recorder. It tracks up to
+// MaxBlocks distinct blocks; transitions on further blocks are counted in
+// Untracked but not recorded, keeping memory bounded on any run.
+type Flight struct {
+	cfg       Config
+	blocks    map[uint64]*BlockLog
+	Untracked uint64 // transitions dropped because MaxBlocks was reached
+}
+
+func newFlight(cfg Config) *Flight {
+	return &Flight{cfg: cfg, blocks: make(map[uint64]*BlockLog)}
+}
+
+// observe folds one protocol-internal event into the recorder.
+func (f *Flight) observe(ev *core.Event) {
+	bl := f.blocks[uint64(ev.Block)]
+	if bl == nil {
+		if len(f.blocks) >= f.cfg.MaxBlocks {
+			f.Untracked++
+			return
+		}
+		bl = &BlockLog{Block: uint64(ev.Block)}
+		f.blocks[uint64(ev.Block)] = bl
+	}
+	tr := Transition{
+		Seq:           ev.Seq,
+		Cycle:         ev.Cycle,
+		Thread:        ev.Thread,
+		Core:          ev.Core,
+		OwnerBefore:   ev.OwnerBefore,
+		OwnerAfter:    ev.OwnerAfter,
+		SharersBefore: ev.SharersBefore.Count(),
+		SharersAfter:  ev.SharersAfter.Count(),
+		Latency:       ev.Latency,
+		Invalidations: ev.Ctrs.Invalidations,
+		Downgrades:    ev.Ctrs.Downgrades,
+	}
+	switch ev.Kind {
+	case core.EvTransaction:
+		tr.Kind = "transaction"
+		tr.Mode = ev.Mode.String()
+		tr.From = ev.DirBefore.String()
+		tr.To = ev.DirAfter.String()
+		bl.Transactions++
+		bl.Invalidations += ev.Ctrs.Invalidations
+		bl.Downgrades += ev.Ctrs.Downgrades
+		d := tr.SharersAfter - tr.SharersBefore
+		if d < 0 {
+			d = -d
+		}
+		bl.SharerChurn += uint64(d)
+		if ev.Ctrs.Invalidations > 0 {
+			bl.InvChains++
+			if ev.Ctrs.Invalidations > bl.MaxChain {
+				bl.MaxChain = ev.Ctrs.Invalidations
+			}
+		}
+		bl.LastState = tr.To
+	case core.EvEvict:
+		tr.Kind = "evict"
+		tr.LineState = ev.LineState.String()
+		tr.From = ev.DirBefore.String()
+		tr.To = ev.DirAfter.String()
+		bl.Evictions++
+		bl.LastState = tr.To
+	case core.EvReconcile:
+		tr.Kind = "reconcile"
+		tr.Writers = ev.Arg1
+		tr.SectorMask = ev.Arg2
+		tr.From = ev.DirBefore.String()
+		tr.To = ev.DirAfter.String()
+		bl.Reconciles++
+		bl.LastState = tr.To
+	}
+	bl.lastSeq = ev.Seq
+	bl.record(tr, f.cfg.FlightDepth)
+}
+
+// Block returns the log for one block address, nil if untracked.
+func (f *Flight) Block(addr uint64) *BlockLog { return f.blocks[addr] }
+
+// Blocks returns every tracked block log, hottest first (invalidations +
+// downgrades + sharer churn descending, block address ascending on ties).
+func (f *Flight) Blocks() []*BlockLog {
+	out := make([]*BlockLog, 0, len(f.blocks))
+	for _, b := range f.blocks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		hi := out[i].Invalidations + out[i].Downgrades + out[i].SharerChurn
+		hj := out[j].Invalidations + out[j].Downgrades + out[j].SharerChurn
+		if hi != hj {
+			return hi > hj
+		}
+		return out[i].Block < out[j].Block
+	})
+	return out
+}
+
+// BlockSummary is the wire form of one block's flight record, served at
+// /runs/{id}/blocks and written to the .blocks.jsonl artifact.
+type BlockSummary struct {
+	Block         string       `json:"block"` // hex address
+	Transactions  uint64       `json:"transactions"`
+	Evictions     uint64       `json:"evictions"`
+	Reconciles    uint64       `json:"reconciles"`
+	Invalidations uint64       `json:"invalidations"`
+	Downgrades    uint64       `json:"downgrades"`
+	SharerChurn   uint64       `json:"sharer_churn"`
+	InvChains     uint64       `json:"inv_chains"`
+	MaxChain      uint64       `json:"max_chain"`
+	LastState     string       `json:"last_state"`
+	Dropped       uint64       `json:"dropped,omitempty"`
+	Recent        []Transition `json:"recent"`
+}
+
+func (b *BlockLog) summary() BlockSummary {
+	return BlockSummary{
+		Block:         fmt.Sprintf("0x%x", b.Block),
+		Transactions:  b.Transactions,
+		Evictions:     b.Evictions,
+		Reconciles:    b.Reconciles,
+		Invalidations: b.Invalidations,
+		Downgrades:    b.Downgrades,
+		SharerChurn:   b.SharerChurn,
+		InvChains:     b.InvChains,
+		MaxChain:      b.MaxChain,
+		LastState:     b.LastState,
+		Dropped:       b.Dropped,
+		Recent:        b.Timeline(),
+	}
+}
+
+// Summaries returns every tracked block as a BlockSummary, hottest first.
+func (f *Flight) Summaries() []BlockSummary {
+	blocks := f.Blocks()
+	out := make([]BlockSummary, len(blocks))
+	for i, b := range blocks {
+		out[i] = b.summary()
+	}
+	return out
+}
+
+// WriteJSONL dumps one BlockSummary per line, hottest block first.
+func (f *Flight) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, b := range f.Blocks() {
+		if err := enc.Encode(b.summary()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Annotate names the protocol arc a transition corresponds to, in the
+// vocabulary of PROTOCOL.md's event glossary (Fig. 5 of the paper): GetS /
+// GetM directory transactions by requested mode, PutS/PutE/PutM(PutO)
+// eviction arcs by victim state, ward grants and forced reconciliations
+// for the W state. The annotation is descriptive only — it names the arc,
+// it does not re-derive protocol behaviour.
+func Annotate(tr Transition) string {
+	switch tr.Kind {
+	case "evict":
+		return fmt.Sprintf("Put%s eviction (victim line in %s)", tr.LineState, tr.LineState)
+	case "reconcile":
+		return fmt.Sprintf("reconcile: %d writer(s) merged, sector mask %#x — W block folded back to directory control",
+			tr.Writers, tr.SectorMask)
+	}
+	// Directory transaction.
+	req := "GetS"
+	if tr.Mode == "write" || tr.Mode == "atomic" {
+		req = "GetM"
+	}
+	arc := fmt.Sprintf("%s %s→%s", req, tr.From, tr.To)
+	switch {
+	case tr.To == cache.Ward.String():
+		return arc + " ward grant: region-private block handed to self-management, directory bypassed until reconcile"
+	case tr.From == cache.Ward.String() && tr.Mode == "atomic":
+		return arc + " atomic on warded block: forced reconcile then GetM"
+	case tr.From == "I" && req == "GetS":
+		return arc + " read miss: directory supplies data, requester added as sharer"
+	case tr.From == "I" && req == "GetM":
+		return arc + " write miss: directory grants exclusive ownership"
+	case req == "GetM" && tr.Invalidations > 0:
+		return fmt.Sprintf("%s write upgrade: %d sharer(s) invalidated", arc, tr.Invalidations)
+	case req == "GetS" && tr.Downgrades > 0:
+		return arc + " Fwd-GetS: owner downgraded, data forwarded"
+	case req == "GetM":
+		return arc + " write upgrade"
+	}
+	return arc + " read hit in directory: sharer added"
+}

@@ -162,6 +162,12 @@ type Runner struct {
 	// Result is the same with or without artifacts.
 	tele TelemetryConfig
 
+	// attrib enables per-run cycle-attribution artifacts (see SetAttrib).
+	// Excluded from the memo key for the same reason as tele; attribCtr
+	// feeds the warden_attrib_* metric families.
+	attrib    AttribConfig
+	attribCtr attribCounters
+
 	// probe and reg are the observability plane's hooks (SetProbe,
 	// SetObserver). Both are host-side only and excluded from the memo
 	// key for the same reason telemetry is: they cannot change a Result.
@@ -223,12 +229,13 @@ func (r *Runner) MetricFamilies() []obs.Family {
 	cycles, runs := r.SimulatedCycles()
 	fams := obs.CacheFamilies("warden_memo", "Simulation memo",
 		obs.CacheStats{Hits: ms.Hits, Misses: ms.Misses, Entries: ms.Entries})
-	return append(fams,
+	fams = append(fams,
 		obs.Counter("warden_sim_completed_cycles_total",
 			"Simulated cycles of completed uncached simulations.", float64(cycles)),
 		obs.Counter("warden_sim_completed_runs_total",
 			"Completed uncached simulations.", float64(runs)),
 	)
+	return append(fams, r.attribCtr.families()...)
 }
 
 // runCounterSet is the per-run counter subset published to the run
@@ -284,8 +291,8 @@ func (r *Runner) runWith(cfg topology.Config, proto core.Protocol, e pbbs.Entry,
 		}
 		var res Result
 		var err error
-		if r.tele.Dir != "" {
-			res, err = r.runTelemetry(cfg, proto, e, size, opts, run)
+		if r.tele.Dir != "" || r.attrib.Dir != "" {
+			res, err = r.runInstrumented(cfg, proto, e, size, opts, run)
 		} else {
 			res, err = runObserved(cfg, proto, e, size, opts, r.Engine, nil, r.probe, nil)
 		}

@@ -57,6 +57,14 @@ func RunOneTracedOn(emode machine.EngineMode, cfg topology.Config, proto core.Pr
 	return runObserved(cfg, proto, entry, size, opts, emode, nil, probe, hook)
 }
 
+// RunOneInstrumentedOn is the fully-loaded entry point: an event sink, a
+// progress probe, and a PDES epoch hook together — the fleet worker's
+// attribution path. Every attachment is pure observation, so results are
+// identical to RunOne's.
+func RunOneInstrumentedOn(emode machine.EngineMode, cfg topology.Config, proto core.Protocol, entry pbbs.Entry, size int, opts hlpl.Options, attach func(*machine.Machine) core.Sink, probe *engine.Probe, hook func(engine.EpochEvent)) (Result, error) {
+	return runObserved(cfg, proto, entry, size, opts, emode, attach, probe, hook)
+}
+
 // runObserved is the common simulation core behind RunOne, RunOneObserved,
 // and RunOneProbed: build the machine, optionally attach a sink, a
 // progress probe, and/or an epoch hook, run, verify, measure. No

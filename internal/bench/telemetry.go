@@ -19,11 +19,8 @@ import (
 
 	"warden/internal/core"
 	"warden/internal/hlpl"
-	"warden/internal/machine"
 	"warden/internal/obs"
-	"warden/internal/pbbs"
 	"warden/internal/runner"
-	"warden/internal/telemetry"
 	"warden/internal/topology"
 	"warden/internal/trace"
 )
@@ -69,7 +66,7 @@ func artifactBase(e string, proto core.Protocol, cfg topology.Config, size int, 
 // relativize it) and, when the simulation is observed, with its run
 // record, so /runs/{id} lists what the run wrote. Names ending in ".gz"
 // are gzip-compressed on the way out (trace.Create).
-func (tc *TelemetryConfig) createArtifact(dir, name string, run *obs.Run) (io.WriteCloser, string, error) {
+func createArtifact(arts *runner.Artifacts, dir, name string, run *obs.Run) (io.WriteCloser, string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, "", err
 	}
@@ -79,8 +76,8 @@ func (tc *TelemetryConfig) createArtifact(dir, name string, run *obs.Run) (io.Wr
 		return nil, "", err
 	}
 	stored := path
-	if tc.Artifacts != nil {
-		stored = tc.Artifacts.Add(path)
+	if arts != nil {
+		stored = arts.Add(path)
 	}
 	if run != nil {
 		run.AddArtifact(stored)
@@ -88,62 +85,19 @@ func (tc *TelemetryConfig) createArtifact(dir, name string, run *obs.Run) (io.Wr
 	return f, path, nil
 }
 
-// runTelemetry executes one simulation with the capture attached and writes
-// the artifact files. Measurements are identical to RunOne's. run, when
-// non-nil, collects the artifact paths for /runs/{id}.
-func (r *Runner) runTelemetry(cfg topology.Config, proto core.Protocol, e pbbs.Entry, size int, opts hlpl.Options, run *obs.Run) (Result, error) {
-	tc := &r.tele
-	base := artifactBase(e.Name, proto, cfg, size, opts)
-
-	tcfg := telemetry.Config{Topology: cfg, WindowCycles: tc.WindowCycles}
-	var traceF io.WriteCloser
-	if tc.TraceDir != "" {
-		name := base + ".trace.json"
-		if tc.TraceGzip {
-			name += ".gz"
-		}
-		var err error
-		traceF, _, err = tc.createArtifact(tc.TraceDir, name, run)
-		if err != nil {
-			return Result{}, fmt.Errorf("bench: telemetry trace: %w", err)
-		}
-		tcfg.Trace = traceF
-	}
-	cap := telemetry.New(tcfg)
-	res, err := runObserved(cfg, proto, e, size, opts, r.Engine,
-		func(*machine.Machine) core.Sink { return cap }, r.probe, nil)
-	if cerr := cap.Close(); err == nil && cerr != nil {
-		err = fmt.Errorf("bench: telemetry trace: %w", cerr)
-	}
-	if traceF != nil {
-		if cerr := traceF.Close(); err == nil && cerr != nil {
-			err = fmt.Errorf("bench: telemetry trace: %w", cerr)
-		}
-	}
+// writeArtifact creates dir/name and writes it in one step (the non-
+// streaming artifact path).
+func writeArtifact(arts *runner.Artifacts, dir, name string, run *obs.Run, write func(io.Writer) error) error {
+	f, path, err := createArtifact(arts, dir, name, run)
 	if err != nil {
-		return Result{}, err
+		return err
 	}
-
-	for _, art := range []struct {
-		name  string
-		write func(io.Writer) error
-	}{
-		{base + ".windows.csv", cap.Windows.WriteCSV},
-		{base + ".windows.jsonl", cap.Windows.WriteJSONL},
-		{base + ".phases.csv", cap.Phases.WriteCSV},
-		{base + ".heatmap.csv", cap.Heat.WriteCSV},
-	} {
-		f, path, err := tc.createArtifact(tc.Dir, art.name, run)
-		if err != nil {
-			return Result{}, fmt.Errorf("bench: telemetry: %w", err)
-		}
-		werr := art.write(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return Result{}, fmt.Errorf("bench: telemetry: %s: %w", path, werr)
-		}
+	werr := write(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	return res, nil
+	if werr != nil {
+		return fmt.Errorf("%s: %w", path, werr)
+	}
+	return nil
 }

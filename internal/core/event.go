@@ -156,6 +156,19 @@ type Event struct {
 
 	Latency uint64         // cycles charged to the requester (where defined)
 	Ctrs    stats.Snapshot // counter deltas attributable to this event
+
+	// Advance is the exact clock advance the engine charged the issuing
+	// thread for this instruction — the value the machine's op handler
+	// returned, which is the only quantity ever added to a thread clock.
+	// Summing Advance over one thread's instruction-level events therefore
+	// reconstructs that thread's final clock exactly, and the run's cycle
+	// count is the maximum over threads; internal/attrib builds its
+	// zero-residue reconciliation on this identity. Zero for
+	// protocol-internal events, phase markers, and EvDrain (none of which
+	// advance any thread clock). Advance can differ from Latency: a store
+	// charges issue+stall to the clock while Latency reports the memory
+	// latency the store buffer will absorb.
+	Advance uint64
 }
 
 // Sink receives events. Implementations must not retain ev or ev.Data past

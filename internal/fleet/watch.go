@@ -1,0 +1,70 @@
+package fleet
+
+// WatchJob follows a submitted job to settlement: a live progress line per
+// SSE event, with transparent degradation to status polling when the
+// stream is unavailable or severed mid-job. It is the client half of
+// `wardenfleet -submit`, housed here so the fallback path is testable
+// against a real coordinator (watch_test.go severs the stream mid-job and
+// asserts the submit output is unchanged).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"warden/internal/obs"
+)
+
+// WatchJob follows job id on client until it settles, writing one progress
+// line per event (unit leases, completions, requeues, and the terminal job
+// state) to progress. The SSE feed is an optimization only: if the stream
+// cannot be opened or dies mid-job, WatchJob reports the degradation on
+// progress and falls back to status polling at the given interval. Either
+// way the returned status comes from one authoritative GET, so the caller
+// sees identical results on both paths.
+func WatchJob(ctx context.Context, client *Client, id string, poll time.Duration, progress io.Writer) (JobStatus, error) {
+	serr := client.StreamEvents(ctx, id, func(ev obs.StreamEvent) error {
+		switch ev.Type {
+		case "unit":
+			var ue struct {
+				Unit    string `json:"unit"`
+				State   string `json:"state"`
+				Worker  string `json:"worker"`
+				Attempt int    `json:"attempt"`
+				Outcome string `json:"outcome"`
+				Why     string `json:"why"`
+			}
+			if json.Unmarshal(ev.Data, &ue) != nil {
+				return nil
+			}
+			switch ue.State {
+			case "leased":
+				fmt.Fprintf(progress, "fleet: unit %s leased to %s (attempt %d)\n", ue.Unit, ue.Worker, ue.Attempt)
+			case "done":
+				fmt.Fprintf(progress, "fleet: unit %s done (%s)\n", ue.Unit, ue.Outcome)
+			case "requeued", "poisoned":
+				fmt.Fprintf(progress, "fleet: unit %s %s after attempt %d: %s\n", ue.Unit, ue.State, ue.Attempt, ue.Why)
+			}
+		case "job":
+			var je struct {
+				Job   string `json:"job"`
+				State string `json:"state"`
+				Done  int    `json:"done"`
+				Units int    `json:"units"`
+			}
+			if json.Unmarshal(ev.Data, &je) != nil {
+				return nil
+			}
+			if je.State != "running" {
+				fmt.Fprintf(progress, "fleet: job %s settled (%s): %d/%d units\n", je.Job, je.State, je.Done, je.Units)
+			}
+		}
+		return nil
+	})
+	if serr != nil {
+		fmt.Fprintf(progress, "fleet: event stream unavailable (%v); falling back to polling\n", serr)
+	}
+	return client.Wait(ctx, id, poll)
+}

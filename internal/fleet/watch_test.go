@@ -1,0 +1,164 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"warden/internal/obs"
+	"warden/internal/perfdb"
+)
+
+// severWriter kills the SSE connection after the first complete event has
+// been flushed to the client, simulating a proxy or network dropping the
+// stream mid-job.
+type severWriter struct {
+	http.ResponseWriter
+	events int
+}
+
+func (s *severWriter) Write(p []byte) (int, error) {
+	n, err := s.ResponseWriter.Write(p)
+	s.events += bytes.Count(p[:n], []byte("\n\n"))
+	if s.events >= 1 {
+		if f, ok := s.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	return n, err
+}
+
+func (s *severWriter) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestWatchJobPollingFallback severs the job's SSE stream after one event
+// and proves the polling fallback is lossless: WatchJob still settles the
+// job, the rendered results table is byte-identical to the sequential
+// -local reference, and the scriptable exit code is ExitOK — the stream is
+// an optimization, never a correctness dependency.
+func TestWatchJobPollingFallback(t *testing.T) {
+	coord, err := NewCoordinator(Options{Registry: obs.NewRegistry()})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	inner := coord.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet && strings.HasSuffix(r.URL.Path, "/events") {
+			inner.ServeHTTP(&severWriter{ResponseWriter: w}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	client := &Client{Base: ts.URL}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w := &Worker{Coordinator: client, PollInterval: 10 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	defer func() {
+		cancel()
+		wg.Wait()
+	}()
+
+	spec := SweepSpec{Benchmarks: []string{"fib", "msort"}}
+	st, err := client.Submit(spec)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+
+	var progress bytes.Buffer
+	wctx, wcancel := context.WithTimeout(ctx, 5*time.Minute)
+	defer wcancel()
+	st, err = WatchJob(wctx, client, st.ID, 20*time.Millisecond, &progress)
+	if err != nil {
+		t.Fatalf("WatchJob: %v\nprogress:\n%s", err, progress.String())
+	}
+	if !strings.Contains(progress.String(), "falling back to polling") {
+		t.Fatalf("stream was not severed — progress:\n%s", progress.String())
+	}
+	if st.State != "done" {
+		t.Fatalf("job = %+v, want done", st)
+	}
+	if code := SubmitExitCode(st, nil); code != ExitOK {
+		t.Fatalf("SubmitExitCode = %d, want %d", code, ExitOK)
+	}
+
+	results, err := client.Results(st.ID)
+	if err != nil {
+		t.Fatalf("Results: %v", err)
+	}
+	var fleetTable bytes.Buffer
+	if err := WriteResultsTable(&fleetTable, results); err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunLocal(spec)
+	if err != nil {
+		t.Fatalf("RunLocal: %v", err)
+	}
+	var localTable bytes.Buffer
+	if err := WriteResultsTable(&localTable, local); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fleetTable.Bytes(), localTable.Bytes()) {
+		t.Fatalf("polling-fallback table differs from -local reference:\n--- fleet ---\n%s--- local ---\n%s",
+			fleetTable.String(), localTable.String())
+	}
+}
+
+// TestWorkerShipsAttribSummary runs a sweep with attribution-enabled
+// workers and asserts every perfdb record they ship back carries the
+// ledger summary: a top event kind, a positive share, and a zero residue
+// (a nonzero one would have failed the unit instead).
+func TestWorkerShipsAttribSummary(t *testing.T) {
+	history := filepath.Join(t.TempDir(), "history.jsonl")
+	_, client, stop := startFleet(t, Options{Registry: obs.NewRegistry(), HistoryPath: history}, 2,
+		func(i int, w *Worker) { w.Attrib = true })
+	defer stop()
+
+	st, err := client.Submit(SweepSpec{Benchmarks: []string{"fib"}})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	st = waitJob(t, client, st.ID)
+	if st.State != "done" {
+		t.Fatalf("job = %+v, want done", st)
+	}
+
+	recs, err := perfdb.Read(history)
+	if err != nil {
+		t.Fatalf("Read(history): %v", err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no history records written")
+	}
+	for _, rec := range recs {
+		if rec.AttribTopKind == "" {
+			t.Errorf("record %s/%s has no AttribTopKind", rec.RunID, rec.Step)
+		}
+		if rec.AttribTopShare <= 0 || rec.AttribTopShare > 1 {
+			t.Errorf("record %s/%s AttribTopShare = %v, want in (0, 1]", rec.RunID, rec.Step, rec.AttribTopShare)
+		}
+		if rec.AttribResidue != 0 {
+			t.Errorf("record %s/%s AttribResidue = %d, want 0", rec.RunID, rec.Step, rec.AttribResidue)
+		}
+	}
+}

@@ -8,8 +8,11 @@ import (
 	"strconv"
 	"time"
 
+	"warden/internal/attrib"
 	"warden/internal/bench"
+	"warden/internal/core"
 	"warden/internal/engine"
+	"warden/internal/machine"
 	"warden/internal/perfdb"
 	"warden/internal/span"
 )
@@ -38,6 +41,13 @@ type Worker struct {
 	// drop the result and stop, simulating a crash mid-unit. Test hook for
 	// the lease-expiry path.
 	FailBeforeReport func(Unit) bool
+	// Attrib attaches a cycle-attribution ledger (internal/attrib) to every
+	// simulation and ships its summary back in the unit's perfdb record
+	// (AttribTopKind/AttribTopShare). The ledger is pure observation —
+	// results stay byte-identical — but it must reconcile exactly: a
+	// nonzero residue fails the unit rather than reporting unsound
+	// attribution.
+	Attrib bool
 	// Log, if set, receives lifecycle records.
 	Log *slog.Logger
 	// Clock and SpanIDs override the span timestamp and id sources for
@@ -204,8 +214,19 @@ func (w *Worker) executeOne(ctx context.Context, u Unit) (stop bool, err error) 
 
 	start := time.Now()
 	var probe engine.Probe
-	res, runErr := bench.RunOneTracedOn(emode, cfg, proto, entry, u.Size, opts, &probe, hook)
+	var led *attrib.Ledger
+	var attach func(*machine.Machine) core.Sink
+	if w.Attrib {
+		led = attrib.New(attrib.Config{})
+		attach = func(*machine.Machine) core.Sink { return led }
+	}
+	res, runErr := bench.RunOneInstrumentedOn(emode, cfg, proto, entry, u.Size, opts, attach, &probe, hook)
 	wall := time.Since(start)
+	if runErr == nil && led != nil {
+		// The reconciliation invariant: the ledger must sum exactly to the
+		// measured cycles on every thread. A residue is a unit failure.
+		runErr = led.Reconcile(res.Cycles)
+	}
 	if runErr != nil {
 		endExec("failed")
 		w.logf("unit failed", "unit", u.ID, "err", runErr)
@@ -230,6 +251,9 @@ func (w *Worker) executeOne(ctx context.Context, u Unit) (stop bool, err error) 
 		WallSeconds:     wall.Seconds(),
 		CyclesPerSecond: float64(res.Cycles) / wall.Seconds(),
 		Worker:          w.Name,
+	}
+	if led != nil {
+		rec.AttribTopKind, rec.AttribTopShare = led.TopKind()
 	}
 	if err := w.Coordinator.Complete(w.workerID, u.ID, res, rec, col.Spans()); err != nil {
 		return false, fmt.Errorf("fleet: report unit %s: %w", u.ID, err)

@@ -216,6 +216,7 @@ func (m *Machine) execObserved(t *engine.Thread, op engine.Op) uint64 {
 		Core:    m.cfg.CoreOf(t.ID()),
 		Cycle:   t.Now(),
 		Latency: adv,
+		Advance: adv,
 		Ctrs:    m.ctr.Snap().Sub(before),
 	}
 	switch o := op.(type) {

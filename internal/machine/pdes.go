@@ -151,6 +151,7 @@ func (m *Machine) execLocal(t *engine.Thread, op engine.Op) uint64 {
 		ev.Core = m.cfg.CoreOf(t.ID())
 		ev.Cycle = t.Now()
 		ev.Latency = adv
+		ev.Advance = adv
 		tl.events = append(tl.events, localEvent{sortCycle: t.Now(), ev: ev})
 		m.nbuffered.Add(1)
 	}

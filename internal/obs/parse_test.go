@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestParseTextRoundTrip is the strong parser guarantee: render a mixed
+// set of families (gauges, counters, a histogram, cache stats, escaped
+// label values) with WriteFamilies, parse the text back, render again —
+// the two documents must be byte-identical.
+func TestParseTextRoundTrip(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	h.Observe(0.005)
+	h.Observe(0.5)
+	h.Observe(5)
+	fams := []Family{
+		Gauge("warden_fleet_workers", "Registered workers.", 3),
+		Counter("warden_fleet_units_total", "Units.", 42,
+			Label{Name: "state", Value: "done"}),
+		Counter("weird_label_total", "Escapes: \\ and \n here.", 1,
+			Label{Name: "path", Value: `a"b\c` + "\nd"}),
+		h.Family("warden_fleet_span_seconds_execute", "Execute span durations."),
+	}
+	fams = append(fams, CacheFamilies("warden_fleet_cache", "Fleet result cache",
+		CacheStats{Hits: 10, Misses: 2, Entries: 8})...)
+
+	var first bytes.Buffer
+	if err := WriteFamilies(&first, fams); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseText(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\ninput:\n%s", err, first.String())
+	}
+	var second bytes.Buffer
+	if err := WriteFamilies(&second, parsed); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("round trip not byte-identical:\n--- first ---\n%s\n--- second ---\n%s",
+			first.String(), second.String())
+	}
+}
+
+func TestParseTextHistogramShape(t *testing.T) {
+	h := NewHistogram(0.01, 0.1)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	var buf bytes.Buffer
+	if err := WriteFamilies(&buf, []Family{h.Family("warden_fleet_span_seconds_x", "x")}); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := HistogramFamilies(fams, "warden_fleet_span_seconds_")
+	if len(hs) != 1 {
+		t.Fatalf("got %d histogram families, want 1: %+v", len(hs), fams)
+	}
+	var buckets, sums, counts int
+	for _, m := range hs[0].Metrics {
+		switch m.Suffix {
+		case "_bucket":
+			buckets++
+			if LabelValue(m, "le") == "" {
+				t.Errorf("bucket sample missing le label: %+v", m)
+			}
+		case "_sum":
+			sums++
+			if m.Value < 0.104 || m.Value > 0.106 {
+				t.Errorf("sum = %v, want 0.105", m.Value)
+			}
+		case "_count":
+			counts++
+			if m.Value != 3 {
+				t.Errorf("count = %v, want 3", m.Value)
+			}
+		}
+	}
+	if buckets != 3 || sums != 1 || counts != 1 { // 2 bounds + +Inf
+		t.Fatalf("shape: %d buckets, %d sums, %d counts", buckets, sums, counts)
+	}
+}
+
+func TestCacheStatsFrom(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFamilies(&buf, CacheFamilies("warden_memo", "Memo",
+		CacheStats{Hits: 7, Misses: 3, Entries: 5})); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := CacheStatsFrom(fams, "warden_memo")
+	if !ok || s.Hits != 7 || s.Misses != 3 || s.Entries != 5 {
+		t.Fatalf("CacheStatsFrom = %+v, %v", s, ok)
+	}
+	if _, ok := CacheStatsFrom(fams, "warden_fleet_cache"); ok {
+		t.Fatal("found stats for absent prefix")
+	}
+}
+
+func TestParseTextRejectsGarbage(t *testing.T) {
+	if _, err := ParseText(strings.NewReader(`metric{a="unterminated 1`)); err == nil {
+		t.Fatal("unterminated label value accepted")
+	}
+	if _, err := ParseText(strings.NewReader("metric notanumber\n")); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}

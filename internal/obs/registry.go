@@ -71,6 +71,7 @@ type Run struct {
 	err                string
 	artifacts          []string
 	counters           map[string]uint64
+	blocks             any
 }
 
 // NewRun registers a run in state Queued. kind groups runs in reports
@@ -144,6 +145,27 @@ func (run *Run) SetCounter(name string, v uint64) {
 		run.counters = make(map[string]uint64)
 	}
 	run.counters[name] = v
+}
+
+// SetBlocks attaches the run's per-block flight-recorder summaries (an
+// already-JSON-marshalable value, e.g. []attrib.BlockSummary), served
+// verbatim at /runs/{id}/blocks. Stored as an opaque value so obs stays
+// dependency-free; the producer owns the schema.
+func (run *Run) SetBlocks(v any) {
+	run.reg.mu.Lock()
+	defer run.reg.mu.Unlock()
+	run.blocks = v
+}
+
+// Blocks returns the value attached via SetBlocks for run id. ok reports
+// whether the run exists; a nil value means no flight data was attached.
+func (r *Registry) Blocks(id int) (v any, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id < 1 || id > len(r.runs) {
+		return nil, false
+	}
+	return r.runs[id-1].blocks, true
 }
 
 // RunInfo is the JSON view of a run served by /runs and /runs/{id}.

@@ -87,7 +87,7 @@ func runtimeFamilies() []Family {
 		Counter("go_mem_total_alloc_bytes", "Cumulative bytes allocated for heap objects.", float64(ms.TotalAlloc)),
 		Counter("go_mem_mallocs_total", "Cumulative count of heap allocations.", float64(ms.Mallocs)),
 		Counter("go_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC)),
-		Counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs) / 1e9),
+		Counter("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", float64(ms.PauseTotalNs)/1e9),
 	}
 }
 
@@ -158,6 +158,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	idStr := strings.TrimPrefix(r.URL.Path, "/runs/")
+	idStr, wantBlocks := strings.CutSuffix(idStr, "/blocks")
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
 		http.Error(w, "bad run id", http.StatusBadRequest)
@@ -165,6 +166,18 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.Registry == nil {
 		http.NotFound(w, r)
+		return
+	}
+	if wantBlocks {
+		blocks, ok := s.Registry.Blocks(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if blocks == nil {
+			blocks = []struct{}{}
+		}
+		writeJSON(w, blocks)
 		return
 	}
 	info, ok := s.Registry.Get(id)

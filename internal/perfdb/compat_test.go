@@ -63,6 +63,9 @@ func TestBaselineRoundTripsByteStable(t *testing.T) {
 		if rec.Worker != "" {
 			t.Fatalf("baseline line %d: pre-fleet record decoded a worker id %q", line, rec.Worker)
 		}
+		if rec.AttribTopKind != "" || rec.AttribTopShare != 0 || rec.AttribResidue != 0 {
+			t.Fatalf("baseline line %d: pre-attribution record decoded attribution fields: %+v", line, rec)
+		}
 		out, err := json.Marshal(rec)
 		if err != nil {
 			t.Fatalf("baseline line %d: re-encode: %v", line, err)
@@ -114,6 +117,61 @@ func TestWorkerFieldTolerated(t *testing.T) {
 	}
 	if deltas[0].Regression {
 		t.Fatalf("identical cycles flagged as regression: %+v", deltas[0])
+	}
+}
+
+// TestAttribFieldsTolerated pins the contract for the attribution summary
+// fields (wardenbench -attrib, attribution-enabled fleet workers): they
+// parse, survive a round trip byte-identically, and never participate in
+// fingerprint pairing or step comparison — wardendiff gates on the
+// measurements alone.
+func TestAttribFieldsTolerated(t *testing.T) {
+	const in = `{"schema":1,"run_id":"J2","fingerprint":"fp","step":"fib/WARDen","simulated_cycles":42,"simulated_runs":1,"wall_seconds":0.5,"cycles_per_second":84,"worker":"w1","attrib_top_kind":"load","attrib_top_share":0.71}`
+	var rec perfdb.Record
+	if err := json.Unmarshal([]byte(in), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.AttribTopKind != "load" || rec.AttribTopShare != 0.71 {
+		t.Fatalf("attribution summary = %q/%v, want load/0.71", rec.AttribTopKind, rec.AttribTopShare)
+	}
+	if rec.AttribResidue != 0 {
+		t.Fatalf("residue = %d; records with nonzero residue must not exist (the run fails instead)", rec.AttribResidue)
+	}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != in {
+		t.Fatalf("attribution-bearing record not byte-stable:\n old %s\n new %s", in, out)
+	}
+
+	// Comparison ignores the summary: identical measurements gate clean
+	// whether or not either side carries attribution fields.
+	base := perfdb.Snapshot{RunID: "base", Fingerprint: "fp",
+		Steps: []perfdb.Record{{Step: "fib/WARDen", SimulatedCycles: 42, WallSeconds: 0.4}}}
+	next := perfdb.Snapshot{RunID: "J2", Fingerprint: "fp", Steps: []perfdb.Record{rec}}
+	deltas := perfdb.Compare(base, next, perfdb.DefaultThresholds())
+	if len(deltas) != 1 {
+		t.Fatalf("got %d deltas, want 1: %+v", len(deltas), deltas)
+	}
+	if deltas[0].Regression {
+		t.Fatalf("identical cycles flagged as regression: %+v", deltas[0])
+	}
+}
+
+// TestUnknownFieldsIgnored pins that the history reader is forward-
+// compatible: a record written by a future schema with keys this build
+// has never heard of still parses, and the known measurements come
+// through intact — wardendiff keeps gating old binaries against new
+// histories instead of erroring out.
+func TestUnknownFieldsIgnored(t *testing.T) {
+	const in = `{"schema":1,"run_id":"J3","fingerprint":"fp","step":"fib/MESI","simulated_cycles":7,"simulated_runs":1,"wall_seconds":0.1,"cycles_per_second":70,"some_future_field":"x","another":{"nested":true}}`
+	var rec perfdb.Record
+	if err := json.Unmarshal([]byte(in), &rec); err != nil {
+		t.Fatalf("record with unknown fields rejected: %v", err)
+	}
+	if rec.Step != "fib/MESI" || rec.SimulatedCycles != 7 {
+		t.Fatalf("known fields corrupted by unknown neighbours: %+v", rec)
 	}
 }
 

@@ -62,6 +62,19 @@ type Record struct {
 	// (omitempty, schema version unchanged) so pre-fleet history — including
 	// the committed perf/baseline.jsonl — round-trips byte-identically.
 	Worker string `json:"worker,omitempty"`
+
+	// Attribution summary (wardenbench -attrib / fleet workers with
+	// attribution enabled): the event kind holding the largest share of
+	// attributed cycles and that share of the total. AttribResidue is the
+	// reconciliation residue in cycles and is 0 by construction — a run
+	// whose ledger does not sum exactly to its measured cycles fails
+	// instead of producing a record. All three are additive (omitempty,
+	// schema version unchanged): pre-attribution history, including the
+	// committed perf/baseline.jsonl, round-trips byte-identically, and
+	// wardendiff ignores them.
+	AttribTopKind  string  `json:"attrib_top_kind,omitempty"`
+	AttribTopShare float64 `json:"attrib_top_share,omitempty"`
+	AttribResidue  int64   `json:"attrib_residue,omitempty"`
 }
 
 // Append writes recs to path as JSONL, creating the file if needed and

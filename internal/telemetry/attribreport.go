@@ -1,0 +1,87 @@
+package telemetry
+
+// HTML rendering for the attribution explainer (wardenlens) and for
+// host-observability snapshots (wardenreport -metrics): both reuse the
+// run report's styling so every HTML artifact in the repo reads the same.
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+
+	"warden/internal/attrib"
+)
+
+// AttribSection is one benchmark's explained protocol delta.
+type AttribSection struct {
+	Benchmark string
+	Ex        *attrib.Explanation
+	TopN      int // buckets to show
+}
+
+// attribView adapts a section for the template.
+type attribView struct {
+	AttribSection
+	Speedup float64 // baseline cycles / subject cycles
+	Kinds   []attrib.Delta
+	Phases  []attrib.Delta
+	Buckets []attrib.Delta
+}
+
+var attribTmpl = template.Must(template.New("attrib").Funcs(template.FuncMap{
+	"f2":     func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	"bucket": attrib.BucketLabel,
+	"signed": func(v int64) string { return fmt.Sprintf("%+d", v) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>` + reportCSS + `</style></head><body>
+<h1>{{.Title}}</h1>
+<p class="meta">Exact cycle-delta decomposition: every table's delta column sums to the
+headline delta with zero residue (critical-path attribution, see DESIGN.md §14).</p>
+{{range .Sections}}
+<h2>{{.Benchmark}}: {{.Ex.SubjectName}} vs {{.Ex.BaselineName}}</h2>
+<p class="meta">{{.Ex.SubjectName}} {{.Ex.SubjectCycles}} cycles (critical thread {{.Ex.SubjectThread}}) ·
+{{.Ex.BaselineName}} {{.Ex.BaselineCycles}} cycles (critical thread {{.Ex.BaselineThread}}) ·
+delta <span class="{{if le .Ex.CycleDelta 0}}good{{else}}bad{{end}}">{{signed .Ex.CycleDelta}}</span> ·
+{{f2 .Speedup}}× speedup</p>
+<h3>By event kind</h3>
+<table><thead><tr><th>kind</th><th>{{.Ex.SubjectName}}</th><th>{{.Ex.BaselineName}}</th><th>delta</th></tr></thead><tbody>
+{{range .Kinds}}<tr><td>{{.Kind}}</td><td>{{.Subject}}</td><td>{{.Baseline}}</td><td class="{{if le .Delta 0}}good{{else}}bad{{end}}">{{signed .Delta}}</td></tr>
+{{end}}</tbody></table>
+<h3>By phase</h3>
+<table><thead><tr><th>phase</th><th>{{.Ex.SubjectName}}</th><th>{{.Ex.BaselineName}}</th><th>delta</th></tr></thead><tbody>
+{{range .Phases}}<tr><td>{{.Phase}}</td><td>{{.Subject}}</td><td>{{.Baseline}}</td><td class="{{if le .Delta 0}}good{{else}}bad{{end}}">{{signed .Delta}}</td></tr>
+{{end}}</tbody></table>
+{{if .Buckets}}
+<h3>Top {{.TopN}} address buckets</h3>
+<table><thead><tr><th>bucket</th><th>{{.Ex.SubjectName}}</th><th>{{.Ex.BaselineName}}</th><th>delta</th></tr></thead><tbody>
+{{range .Buckets}}<tr><td>{{bucket .Bucket}}</td><td>{{.Subject}}</td><td>{{.Baseline}}</td><td class="{{if le .Delta 0}}good{{else}}bad{{end}}">{{signed .Delta}}</td></tr>
+{{end}}</tbody></table>
+{{end}}
+{{end}}
+</body></html>
+`))
+
+// WriteAttribHTML renders the explainer's HTML artifact: one section per
+// benchmark, each table an exact partition of that benchmark's cycle
+// delta. Self-contained like WriteHTML.
+func WriteAttribHTML(w io.Writer, title string, sections []AttribSection) error {
+	data := struct {
+		Title    string
+		Sections []attribView
+	}{Title: title}
+	for _, s := range sections {
+		sp := 0.0
+		if s.Ex.SubjectCycles > 0 {
+			sp = float64(s.Ex.BaselineCycles) / float64(s.Ex.SubjectCycles)
+		}
+		data.Sections = append(data.Sections, attribView{
+			AttribSection: s,
+			Speedup:       sp,
+			Kinds:         s.Ex.TopKinds(),
+			Phases:        s.Ex.TopPhases(),
+			Buckets:       s.Ex.TopBuckets(s.TopN),
+		})
+	}
+	return attribTmpl.Execute(w, data)
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+// Perfetto counter tracks for the attribution ledger — the wardenlens
+// -trace-out artifact. Each track renders one protocol's cumulative
+// attributed cycles per event kind as a stacked counter ("ph":"C"), so the
+// two protocols of an -explain pair can be compared visually over
+// simulated time in ui.perfetto.dev. The document uses the same trace_event
+// JSON shape as the Perfetto run timelines and satisfies ValidatePerfetto.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"warden/internal/attrib"
+)
+
+// CounterTrack is one protocol's sampled attribution series.
+type CounterTrack struct {
+	Name    string // track label (protocol name)
+	TID     int    // trace thread id; distinct per track
+	Samples []attrib.Sample
+}
+
+// WriteCounterTrace renders the counter tracks as a self-contained
+// trace_event document. Timestamps are simulated cycles (written as
+// microseconds, like every trace in the repo); each sample becomes one
+// counter event whose args carry the cumulative cycles per event kind,
+// with keys sorted so output is deterministic.
+func WriteCounterTrace(w io.Writer, name string, tracks []CounterTrack) error {
+	cw := &countWriter{w: w}
+	cw.raw(`{"displayTimeUnit":"ms","otherData":{"generator":"warden"},"traceEvents":[`)
+	cw.emit(`{"name":"process_name","ph":"M","pid":0,"args":{"name":%s}}`, quote(name))
+	for _, tr := range tracks {
+		cw.emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":%s}}`,
+			tr.TID, quote(tr.Name))
+		for _, s := range tr.Samples {
+			kinds := make([]string, 0, len(s.ByKind))
+			for k := range s.ByKind {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			args := ""
+			for i, k := range kinds {
+				if i > 0 {
+					args += ","
+				}
+				args += fmt.Sprintf("%s:%d", quote(k), s.ByKind[k])
+			}
+			cw.emit(`{"name":%s,"cat":"attrib","ph":"C","ts":%d,"pid":0,"tid":%d,"args":{%s}}`,
+				quote("attributed cycles ("+tr.Name+")"), s.Cycle, tr.TID, args)
+		}
+	}
+	cw.raw("\n]}\n")
+	return cw.err
+}
+
+// countWriter shares the comma-managed emit discipline of Perfetto without
+// its per-run topology state.
+type countWriter struct {
+	w   io.Writer
+	n   int
+	err error
+}
+
+func (c *countWriter) raw(s string) {
+	if c.err != nil {
+		return
+	}
+	_, c.err = io.WriteString(c.w, s)
+}
+
+func (c *countWriter) emit(format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	sep := ",\n"
+	if c.n == 0 {
+		sep = "\n"
+	}
+	c.n++
+	c.raw(sep)
+	c.raw(fmt.Sprintf(format, args...))
+}

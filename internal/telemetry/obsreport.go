@@ -1,0 +1,98 @@
+package telemetry
+
+// Host-observability section of the HTML report (wardenreport -metrics):
+// fleet span-duration histograms and cache hit-rates parsed from a
+// Prometheus text scrape, so one artifact carries a fleet run's simulated
+// results and its operational behaviour.
+
+import (
+	"fmt"
+	"html/template"
+	"io"
+)
+
+// HistRow is one histogram bucket, non-cumulative.
+type HistRow struct {
+	LE    string // upper bound label ("0.005", "+Inf")
+	Count uint64 // observations in this bucket (de-cumulated)
+}
+
+// HistView is one rendered histogram family.
+type HistView struct {
+	Name  string
+	Rows  []HistRow
+	Sum   float64
+	Count uint64
+}
+
+// Mean returns the average observation, 0 when empty.
+func (h HistView) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// CacheView is one cache's hit-rate summary (memo or fleet result cache).
+type CacheView struct {
+	Name    string
+	Hits    uint64
+	Misses  uint64
+	Entries uint64
+}
+
+// HitRate returns hits/(hits+misses), 0 when no lookups happened.
+func (c CacheView) HitRate() float64 {
+	tot := c.Hits + c.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(tot)
+}
+
+// ObsView is the observability section: span histograms and cache stats.
+type ObsView struct {
+	Source string // where the scrape came from (path or URL)
+	Hists  []HistView
+	Caches []CacheView
+}
+
+var obsTmpl = template.Must(template.New("obs").Funcs(template.FuncMap{
+	"f2":  func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	"ms":  func(v float64) string { return fmt.Sprintf("%.1f ms", v*1000) },
+	"pct": func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>` + reportCSS + `</style></head><body>
+<h1>{{.Title}}</h1>
+{{with .Obs}}
+<p class="meta">scraped from {{.Source}}</p>
+{{if .Caches}}
+<h2>Caches</h2>
+<table><thead><tr><th>cache</th><th>hits</th><th>misses</th><th>hit rate</th><th>entries</th></tr></thead><tbody>
+{{range .Caches}}<tr><td>{{.Name}}</td><td>{{.Hits}}</td><td>{{.Misses}}</td>
+<td class="{{if ge .HitRate 0.5}}good{{else}}bad{{end}}">{{pct .HitRate}}</td><td>{{.Entries}}</td></tr>
+{{end}}</tbody></table>
+{{end}}
+{{if .Hists}}
+<h2>Fleet span durations</h2>
+{{range .Hists}}
+<h3>{{.Name}}</h3>
+<p class="meta">{{.Count}} observations · total {{f2 .Sum}} s · mean {{ms .Mean}}</p>
+<table><thead><tr><th>≤ seconds</th><th>count</th></tr></thead><tbody>
+{{range .Rows}}<tr><td>{{.LE}}</td><td>{{.Count}}</td></tr>
+{{end}}</tbody></table>
+{{end}}
+{{end}}
+{{end}}
+</body></html>
+`))
+
+// WriteObsHTML renders the observability section as a self-contained
+// document, same styling as the run reports.
+func WriteObsHTML(w io.Writer, title string, obs *ObsView) error {
+	return obsTmpl.Execute(w, struct {
+		Title string
+		Obs   *ObsView
+	}{Title: title, Obs: obs})
+}

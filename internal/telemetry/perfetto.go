@@ -142,6 +142,7 @@ type TraceStats struct {
 	Events     int            // events of any kind, metadata included
 	Slices     int            // complete slices (ph "X")
 	Instants   int            // instant events (ph "i")
+	Counters   int            // counter samples (ph "C")
 	PhasePairs int            // matched B/E pairs
 	PhaseNames map[string]int // phase name -> B count
 	InPhase    int            // coherence events enclosed by an open phase
@@ -238,6 +239,11 @@ func ValidatePerfetto(r io.Reader) (*TraceStats, error) {
 					st.OutOfPhase++
 				}
 			}
+		case "C":
+			// Counter samples (the wardenlens attribution tracks). They
+			// carry no duration and never nest; only the per-track
+			// timestamp monotonicity above applies.
+			st.Counters++
 		default:
 			return nil, fmt.Errorf("telemetry: event %d: unexpected phase letter %q", i, ev.Ph)
 		}

@@ -127,13 +127,9 @@ func cut(base, other uint64) float64 {
 	return 1 - float64(other)/float64(base)
 }
 
-var reportTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
-	"f2":  func(v float64) string { return fmt.Sprintf("%.2f", v) },
-	"pct": func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) },
-	"hex": func(v uint64) string { return fmt.Sprintf("%#x", v) },
-}).Parse(`<!DOCTYPE html>
-<html lang="en"><head><meta charset="utf-8"><title>{{.Title}}</title>
-<style>
+// reportCSS is the shared stylesheet of every HTML artifact (run reports,
+// the attribution explainer, the observability section).
+const reportCSS = `
 body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #111; }
 h1 { font-size: 1.4rem; } h2 { font-size: 1.15rem; margin-top: 2rem; } h3 { font-size: 1rem; }
 table { border-collapse: collapse; margin: .5rem 0 1rem; }
@@ -145,7 +141,15 @@ thead th { background: #f4f4f5; }
 .flat { color: #a1a1aa; font-size: .85rem; }
 .good { color: #15803d; } .bad { color: #b91c1c; }
 .meta { color: #52525b; font-size: .85rem; }
-</style></head><body>
+`
+
+var reportTmpl = template.Must(template.New("report").Funcs(template.FuncMap{
+	"f2":  func(v float64) string { return fmt.Sprintf("%.2f", v) },
+	"pct": func(v float64) string { return fmt.Sprintf("%.1f%%", v*100) },
+	"hex": func(v uint64) string { return fmt.Sprintf("%#x", v) },
+}).Parse(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8"><title>{{.Title}}</title>
+<style>` + reportCSS + `</style></head><body>
 <h1>{{.Title}}</h1>
 {{with .Pair}}
 <h2>WARDen vs {{.Base.Protocol}}</h2>
